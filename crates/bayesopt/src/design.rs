@@ -1,0 +1,78 @@
+//! Initial designs: points evaluated before the surrogate takes over.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Latin-hypercube design: `n` points in `[0,1]^d`, each dimension's
+/// marginal stratified into `n` equal bins with one point per bin.
+pub fn latin_hypercube(n: usize, d: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    assert!(n > 0 && d > 0);
+    // One permutation of bins per dimension.
+    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(d);
+    for _ in 0..d {
+        let mut bins: Vec<usize> = (0..n).collect();
+        bins.shuffle(rng);
+        let col = bins
+            .into_iter()
+            .map(|b| (b as f64 + rng.random::<f64>()) / n as f64)
+            .collect();
+        columns.push(col);
+    }
+    (0..n)
+        .map(|i| columns.iter().map(|col| col[i]).collect())
+        .collect()
+}
+
+/// Uniform random design.
+pub fn random_design(n: usize, d: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.random::<f64>()).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lhs_shape_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = latin_hypercube(10, 3, &mut rng);
+        assert_eq!(pts.len(), 10);
+        assert!(pts.iter().all(|p| p.len() == 3));
+        assert!(pts.iter().flatten().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn lhs_stratifies_each_dimension() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 16;
+        let pts = latin_hypercube(n, 2, &mut rng);
+        for dim in 0..2 {
+            let mut bins = vec![false; n];
+            for p in &pts {
+                let b = (p[dim] * n as f64).floor() as usize;
+                assert!(!bins[b], "two points in bin {b} of dim {dim}");
+                bins[b] = true;
+            }
+            assert!(bins.iter().all(|&b| b), "every bin occupied");
+        }
+    }
+
+    #[test]
+    fn random_design_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = random_design(50, 4, &mut rng);
+        assert_eq!(pts.len(), 50);
+        assert!(pts.iter().flatten().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn designs_are_deterministic_per_seed() {
+        let a = latin_hypercube(8, 2, &mut StdRng::seed_from_u64(9));
+        let b = latin_hypercube(8, 2, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

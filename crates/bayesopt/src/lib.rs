@@ -1,0 +1,44 @@
+//! # mtm-bayesopt
+//!
+//! A from-scratch Bayesian Optimization toolkit, modeled on what the paper
+//! used Spearmint for:
+//!
+//! * [`space`] — typed parameter spaces (integer, float, log-float,
+//!   categorical) with a lossless round-trip to the unit hypercube the GP
+//!   operates on,
+//! * [`design`] — Latin-hypercube and random initial designs,
+//! * [`acquisition`] — Expected Improvement (the paper's choice),
+//!   Probability of Improvement and GP-UCB,
+//! * [`optimizer`] — the propose/observe loop: fit a GP surrogate on the
+//!   observations, maximize the acquisition over candidates with a
+//!   coordinate-descent polish, optionally marginalizing the acquisition
+//!   over slice-sampled hyperparameters exactly as Spearmint does,
+//! * [`history`] — serde snapshots giving pause/resume, the Spearmint
+//!   feature the authors singled out as important for their cluster setup.
+//!
+//! ```
+//! use mtm_bayesopt::{BayesOpt, BoConfig, space::{ParamSpace, Param}};
+//!
+//! // Maximize a toy 1-D function over an integer parameter.
+//! let space = ParamSpace::new(vec![Param::int("x", 0, 20)]);
+//! let mut bo = BayesOpt::new(space, BoConfig { seed: 7, ..Default::default() });
+//! for _ in 0..15 {
+//!     let cand = bo.propose();
+//!     let x = cand.values[0].as_int() as f64;
+//!     let y = -(x - 13.0) * (x - 13.0); // peak at 13
+//!     bo.observe(cand, y);
+//! }
+//! let best = bo.best().unwrap();
+//! assert!((best.values[0].as_int() - 13).abs() <= 2);
+//! ```
+
+pub mod acquisition;
+pub mod design;
+pub mod history;
+pub mod optimizer;
+pub mod space;
+
+pub use acquisition::Acquisition;
+pub use history::Snapshot;
+pub use optimizer::{BayesOpt, BoConfig, Candidate, KernelChoice, Observation};
+pub use space::{Param, ParamSpace, Value};

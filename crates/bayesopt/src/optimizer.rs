@@ -1,0 +1,574 @@
+//! The Bayesian Optimization propose/observe loop.
+//!
+//! Mirrors the Spearmint recipe the paper relied on:
+//!
+//! 1. seed with a Latin-hypercube design,
+//! 2. fit a GP surrogate (Matérn 5/2 by default) to standardized
+//!    observations, refitting hyperparameters by type-II ML,
+//! 3. maximize the acquisition (EI by default) over a candidate sweep —
+//!    uniform candidates plus perturbations of the incumbents — polished
+//!    with coordinate descent,
+//! 4. optionally *marginalize* the acquisition over slice-sampled
+//!    hyperparameters instead of using the point estimate.
+//!
+//! Every `propose` call derives its randomness from `(seed, step)`, so an
+//! optimizer resumed from a [`crate::history::Snapshot`] proposes exactly
+//! what the uninterrupted run would have proposed.
+
+use mtm_gp::kernel::{Kernel, Matern52Ard, SquaredExpArd};
+use mtm_gp::priors::IndependentPriors;
+use mtm_gp::slice::sample_hyperposterior;
+use mtm_gp::{FitOptions, GpRegression};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::acquisition::Acquisition;
+use crate::design::latin_hypercube;
+use crate::space::{ParamSpace, Value};
+
+/// Which kernel family the surrogate uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelChoice {
+    /// Matérn 5/2 with ARD — the Spearmint default.
+    Matern52,
+    /// Squared exponential with ARD.
+    SquaredExp,
+}
+
+/// Either supported kernel behind one type, so `BayesOpt` is not generic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum BoKernel {
+    /// Matérn 5/2 variant.
+    Matern(Matern52Ard),
+    /// Squared-exponential variant.
+    SquaredExp(SquaredExpArd),
+}
+
+impl Kernel for BoKernel {
+    fn n_params(&self) -> usize {
+        match self {
+            BoKernel::Matern(k) => k.n_params(),
+            BoKernel::SquaredExp(k) => k.n_params(),
+        }
+    }
+    fn params(&self) -> Vec<f64> {
+        match self {
+            BoKernel::Matern(k) => k.params(),
+            BoKernel::SquaredExp(k) => k.params(),
+        }
+    }
+    fn set_params(&mut self, p: &[f64]) {
+        match self {
+            BoKernel::Matern(k) => k.set_params(p),
+            BoKernel::SquaredExp(k) => k.set_params(p),
+        }
+    }
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            BoKernel::Matern(k) => k.eval(a, b),
+            BoKernel::SquaredExp(k) => k.eval(a, b),
+        }
+    }
+    fn eval_grad(&self, a: &[f64], b: &[f64], grad: &mut [f64]) -> f64 {
+        match self {
+            BoKernel::Matern(k) => k.eval_grad(a, b, grad),
+            BoKernel::SquaredExp(k) => k.eval_grad(a, b, grad),
+        }
+    }
+    fn diag(&self) -> f64 {
+        match self {
+            BoKernel::Matern(k) => k.diag(),
+            BoKernel::SquaredExp(k) => k.diag(),
+        }
+    }
+    fn input_dim(&self) -> usize {
+        match self {
+            BoKernel::Matern(k) => k.input_dim(),
+            BoKernel::SquaredExp(k) => k.input_dim(),
+        }
+    }
+}
+
+/// Marginalized-acquisition settings (Spearmint's integrated EI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Marginalize {
+    /// Hyperparameter posterior samples to average over.
+    pub n_samples: usize,
+    /// Discarded warm-up sweeps.
+    pub burn_in: usize,
+}
+
+/// Configuration of the optimizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BoConfig {
+    /// Latin-hypercube warm-up evaluations before the surrogate runs.
+    pub n_init: usize,
+    /// Acquisition function.
+    pub acquisition: Acquisition,
+    /// Surrogate kernel family.
+    pub kernel: KernelChoice,
+    /// Hyperparameter fit options.
+    pub fit: FitOptions,
+    /// Re-run the hyperparameter fit every this many observations
+    /// (between fits the previous hyperparameters are reused and only the
+    /// factorization is refreshed).
+    pub refit_every: usize,
+    /// Uniform random candidates per proposal.
+    pub n_candidates: usize,
+    /// Perturbation candidates spawned around each of the top incumbents.
+    pub n_perturb: usize,
+    /// Coordinate-descent polish passes on the best candidate.
+    pub local_passes: usize,
+    /// Marginalize the acquisition over hyperparameter samples.
+    pub marginalize: Option<Marginalize>,
+    /// Master seed; all per-step randomness derives from it.
+    pub seed: u64,
+}
+
+impl Default for BoConfig {
+    fn default() -> Self {
+        BoConfig {
+            n_init: 5,
+            acquisition: Acquisition::default(),
+            kernel: KernelChoice::Matern52,
+            fit: FitOptions::default(),
+            refit_every: 1,
+            n_candidates: 512,
+            n_perturb: 16,
+            local_passes: 2,
+            marginalize: None,
+            seed: 0xB0,
+        }
+    }
+}
+
+/// A proposed configuration, carrying both encodings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Unit-cube point (canonicalized).
+    pub unit: Vec<f64>,
+    /// Typed values decoded from `unit`.
+    pub values: Vec<Value>,
+}
+
+/// A completed evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Unit-cube point that was evaluated.
+    pub unit: Vec<f64>,
+    /// Typed values of the evaluated configuration.
+    pub values: Vec<Value>,
+    /// Measured objective (higher is better).
+    pub y: f64,
+}
+
+/// The Bayesian optimizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BayesOpt {
+    space: ParamSpace,
+    config: BoConfig,
+    observations: Vec<Observation>,
+    init_design: Vec<Vec<f64>>,
+    /// Hyperparameters carried over between refits.
+    cached_hypers: Option<Vec<f64>>,
+    fits_done: usize,
+}
+
+impl BayesOpt {
+    /// Create an optimizer over `space`.
+    pub fn new(space: ParamSpace, config: BoConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n_init = config.n_init.max(2);
+        let init_design = latin_hypercube(n_init, space.dim(), &mut rng)
+            .into_iter()
+            .map(|u| space.canonicalize(&u))
+            .collect();
+        BayesOpt {
+            space,
+            config,
+            observations: Vec::new(),
+            init_design,
+            cached_hypers: None,
+            fits_done: 0,
+        }
+    }
+
+    /// The optimization domain.
+    pub fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BoConfig {
+        &self.config
+    }
+
+    /// Completed evaluations, in observation order.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Number of completed evaluations.
+    pub fn n_observations(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// The best observation so far.
+    pub fn best(&self) -> Option<&Observation> {
+        self.observations
+            .iter()
+            .max_by(|a, b| a.y.partial_cmp(&b.y).expect("NaN objective"))
+    }
+
+    /// Step index (0-based) at which the best value was first reached —
+    /// the paper's Fig. 5 "convergence speed" metric.
+    pub fn best_step(&self) -> Option<usize> {
+        let best = self.best()?.y;
+        self.observations.iter().position(|o| o.y >= best)
+    }
+
+    /// Propose the next configuration to evaluate.
+    pub fn propose(&mut self) -> Candidate {
+        let step = self.observations.len();
+        if step < self.init_design.len() {
+            let unit = self.init_design[step].clone();
+            let values = self.space.decode(&unit);
+            return Candidate { unit, values };
+        }
+        // Derive this step's randomness from (seed, step) so resumed runs
+        // propose identically.
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed ^ (step as u64).wrapping_mul(0x9E37_79B9));
+        self.propose_with_surrogate(&mut rng)
+    }
+
+    /// Record the result of evaluating `candidate`.
+    pub fn observe(&mut self, candidate: Candidate, y: f64) {
+        assert!(y.is_finite(), "objective must be finite (got {y})");
+        self.observations.push(Observation {
+            unit: candidate.unit,
+            values: candidate.values,
+            y,
+        });
+    }
+
+    /// Convenience: record an externally-chosen configuration (used when
+    /// mixing strategies or importing past measurements).
+    pub fn observe_values(&mut self, values: Vec<Value>, y: f64) {
+        let unit = self.space.encode(&values);
+        self.observe(Candidate { unit, values }, y);
+    }
+
+    fn propose_with_surrogate(&mut self, rng: &mut StdRng) -> Candidate {
+        let d = self.space.dim();
+        let (zs, z_best) = self.standardized_targets();
+        let xs: Vec<Vec<f64>> = self.observations.iter().map(|o| o.unit.clone()).collect();
+
+        let kernel = match self.config.kernel {
+            KernelChoice::Matern52 => BoKernel::Matern(Matern52Ard::new(d, 1.0, 0.3)),
+            KernelChoice::SquaredExp => BoKernel::SquaredExp(SquaredExpArd::new(d, 1.0, 0.3)),
+        };
+        let mut gp = match GpRegression::fit(kernel, xs, zs, 1e-2) {
+            Ok(gp) => gp,
+            // Degenerate data (e.g. all targets equal): explore uniformly.
+            Err(_) => {
+                let unit = self
+                    .space
+                    .canonicalize(&(0..d).map(|_| rng.random::<f64>()).collect::<Vec<_>>());
+                let values = self.space.decode(&unit);
+                return Candidate { unit, values };
+            }
+        };
+
+        // Reuse cached hyperparameters; refit on schedule.
+        if let Some(h) = &self.cached_hypers {
+            let _ = gp.set_hyperparameters(h);
+        }
+        // Refit cadence: at least `refit_every`, stretched as evidence
+        // accumulates — each refit costs O(n^3) per optimizer iteration,
+        // and with 100+ observations the hyperparameters barely move
+        // between steps. This is what keeps the 180-step runs' per-step
+        // cost growing sublinearly (Fig. 7 of the paper).
+        let cadence = self
+            .config
+            .refit_every
+            .max(1)
+            .max(self.observations.len() / 25);
+        let due = self.observations.len() >= self.init_design.len()
+            && (self.observations.len() - self.init_design.len()).is_multiple_of(cadence);
+        if due || self.cached_hypers.is_none() {
+            gp.optimize_hyperparameters(&self.config.fit);
+            self.cached_hypers = Some(gp.hyperparameters());
+            self.fits_done += 1;
+        }
+
+        // Hyperparameter marginalization (Spearmint's integrated EI).
+        let hyper_samples: Vec<Vec<f64>> = match self.config.marginalize {
+            Some(m) => {
+                let priors = IndependentPriors::weakly_informative(gp.hyperparameters().len());
+                sample_hyperposterior(&mut gp, &priors, m.n_samples, m.burn_in, rng)
+            }
+            None => vec![gp.hyperparameters()],
+        };
+
+        // Candidate sweep.
+        let mut candidates = self.candidate_pool(rng);
+        // Score = acquisition averaged over hyperparameter samples.
+        let mut scores = vec![0.0; candidates.len()];
+        for h in &hyper_samples {
+            let _ = gp.set_hyperparameters(h);
+            for (s, c) in scores.iter_mut().zip(&candidates) {
+                let p = gp.predict(c);
+                *s += self.config.acquisition.score(p.mean, p.std(), z_best);
+            }
+        }
+        let (mut best_idx, mut best_score) = (0, f64::NEG_INFINITY);
+        for (i, &s) in scores.iter().enumerate() {
+            if s > best_score {
+                best_score = s;
+                best_idx = i;
+            }
+        }
+        let mut best_point = candidates.swap_remove(best_idx);
+
+        // Coordinate-descent polish under the (first) hyperparameter
+        // sample; cheap and effective on the mostly-discrete spaces here.
+        let _ = gp.set_hyperparameters(&hyper_samples[0]);
+        let eval = |u: &[f64], gp: &GpRegression<BoKernel>| {
+            let p = gp.predict(u);
+            self.config.acquisition.score(p.mean, p.std(), z_best)
+        };
+        let mut cur_score = eval(&best_point, &gp);
+        for _ in 0..self.config.local_passes {
+            let mut improved = false;
+            for coord in 0..d {
+                for delta in [-0.15, -0.05, 0.05, 0.15] {
+                    let mut trial = best_point.clone();
+                    trial[coord] = (trial[coord] + delta).clamp(0.0, 1.0);
+                    let trial = self.space.canonicalize(&trial);
+                    let s = eval(&trial, &gp);
+                    if s > cur_score {
+                        cur_score = s;
+                        best_point = trial;
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+
+        let unit = self.space.canonicalize(&best_point);
+        let values = self.space.decode(&unit);
+        Candidate { unit, values }
+    }
+
+    /// Uniform candidates plus Gaussian perturbations of the incumbents.
+    fn candidate_pool(&self, rng: &mut StdRng) -> Vec<Vec<f64>> {
+        let d = self.space.dim();
+        let mut pool = Vec::with_capacity(self.config.n_candidates + 3 * self.config.n_perturb);
+        for _ in 0..self.config.n_candidates {
+            let u: Vec<f64> = (0..d).map(|_| rng.random::<f64>()).collect();
+            pool.push(self.space.canonicalize(&u));
+        }
+        // Perturb the top three incumbents.
+        let mut by_y: Vec<&Observation> = self.observations.iter().collect();
+        by_y.sort_by(|a, b| b.y.partial_cmp(&a.y).expect("NaN objective"));
+        for inc in by_y.iter().take(3) {
+            for _ in 0..self.config.n_perturb {
+                let u: Vec<f64> = inc
+                    .unit
+                    .iter()
+                    .map(|&x| {
+                        // Box–Muller normal perturbation, sigma 0.1.
+                        let u1: f64 = rng.random::<f64>().max(1e-12);
+                        let u2: f64 = rng.random();
+                        let z =
+                            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                        (x + 0.1 * z).clamp(0.0, 1.0)
+                    })
+                    .collect();
+                pool.push(self.space.canonicalize(&u));
+            }
+        }
+        pool
+    }
+
+    /// Standardize targets to zero mean / unit variance; returns the
+    /// standardized values and the standardized incumbent.
+    fn standardized_targets(&self) -> (Vec<f64>, f64) {
+        let ys: Vec<f64> = self.observations.iter().map(|o| o.y).collect();
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let var = ys.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / ys.len() as f64;
+        let std = var.sqrt().max(1e-9);
+        let zs: Vec<f64> = ys.iter().map(|y| (y - mean) / std).collect();
+        let z_best = zs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        (zs, z_best)
+    }
+
+    /// Internal accessor used by [`crate::history`].
+    pub(crate) fn into_parts(self) -> (ParamSpace, BoConfig, Vec<Observation>) {
+        (self.space, self.config, self.observations)
+    }
+
+    /// Internal constructor used by [`crate::history`].
+    pub(crate) fn from_parts(
+        space: ParamSpace,
+        config: BoConfig,
+        observations: Vec<Observation>,
+    ) -> Self {
+        let mut bo = BayesOpt::new(space, config);
+        bo.observations = observations;
+        bo
+    }
+
+    /// How many hyperparameter fits have been performed (diagnostics).
+    pub fn fits_done(&self) -> usize {
+        self.fits_done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Param;
+
+    fn quadratic_space() -> ParamSpace {
+        ParamSpace::new(vec![Param::float("x", -5.0, 5.0), Param::float("y", -5.0, 5.0)])
+    }
+
+    #[test]
+    fn warmup_follows_lhs_design() {
+        let mut bo = BayesOpt::new(quadratic_space(), BoConfig::default());
+        let c1 = bo.propose();
+        bo.observe(c1.clone(), 0.0);
+        let c2 = bo.propose();
+        assert_ne!(c1.unit, c2.unit, "design points must differ");
+    }
+
+    #[test]
+    fn finds_2d_quadratic_peak() {
+        let space = quadratic_space();
+        let mut bo = BayesOpt::new(
+            space,
+            BoConfig { seed: 3, fit: FitOptions::fast(), ..Default::default() },
+        );
+        for _ in 0..25 {
+            let c = bo.propose();
+            let (x, y) = (c.values[0].as_float(), c.values[1].as_float());
+            let obj = -((x - 1.0) * (x - 1.0) + (y + 2.0) * (y + 2.0));
+            bo.observe(c, obj);
+        }
+        let best = bo.best().unwrap();
+        assert!(
+            best.y > -1.0,
+            "BO should get close to the optimum, best objective {}",
+            best.y
+        );
+    }
+
+    #[test]
+    fn beats_random_search_on_average() {
+        // Same budget, same deterministic objective, three seeds each.
+        let objective = |x: f64, y: f64| -> f64 {
+            // Branin-like bumpy surface on [-5,5]^2, maximized at ~(1,1).
+            -((x - 1.0) * (x - 1.0) + (y - 1.0) * (y - 1.0))
+                + 0.5 * (3.0 * x).sin() * (3.0 * y).sin()
+        };
+        let budget = 22;
+        let mut bo_total = 0.0;
+        let mut rnd_total = 0.0;
+        for seed in 0..3u64 {
+            let mut bo = BayesOpt::new(
+                quadratic_space(),
+                BoConfig { seed, fit: FitOptions::fast(), ..Default::default() },
+            );
+            for _ in 0..budget {
+                let c = bo.propose();
+                let v = objective(c.values[0].as_float(), c.values[1].as_float());
+                bo.observe(c, v);
+            }
+            bo_total += bo.best().unwrap().y;
+
+            let mut rng = StdRng::seed_from_u64(seed + 1000);
+            let space = quadratic_space();
+            let mut best = f64::NEG_INFINITY;
+            for _ in 0..budget {
+                let v = space.sample(&mut rng);
+                best = best.max(objective(v[0].as_float(), v[1].as_float()));
+            }
+            rnd_total += best;
+        }
+        assert!(
+            bo_total > rnd_total,
+            "BO ({bo_total:.3}) should beat random search ({rnd_total:.3}) on this budget"
+        );
+    }
+
+    #[test]
+    fn integer_space_proposals_are_valid() {
+        let space = ParamSpace::new(vec![Param::int("a", 1, 30), Param::int("b", 1, 30)]);
+        let mut bo = BayesOpt::new(space, BoConfig { seed: 5, ..Default::default() });
+        for _ in 0..10 {
+            let c = bo.propose();
+            let a = c.values[0].as_int();
+            let b = c.values[1].as_int();
+            assert!((1..=30).contains(&a) && (1..=30).contains(&b));
+            bo.observe(c, (a * b) as f64);
+        }
+    }
+
+    #[test]
+    fn best_step_tracks_first_occurrence() {
+        let space = ParamSpace::new(vec![Param::float("x", 0.0, 1.0)]);
+        let mut bo = BayesOpt::new(space.clone(), BoConfig::default());
+        for y in [1.0, 5.0, 3.0, 5.0] {
+            let vals = vec![Value::Float(0.5)];
+            bo.observe_values(vals, y);
+        }
+        assert_eq!(bo.best_step(), Some(1));
+        assert_eq!(bo.best().unwrap().y, 5.0);
+    }
+
+    #[test]
+    fn constant_objective_does_not_crash() {
+        let space = ParamSpace::new(vec![Param::float("x", 0.0, 1.0)]);
+        let mut bo = BayesOpt::new(space, BoConfig { seed: 1, ..Default::default() });
+        for _ in 0..8 {
+            let c = bo.propose();
+            bo.observe(c, 1.0); // zero variance targets
+        }
+        assert_eq!(bo.n_observations(), 8);
+    }
+
+    #[test]
+    fn marginalized_acquisition_runs() {
+        let space = quadratic_space();
+        let cfg = BoConfig {
+            seed: 9,
+            n_init: 4,
+            fit: FitOptions::fast(),
+            marginalize: Some(Marginalize { n_samples: 3, burn_in: 1 }),
+            n_candidates: 64,
+            ..Default::default()
+        };
+        let mut bo = BayesOpt::new(space, cfg);
+        for _ in 0..8 {
+            let c = bo.propose();
+            let v = -(c.values[0].as_float().powi(2));
+            bo.observe(c, v);
+        }
+        assert_eq!(bo.n_observations(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "objective must be finite")]
+    fn rejects_nan_objective() {
+        let space = ParamSpace::new(vec![Param::float("x", 0.0, 1.0)]);
+        let mut bo = BayesOpt::new(space, BoConfig::default());
+        let c = bo.propose();
+        bo.observe(c, f64::NAN);
+    }
+}

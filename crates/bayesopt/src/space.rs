@@ -1,0 +1,402 @@
+//! Typed parameter spaces and their unit-cube encoding.
+//!
+//! The GP surrogate works on `[0, 1]^d`; real configurations are typed
+//! (integer parallelism hints, float multipliers, categorical switches).
+//! This module owns the round trip. Integers use the "continuous
+//! relaxation + rounding" treatment Spearmint applies, with the encoding
+//! centered on bucket midpoints so `encode(decode(u))` is idempotent.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One tunable parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Param {
+    /// Integer range, inclusive on both ends.
+    Int {
+        /// Parameter name (used in reports and snapshots).
+        name: String,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// Continuous range.
+    Float {
+        /// Parameter name.
+        name: String,
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Continuous range explored on a log scale (both bounds positive).
+    /// Natural for sizes spanning orders of magnitude, e.g. batch size.
+    LogFloat {
+        /// Parameter name.
+        name: String,
+        /// Lower bound (> 0).
+        lo: f64,
+        /// Upper bound (> lo).
+        hi: f64,
+    },
+    /// Integer range explored on a log scale (both bounds >= 1).
+    LogInt {
+        /// Parameter name.
+        name: String,
+        /// Inclusive lower bound (>= 1).
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// A finite unordered choice.
+    Categorical {
+        /// Parameter name.
+        name: String,
+        /// Choice labels.
+        choices: Vec<String>,
+    },
+}
+
+impl Param {
+    /// Integer parameter constructor.
+    pub fn int(name: &str, lo: i64, hi: i64) -> Param {
+        assert!(hi >= lo, "int param needs hi >= lo");
+        Param::Int { name: name.into(), lo, hi }
+    }
+
+    /// Float parameter constructor.
+    pub fn float(name: &str, lo: f64, hi: f64) -> Param {
+        assert!(hi > lo, "float param needs hi > lo");
+        Param::Float { name: name.into(), lo, hi }
+    }
+
+    /// Log-scaled float parameter constructor.
+    pub fn log_float(name: &str, lo: f64, hi: f64) -> Param {
+        assert!(lo > 0.0 && hi > lo, "log float needs 0 < lo < hi");
+        Param::LogFloat { name: name.into(), lo, hi }
+    }
+
+    /// Log-scaled integer parameter constructor.
+    pub fn log_int(name: &str, lo: i64, hi: i64) -> Param {
+        assert!(lo >= 1 && hi > lo, "log int needs 1 <= lo < hi");
+        Param::LogInt { name: name.into(), lo, hi }
+    }
+
+    /// Categorical parameter constructor.
+    pub fn categorical(name: &str, choices: &[&str]) -> Param {
+        assert!(!choices.is_empty(), "categorical needs at least one choice");
+        Param::Categorical {
+            name: name.into(),
+            choices: choices.iter().map(|c| c.to_string()).collect(),
+        }
+    }
+
+    /// The parameter's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Param::Int { name, .. }
+            | Param::Float { name, .. }
+            | Param::LogFloat { name, .. }
+            | Param::LogInt { name, .. }
+            | Param::Categorical { name, .. } => name,
+        }
+    }
+
+    /// Decode a unit-interval coordinate into a typed value.
+    pub fn decode(&self, u: f64) -> Value {
+        let u = u.clamp(0.0, 1.0);
+        match self {
+            Param::Int { lo, hi, .. } => {
+                let span = (hi - lo) as f64 + 1.0;
+                let v = lo + ((u * span).floor() as i64).min(hi - lo);
+                Value::Int(v)
+            }
+            Param::Float { lo, hi, .. } => Value::Float(lo + u * (hi - lo)),
+            Param::LogFloat { lo, hi, .. } => {
+                Value::Float((lo.ln() + u * (hi.ln() - lo.ln())).exp())
+            }
+            Param::LogInt { lo, hi, .. } => {
+                let (llo, lhi) = ((*lo as f64).ln(), (*hi as f64).ln());
+                let v = (llo + u * (lhi - llo)).exp().round() as i64;
+                Value::Int(v.clamp(*lo, *hi))
+            }
+            Param::Categorical { choices, .. } => {
+                let k = choices.len();
+                let idx = ((u * k as f64).floor() as usize).min(k - 1);
+                Value::Cat(idx)
+            }
+        }
+    }
+
+    /// Encode a typed value back onto the unit interval (bucket midpoint
+    /// for discrete parameters, so decode∘encode is the identity on valid
+    /// values).
+    pub fn encode(&self, v: &Value) -> f64 {
+        match (self, v) {
+            (Param::Int { lo, hi, .. }, Value::Int(x)) => {
+                let span = (hi - lo) as f64 + 1.0;
+                (((x - lo) as f64) + 0.5) / span
+            }
+            (Param::Float { lo, hi, .. }, Value::Float(x)) => ((x - lo) / (hi - lo)).clamp(0.0, 1.0),
+            (Param::LogFloat { lo, hi, .. }, Value::Float(x)) => {
+                ((x.max(*lo).ln() - lo.ln()) / (hi.ln() - lo.ln())).clamp(0.0, 1.0)
+            }
+            (Param::LogInt { lo, hi, .. }, Value::Int(x)) => {
+                let (llo, lhi) = ((*lo as f64).ln(), (*hi as f64).ln());
+                (((*x).clamp(*lo, *hi) as f64).ln() - llo) / (lhi - llo)
+            }
+            (Param::Categorical { choices, .. }, Value::Cat(i)) => {
+                ((*i as f64) + 0.5) / choices.len() as f64
+            }
+            _ => panic!(
+                "value {v:?} does not match parameter type of '{}'",
+                self.name()
+            ),
+        }
+    }
+
+    /// Sample a typed value uniformly.
+    pub fn sample(&self, rng: &mut StdRng) -> Value {
+        self.decode(rng.random::<f64>())
+    }
+}
+
+/// A typed configuration value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Integer value.
+    Int(i64),
+    /// Float value.
+    Float(f64),
+    /// Categorical choice index.
+    Cat(usize),
+}
+
+impl Value {
+    /// Unwrap an integer value.
+    ///
+    /// # Panics
+    /// Panics when the value is not an integer.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            other => panic!("expected Int, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a float value.
+    pub fn as_float(&self) -> f64 {
+        match self {
+            Value::Float(v) => *v,
+            Value::Int(v) => *v as f64,
+            other => panic!("expected Float, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a categorical index.
+    pub fn as_cat(&self) -> usize {
+        match self {
+            Value::Cat(v) => *v,
+            other => panic!("expected Cat, got {other:?}"),
+        }
+    }
+}
+
+/// An ordered collection of parameters — the optimization domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamSpace {
+    params: Vec<Param>,
+}
+
+impl ParamSpace {
+    /// Create a space from parameters.
+    ///
+    /// # Panics
+    /// Panics on duplicate parameter names or an empty list.
+    pub fn new(params: Vec<Param>) -> Self {
+        assert!(!params.is_empty(), "parameter space cannot be empty");
+        for i in 0..params.len() {
+            for j in (i + 1)..params.len() {
+                assert_ne!(
+                    params[i].name(),
+                    params[j].name(),
+                    "duplicate parameter name '{}'",
+                    params[i].name()
+                );
+            }
+        }
+        ParamSpace { params }
+    }
+
+    /// Dimensionality of the unit-cube encoding.
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The parameters, in encoding order.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Index of a parameter by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name() == name)
+    }
+
+    /// Decode a unit-cube point into typed values.
+    pub fn decode(&self, u: &[f64]) -> Vec<Value> {
+        assert_eq!(u.len(), self.dim(), "point has wrong dimensionality");
+        self.params.iter().zip(u).map(|(p, &ui)| p.decode(ui)).collect()
+    }
+
+    /// Encode typed values into the unit cube.
+    pub fn encode(&self, values: &[Value]) -> Vec<f64> {
+        assert_eq!(values.len(), self.dim(), "values have wrong dimensionality");
+        self.params.iter().zip(values).map(|(p, v)| p.encode(v)).collect()
+    }
+
+    /// Canonicalize a unit point: decode then re-encode, snapping discrete
+    /// coordinates to bucket midpoints.
+    pub fn canonicalize(&self, u: &[f64]) -> Vec<f64> {
+        self.encode(&self.decode(u))
+    }
+
+    /// Sample a uniform random typed configuration.
+    pub fn sample(&self, rng: &mut StdRng) -> Vec<Value> {
+        self.params.iter().map(|p| p.sample(rng)).collect()
+    }
+
+    /// Human-readable rendering of a configuration.
+    pub fn format_values(&self, values: &[Value]) -> String {
+        self.params
+            .iter()
+            .zip(values)
+            .map(|(p, v)| match (p, v) {
+                (Param::Categorical { choices, .. }, Value::Cat(i)) => {
+                    format!("{}={}", p.name(), choices[*i])
+                }
+                (_, Value::Int(x)) => format!("{}={x}", p.name()),
+                (_, Value::Float(x)) => format!("{}={x:.4}", p.name()),
+                (_, Value::Cat(x)) => format!("{}={x}", p.name()),
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn int_decode_covers_range_uniformly() {
+        let p = Param::int("x", 2, 5);
+        assert_eq!(p.decode(0.0), Value::Int(2));
+        assert_eq!(p.decode(0.24), Value::Int(2));
+        assert_eq!(p.decode(0.26), Value::Int(3));
+        assert_eq!(p.decode(0.99), Value::Int(5));
+        assert_eq!(p.decode(1.0), Value::Int(5));
+    }
+
+    #[test]
+    fn encode_decode_idempotent_for_ints() {
+        let p = Param::int("x", -3, 17);
+        for v in -3..=17 {
+            let u = p.encode(&Value::Int(v));
+            assert_eq!(p.decode(u), Value::Int(v), "round trip of {v}");
+        }
+    }
+
+    #[test]
+    fn float_round_trip() {
+        let p = Param::float("f", -2.0, 6.0);
+        for v in [-2.0, 0.0, 3.3, 6.0] {
+            let u = p.encode(&Value::Float(v));
+            assert!((p.decode(u).as_float() - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_float_is_log_spaced() {
+        let p = Param::log_float("b", 1.0, 10000.0);
+        // Midpoint of the unit interval should land at the geometric mean.
+        assert!((p.decode(0.5).as_float() - 100.0).abs() < 1e-9);
+        let u = p.encode(&Value::Float(100.0));
+        assert!((u - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_int_round_trip() {
+        let p = Param::log_int("n", 1, 1024);
+        for v in [1, 2, 10, 100, 500, 1024] {
+            let u = p.encode(&Value::Int(v));
+            let back = p.decode(u).as_int();
+            // Log-int decoding rounds, so allow 1 step of quantization.
+            assert!(
+                (back - v).abs() <= (v / 50).max(1),
+                "round trip of {v} gave {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn categorical_round_trip() {
+        let p = Param::categorical("g", &["shuffle", "fields", "global"]);
+        for i in 0..3 {
+            let u = p.encode(&Value::Cat(i));
+            assert_eq!(p.decode(u), Value::Cat(i));
+        }
+        assert_eq!(p.decode(1.0), Value::Cat(2));
+    }
+
+    #[test]
+    fn space_round_trip_and_canonicalize() {
+        let space = ParamSpace::new(vec![
+            Param::int("a", 1, 10),
+            Param::float("b", 0.0, 1.0),
+            Param::categorical("c", &["x", "y"]),
+        ]);
+        assert_eq!(space.dim(), 3);
+        let vals = vec![Value::Int(7), Value::Float(0.25), Value::Cat(1)];
+        let u = space.encode(&vals);
+        assert_eq!(space.decode(&u), vals);
+        let canon = space.canonicalize(&[0.649, 0.25, 0.9]);
+        // a=7 bucket midpoint, b untouched, c=y midpoint.
+        assert_eq!(space.decode(&canon), vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_rejected() {
+        let _ = ParamSpace::new(vec![Param::int("a", 0, 1), Param::float("a", 0.0, 1.0)]);
+    }
+
+    #[test]
+    fn sampling_is_in_range() {
+        let space = ParamSpace::new(vec![
+            Param::int("a", 5, 9),
+            Param::log_float("b", 0.1, 10.0),
+        ]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let v = space.sample(&mut rng);
+            let a = v[0].as_int();
+            let b = v[1].as_float();
+            assert!((5..=9).contains(&a));
+            assert!((0.1..=10.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn format_is_readable() {
+        let space = ParamSpace::new(vec![
+            Param::int("hints", 1, 30),
+            Param::categorical("mode", &["fast", "safe"]),
+        ]);
+        let s = space.format_values(&[Value::Int(11), Value::Cat(0)]);
+        assert_eq!(s, "hints=11, mode=fast");
+    }
+}

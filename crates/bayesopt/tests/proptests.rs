@@ -1,0 +1,135 @@
+//! Property-based tests of parameter spaces and designs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mtm_bayesopt::design::{latin_hypercube, random_design};
+use mtm_bayesopt::space::{Param, ParamSpace, Value};
+
+fn arb_param() -> impl Strategy<Value = Param> {
+    prop_oneof![
+        (-50i64..50, 1i64..100).prop_map(|(lo, span)| Param::int("p", lo, lo + span)),
+        (-10.0f64..10.0, 0.1f64..20.0)
+            .prop_map(|(lo, span)| Param::float("p", lo, lo + span)),
+        (0.01f64..10.0, 1.1f64..100.0)
+            .prop_map(|(lo, factor)| Param::log_float("p", lo, lo * factor)),
+        (1i64..100, 2i64..1000).prop_map(|(lo, span)| Param::log_int("p", lo, lo + span)),
+        (1usize..6).prop_map(|k| {
+            let names: Vec<String> = (0..k).map(|i| format!("c{i}")).collect();
+            let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            Param::categorical("p", &refs)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn decode_always_lands_in_range(param in arb_param(), u in 0.0f64..=1.0) {
+        let v = param.decode(u);
+        match (&param, &v) {
+            (Param::Int { lo, hi, .. }, Value::Int(x)) => prop_assert!(lo <= x && x <= hi),
+            (Param::LogInt { lo, hi, .. }, Value::Int(x)) => prop_assert!(lo <= x && x <= hi),
+            (Param::Float { lo, hi, .. }, Value::Float(x)) => {
+                prop_assert!(*lo <= *x && *x <= *hi)
+            }
+            (Param::LogFloat { lo, hi, .. }, Value::Float(x)) => {
+                prop_assert!(*lo * (1.0 - 1e-12) <= *x && *x <= *hi * (1.0 + 1e-12))
+            }
+            (Param::Categorical { choices, .. }, Value::Cat(i)) => {
+                prop_assert!(*i < choices.len())
+            }
+            other => prop_assert!(false, "mismatched decode {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_encode_decode_is_stable(param in arb_param(), u in 0.0f64..=1.0) {
+        let v1 = param.decode(u);
+        let u2 = param.encode(&v1);
+        let v2 = param.decode(u2);
+        // One round trip may quantize; the second must be a fixed point.
+        let u3 = param.encode(&v2);
+        let v3 = param.decode(u3);
+        prop_assert_eq!(v2, v3);
+        prop_assert!((0.0..=1.0).contains(&u2));
+    }
+
+    #[test]
+    fn out_of_range_inputs_are_clamped(param in arb_param(), u in -3.0f64..4.0) {
+        // decode never panics and always produces an in-range value.
+        let v = param.decode(u);
+        let back = param.encode(&v);
+        prop_assert!((0.0..=1.0).contains(&back));
+    }
+
+    #[test]
+    fn space_canonicalization_is_idempotent(
+        params in prop::collection::vec(arb_param(), 1..6),
+        seed in any::<u64>(),
+    ) {
+        // Rename to avoid duplicate-name panics.
+        let params: Vec<Param> = params
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| match p {
+                Param::Int { lo, hi, .. } => Param::int(&format!("p{i}"), lo, hi),
+                Param::Float { lo, hi, .. } => Param::float(&format!("p{i}"), lo, hi),
+                Param::LogFloat { lo, hi, .. } => Param::log_float(&format!("p{i}"), lo, hi),
+                Param::LogInt { lo, hi, .. } => Param::log_int(&format!("p{i}"), lo, hi),
+                Param::Categorical { choices, .. } => {
+                    let refs: Vec<&str> = choices.iter().map(|s| s.as_str()).collect();
+                    Param::categorical(&format!("p{i}"), &refs)
+                }
+            })
+            .collect();
+        let space = ParamSpace::new(params);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values = space.sample(&mut rng);
+        let u = space.encode(&values);
+        let canon1 = space.canonicalize(&u);
+        let canon2 = space.canonicalize(&canon1);
+        // Continuous (log-)parameters round-trip through ln/exp, which is
+        // not bit-exact; compare with a relative tolerance.
+        let close = |a: &Value, b: &Value| match (a, b) {
+            (Value::Float(x), Value::Float(y)) => {
+                (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs()))
+            }
+            _ => a == b,
+        };
+        for (a, b) in space.decode(&canon1).iter().zip(&space.decode(&canon2)) {
+            prop_assert!(close(a, b), "canonicalize must be idempotent: {a:?} vs {b:?}");
+        }
+        for (a, b) in space.decode(&u).iter().zip(&values) {
+            prop_assert!(close(a, b), "decode(encode(v)) ≈ v: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn latin_hypercube_stratifies_every_dimension(
+        n in 2usize..40,
+        d in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = latin_hypercube(n, d, &mut rng);
+        prop_assert_eq!(pts.len(), n);
+        for dim in 0..d {
+            let mut seen = vec![false; n];
+            for p in &pts {
+                let bin = ((p[dim] * n as f64).floor() as usize).min(n - 1);
+                prop_assert!(!seen[bin], "dim {dim}: bin {bin} occupied twice");
+                seen[bin] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn random_design_is_in_unit_cube(n in 1usize..50, d in 1usize..10, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = random_design(n, d, &mut rng);
+        prop_assert!(pts.iter().flatten().all(|&x| (0.0..1.0).contains(&x)));
+    }
+}

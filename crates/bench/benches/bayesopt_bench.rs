@@ -1,0 +1,46 @@
+//! Cost of one BO proposal as the parameter-space dimension grows — the
+//! Criterion companion to Fig. 7 (the paper's 35 s/90 s/173 s step times
+//! for 10/50/100 hints; ours are milliseconds, but the growth shape is
+//! what matters).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mtm_bayesopt::{space::Param, BayesOpt, BoConfig, ParamSpace};
+use mtm_gp::FitOptions;
+
+fn primed_optimizer(dim: usize, n_obs: usize) -> BayesOpt {
+    let params: Vec<Param> =
+        (0..dim).map(|i| Param::int(&format!("h{i}"), 1, 60)).collect();
+    let space = ParamSpace::new(params);
+    let mut bo = BayesOpt::new(
+        space,
+        BoConfig { seed: 1, fit: FitOptions::fast(), n_candidates: 256, ..Default::default() },
+    );
+    for step in 0..n_obs {
+        let c = bo.propose();
+        let y = c.values.iter().map(|v| v.as_int() as f64).sum::<f64>().sin();
+        let _ = step;
+        bo.observe(c, y);
+    }
+    bo
+}
+
+fn bench_propose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bo_propose_step");
+    group.sample_size(10);
+    for &dim in &[10usize, 50, 100] {
+        let bo = primed_optimizer(dim, 20);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &bo, |b, bo| {
+            b.iter_batched(
+                || bo.clone(),
+                |mut bo| black_box(bo.propose()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propose);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! GP fit/predict cost — the dominant term in a Bayesian-optimization
+//! step (Fig. 7's subject).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mtm_gp::{kernel::Matern52Ard, FitOptions, GpRegression};
+
+fn dataset(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..d).map(|j| (((i * 13 + j * 7) % 101) as f64) / 101.0).collect())
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>().sin()).collect();
+    (xs, ys)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_fit");
+    group.sample_size(10);
+    // The three synthetic sizes tune 11/51/101 parameters — benchmark the
+    // per-dimension cost the same way Fig. 7 varies it.
+    for &(n, d) in &[(60usize, 11usize), (60, 51), (60, 101)] {
+        let (xs, ys) = dataset(n, d);
+        group.bench_with_input(
+            BenchmarkId::new("refit_hypers", format!("n{n}_d{d}")),
+            &(xs, ys),
+            |b, (xs, ys)| {
+                b.iter(|| {
+                    let mut gp = GpRegression::fit(
+                        Matern52Ard::new(d, 1.0, 0.3),
+                        xs.clone(),
+                        ys.clone(),
+                        1e-2,
+                    )
+                    .unwrap();
+                    gp.optimize_hyperparameters(&FitOptions::fast());
+                    black_box(gp.log_marginal_likelihood())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let (xs, ys) = dataset(120, 20);
+    let gp =
+        GpRegression::fit(Matern52Ard::new(20, 1.0, 0.3), xs, ys, 1e-2).unwrap();
+    let query: Vec<f64> = (0..20).map(|j| j as f64 / 20.0).collect();
+    c.bench_function("gp_predict_n120_d20", |b| {
+        b.iter(|| black_box(gp.predict(black_box(&query))))
+    });
+}
+
+criterion_group!(benches, bench_fit, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Micro-benchmarks of the linear-algebra substrate: the Cholesky
+//! factor/solve pair is the inner loop of every GP fit, so its cost
+//! directly sets the optimizer step time Fig. 7 measures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mtm_linalg::{blas, Cholesky, Mat};
+
+fn spd(n: usize) -> Mat {
+    let b = Mat::from_fn(n, n, |i, j| (((i * 31 + j * 7) % 13) as f64 - 6.0) / 13.0);
+    let mut g = blas::syrk(&b);
+    g.add_diag(n as f64);
+    g
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    for &n in &[30usize, 60, 120, 180] {
+        let a = spd(n);
+        group.bench_with_input(BenchmarkId::new("factor", n), &a, |b, a| {
+            b.iter(|| Cholesky::factor(black_box(a)).unwrap())
+        });
+        let ch = Cholesky::factor(&a).unwrap();
+        let rhs: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("solve", n), &ch, |b, ch| {
+            b.iter(|| ch.solve_vec(black_box(&rhs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let a = Mat::from_fn(n, n, |i, j| ((i + j) % 17) as f64);
+        let b = Mat::from_fn(n, n, |i, j| ((i * j) % 11) as f64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b), |bch, (a, b)| {
+            bch.iter(|| blas::matmul(black_box(a), black_box(b)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cholesky, bench_matmul);
+criterion_main!(benches);

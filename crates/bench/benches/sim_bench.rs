@@ -1,0 +1,45 @@
+//! Simulator evaluation cost: the fast flow model (called thousands of
+//! times by the optimization loops) and the per-tuple DES it is validated
+//! against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mtm_core::objective::synthetic_base;
+use mtm_stormsim::{simulate_flow, simulate_tuples, ClusterSpec, TupleSimOptions};
+use mtm_topogen::{make_condition, Condition, SizeClass};
+
+fn bench_flow_sim(c: &mut Criterion) {
+    let cluster = ClusterSpec::paper_cluster();
+    let cond = Condition { time_imbalance: 1.0, contention: 0.25 };
+    let mut group = c.benchmark_group("flow_sim_eval");
+    for size in SizeClass::all() {
+        let topo = make_condition(size, &cond, 1);
+        let mut config = synthetic_base(&topo);
+        config.parallelism_hints = vec![8; topo.n_nodes()];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(size.label()),
+            &(topo, config),
+            |b, (topo, config)| {
+                b.iter(|| black_box(simulate_flow(topo, config, &cluster, 120.0)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tuple_sim(c: &mut Criterion) {
+    let cluster = ClusterSpec::tiny();
+    let cond = Condition { time_imbalance: 0.0, contention: 0.0 };
+    let topo = make_condition(SizeClass::Small, &cond, 1);
+    let mut config = synthetic_base(&topo);
+    config.batch_size = 100;
+    config.batch_parallelism = 2;
+    let opts = TupleSimOptions { window_s: 5.0, max_events: 2_000_000, network_delay_s: 0.0005 };
+    c.bench_function("tuple_sim_small_5s", |b| {
+        b.iter(|| black_box(simulate_tuples(&topo, &config, &cluster, &opts)))
+    });
+}
+
+criterion_group!(benches, bench_flow_sim, bench_tuple_sim);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Topology generation cost (Table II's generator) and the modification
+//! pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mtm_topogen::{
+    generate_layer_by_layer, make_condition, Condition, GgenParams, SizeClass,
+};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ggen_layer_by_layer");
+    for (label, params) in [
+        ("small", GgenParams::small(1)),
+        ("medium", GgenParams::medium(1)),
+        ("large", GgenParams::large(1)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &params, |b, p| {
+            b.iter(|| black_box(generate_layer_by_layer(p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_condition_pipeline(c: &mut Criterion) {
+    let cond = Condition { time_imbalance: 1.0, contention: 0.25 };
+    c.bench_function("make_condition_large", |b| {
+        b.iter(|| black_box(make_condition(SizeClass::Large, &cond, 7)))
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_condition_pipeline);
+criterion_main!(benches);

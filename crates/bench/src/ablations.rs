@@ -1,0 +1,184 @@
+//! Ablation studies over the design choices DESIGN.md calls out.
+//!
+//! These go beyond the paper's figures:
+//!
+//! 1. **measurement averaging** — §VI explicitly proposes "running each
+//!    sampling run multiple times and using the average performance";
+//!    we compare BO with 1 vs 3 averaged measurements per step,
+//! 2. **acquisition function** — EI (the paper's choice) vs PI vs GP-UCB,
+//! 3. **surrogate kernel** — Matérn 5/2 (Spearmint's default) vs
+//!    squared-exponential,
+//! 4. **hyperparameter marginalization** — Spearmint's slice-sampled
+//!    integrated acquisition vs the point estimate,
+//! 5. **contention exponent** — the paper's literal linear contention
+//!    formula vs our slightly super-linear default (DESIGN.md §5
+//!    documents why the deviation exists).
+
+use mtm_bayesopt::{Acquisition, BoConfig, KernelChoice};
+use mtm_bayesopt::optimizer::Marginalize;
+use mtm_core::objective::synthetic_base;
+use mtm_core::report::Table;
+use mtm_core::{run_experiment, Objective, ParamSet, RunOptions, Strategy};
+use mtm_gp::FitOptions;
+use mtm_stormsim::ClusterSpec;
+use mtm_topogen::{make_condition, Condition, SizeClass};
+
+/// The cell the ablations run on: medium topology, 25% contention —
+/// where the paper found BO most valuable.
+fn cell_objective(cluster: ClusterSpec) -> Objective {
+    let topo = make_condition(
+        SizeClass::Medium,
+        &Condition { time_imbalance: 0.0, contention: 0.25 },
+        0x2015,
+    );
+    let base = synthetic_base(&topo);
+    Objective::new(topo, cluster).with_base(base)
+}
+
+fn bo_config(seed: u64) -> BoConfig {
+    BoConfig {
+        seed,
+        fit: FitOptions::fast(),
+        n_init: 10,
+        n_candidates: 512,
+        local_passes: 2,
+        refit_every: 2,
+        ..Default::default()
+    }
+}
+
+/// Run one BO experiment with a configured optimizer.
+fn run_bo(objective: &Objective, opts: &RunOptions, make: impl Fn(u64) -> BoConfig) -> f64 {
+    let topo = objective.topology().clone();
+    run_experiment(
+        |seed| Strategy::bo_with(&topo, ParamSet::Hints, make(seed)),
+        objective,
+        opts,
+    )
+    .mean()
+}
+
+/// Ablation 1: measurement averaging (§VI's proposed improvement).
+pub fn measurement_averaging(steps: usize) -> Table {
+    let objective = cell_objective(ClusterSpec::paper_cluster());
+    let mut t = Table::new(
+        "Ablation: averaged measurements per optimization step (§VI)",
+        &["mean_tps"],
+    );
+    for reps in [1usize, 3] {
+        let opts = RunOptions {
+            max_steps: steps,
+            confirm_reps: 10,
+            passes: 2,
+            measure_reps: reps,
+            ..Default::default()
+        };
+        let mean = run_bo(&objective, &opts, bo_config);
+        t.push(&format!("bo, {reps} run(s)/step"), vec![mean]);
+    }
+    t
+}
+
+/// Ablation 2: acquisition functions.
+pub fn acquisitions(steps: usize) -> Table {
+    let objective = cell_objective(ClusterSpec::paper_cluster());
+    let opts = RunOptions { max_steps: steps, confirm_reps: 10, passes: 2, ..Default::default() };
+    let mut t = Table::new("Ablation: acquisition function", &["mean_tps"]);
+    for (label, acq) in [
+        ("ei (paper)", Acquisition::ExpectedImprovement { xi: 0.01 }),
+        ("pi", Acquisition::ProbabilityOfImprovement { xi: 0.01 }),
+        ("ucb k=2", Acquisition::UpperConfidenceBound { kappa: 2.0 }),
+    ] {
+        let mean = run_bo(&objective, &opts, |seed| BoConfig {
+            acquisition: acq,
+            ..bo_config(seed)
+        });
+        t.push(label, vec![mean]);
+    }
+    t
+}
+
+/// Ablation 3: surrogate kernels.
+pub fn kernels(steps: usize) -> Table {
+    let objective = cell_objective(ClusterSpec::paper_cluster());
+    let opts = RunOptions { max_steps: steps, confirm_reps: 10, passes: 2, ..Default::default() };
+    let mut t = Table::new("Ablation: surrogate kernel", &["mean_tps"]);
+    for (label, kernel) in [
+        ("matern52 (spearmint)", KernelChoice::Matern52),
+        ("squared-exp", KernelChoice::SquaredExp),
+    ] {
+        let mean = run_bo(&objective, &opts, |seed| BoConfig {
+            kernel,
+            ..bo_config(seed)
+        });
+        t.push(label, vec![mean]);
+    }
+    t
+}
+
+/// Ablation 4: hyperparameter marginalization (integrated EI).
+pub fn marginalization(steps: usize) -> Table {
+    let objective = cell_objective(ClusterSpec::paper_cluster());
+    let opts = RunOptions { max_steps: steps, confirm_reps: 10, passes: 2, ..Default::default() };
+    let mut t = Table::new(
+        "Ablation: hyperparameter treatment in the acquisition",
+        &["mean_tps"],
+    );
+    for (label, marg) in [
+        ("point estimate", None),
+        ("slice-sampled (5)", Some(Marginalize { n_samples: 5, burn_in: 2 })),
+    ] {
+        let mean = run_bo(&objective, &opts, |seed| BoConfig {
+            marginalize: marg,
+            ..bo_config(seed)
+        });
+        t.push(label, vec![mean]);
+    }
+    t
+}
+
+/// Ablation 5: the contention exponent — the paper's literal linear
+/// formula vs this reproduction's super-linear default. Reports the
+/// pla-vs-bo gap under each, which is the behaviour the exponent exists
+/// to reproduce.
+pub fn contention_exponent(steps: usize) -> Table {
+    let mut t = Table::new(
+        "Ablation: contention exponent (pla vs bo on the contended cell)",
+        &["pla_tps", "bo_tps", "bo_gain"],
+    );
+    for (label, exponent) in [("linear (paper formula)", 1.0), ("super-linear (ours)", 1.25)] {
+        let mut cluster = ClusterSpec::paper_cluster();
+        cluster.contention_exponent = exponent;
+        let objective = cell_objective(cluster);
+        let opts =
+            RunOptions { max_steps: steps, confirm_reps: 10, passes: 2, ..Default::default() };
+        let pla = run_experiment(|_s| Strategy::pla(), &objective, &opts).mean();
+        let bo = run_bo(&objective, &opts, bo_config);
+        t.push(label, vec![pla, bo, bo / pla.max(1e-9)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ablations_produce_positive_results() {
+        // Smoke budgets: just verify the plumbing end to end.
+        for table in [
+            measurement_averaging(6),
+            acquisitions(6),
+            kernels(6),
+            marginalization(5),
+            contention_exponent(6),
+        ] {
+            assert!(!table.rows.is_empty(), "{}", table.title);
+            assert!(
+                table.rows.iter().any(|r| r.values[0] > 0.0),
+                "{} should have nonzero outcomes",
+                table.title
+            );
+        }
+    }
+}

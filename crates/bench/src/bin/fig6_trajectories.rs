@@ -1,0 +1,14 @@
+//! Regenerate Fig. 6 (LOESS-smoothed BO trajectories).
+use mtm_bench::{grid, Scale};
+fn main() {
+    let scale = Scale::from_env();
+    let g = grid::run_or_load(scale);
+    let tables = mtm_bench::figures::fig6::run(&g);
+    for (i, table) in tables.iter().enumerate() {
+        print!("{}", table.render());
+        let path = mtm_bench::results_dir().join(format!("fig6_cond{i}.csv"));
+        table.write_csv(&path).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+    println!("\n## shape checks vs the paper\n{}", mtm_bench::figures::fig6::shape_report(&tables));
+}

@@ -1,0 +1,4 @@
+//! Regenerate Table I.
+fn main() {
+    print!("{}", mtm_bench::figures::table1::run());
+}

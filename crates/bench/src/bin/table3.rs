@@ -1,0 +1,4 @@
+//! Regenerate Table III.
+fn main() {
+    print!("{}", mtm_bench::figures::table3::run());
+}

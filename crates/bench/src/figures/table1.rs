@@ -1,0 +1,85 @@
+//! Table I — the configuration parameters and the ranges this
+//! reproduction searches.
+
+use mtm_bayesopt::space::Param;
+use mtm_core::ParamSet;
+use mtm_topogen::sundog_topology;
+
+/// Render Table I with the concrete search ranges (on the Sundog
+/// topology, whose full surface exercises every row).
+pub fn run() -> String {
+    let topo = sundog_topology();
+    let mut out = String::new();
+    out.push_str("# Table I: configuration parameters\n");
+    out.push_str(&format!(
+        "{:<22} {:<48} {}\n",
+        "Parameter", "Description", "Search range"
+    ));
+
+    let rows: [(&str, &str, String); 6] = [
+        (
+            "Worker Threads",
+            "Number of threads per worker",
+            range_of(&ParamSet::BatchConcurrency { fixed_hint: 11 }, &topo, "worker_threads"),
+        ),
+        (
+            "Receiver Threads",
+            "Number of receiver threads per worker",
+            range_of(&ParamSet::BatchConcurrency { fixed_hint: 11 }, &topo, "receiver_threads"),
+        ),
+        (
+            "Ackers",
+            "Number of acker tasks",
+            range_of(&ParamSet::BatchConcurrency { fixed_hint: 11 }, &topo, "ackers"),
+        ),
+        (
+            "Batch Parallelism",
+            "Number of batches being processed in parallel",
+            range_of(&ParamSet::HintsBatch, &topo, "batch_parallelism"),
+        ),
+        (
+            "Batch Size",
+            "Number of tuples in each batch",
+            range_of(&ParamSet::HintsBatch, &topo, "batch_size"),
+        ),
+        (
+            "Parallelism Hints",
+            "Number of task instances to create for operators",
+            format!("{} per-node ints in {}", topo.n_nodes(), range_of(&ParamSet::Hints, &topo, "h0")),
+        ),
+    ];
+    for (name, desc, range) in rows {
+        out.push_str(&format!("{name:<22} {desc:<48} {range}\n"));
+    }
+    out
+}
+
+fn range_of(set: &ParamSet, topo: &mtm_stormsim::Topology, name: &str) -> String {
+    let space = set.space(topo);
+    let idx = space.index_of(name).expect("parameter exists");
+    match &space.params()[idx] {
+        Param::Int { lo, hi, .. } | Param::LogInt { lo, hi, .. } => format!("[{lo}, {hi}]"),
+        Param::Float { lo, hi, .. } | Param::LogFloat { lo, hi, .. } => {
+            format!("[{lo}, {hi}]")
+        }
+        Param::Categorical { choices, .. } => format!("{choices:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_all_six_parameters() {
+        let t = super::run();
+        for name in [
+            "Worker Threads",
+            "Receiver Threads",
+            "Ackers",
+            "Batch Parallelism",
+            "Batch Size",
+            "Parallelism Hints",
+        ] {
+            assert!(t.contains(name), "missing {name} in:\n{t}");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Table II — statistics of the generated benchmark topologies, compared
+//! against the paper's reported values.
+
+use mtm_core::report::Table;
+use mtm_topogen::{generate_layer_by_layer, GgenParams, TopologyStats};
+
+/// One Table II reference row: (label, V, E, L, P, Src, Snk, AOD).
+pub type PaperRow = (&'static str, usize, usize, usize, f64, usize, usize, f64);
+
+/// The paper's Table II reference rows.
+pub const PAPER_ROWS: [PaperRow; 3] = [
+    ("Small", 10, 17, 4, 0.40, 3, 3, 1.70),
+    ("Medium", 50, 88, 5, 0.08, 17, 17, 1.76),
+    ("Large", 100, 170, 10, 0.04, 29, 27, 1.65),
+];
+
+/// Generate the three presets (averaging structure statistics over
+/// `reps` seeds) and tabulate ours against the paper's.
+pub fn run(reps: u64) -> Table {
+    let mut table = Table::new(
+        "Table II: generated topology statistics (ours vs paper)",
+        &["V", "E", "Src", "Snk", "AOD"],
+    );
+    for (label, v, e, _l, p, src, snk, aod) in PAPER_ROWS {
+        let params_for = |seed: u64| match label {
+            "Small" => GgenParams::small(seed),
+            "Medium" => GgenParams::medium(seed),
+            _ => GgenParams::large(seed),
+        };
+        let _ = p;
+        let mut acc = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for seed in 0..reps {
+            let topo = generate_layer_by_layer(&params_for(seed));
+            let s = TopologyStats::of(&topo);
+            acc.0 += s.vertices as f64;
+            acc.1 += s.edges as f64;
+            acc.2 += s.sources as f64;
+            acc.3 += s.sinks as f64;
+            acc.4 += s.avg_out_degree;
+        }
+        let n = reps as f64;
+        table.push(
+            &format!("{label} (ours)"),
+            vec![acc.0 / n, acc.1 / n, acc.2 / n, acc.3 / n, acc.4 / n],
+        );
+        table.push(
+            &format!("{label} (paper)"),
+            vec![v as f64, e as f64, src as f64, snk as f64, aod],
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn our_statistics_track_the_paper() {
+        let t = run(20);
+        // Compare each "ours" row against the following "paper" row.
+        for pair in t.rows.chunks(2) {
+            let (ours, paper) = (&pair[0], &pair[1]);
+            // Vertices exact.
+            assert_eq!(ours.values[0], paper.values[0], "{}", ours.label);
+            // Edges within 30%.
+            let (oe, pe) = (ours.values[1], paper.values[1]);
+            assert!(
+                (oe - pe).abs() < pe * 0.3,
+                "{}: edges {oe} vs paper {pe}",
+                ours.label
+            );
+            // Average out-degree within 0.6.
+            assert!(
+                (ours.values[4] - paper.values[4]).abs() < 0.6,
+                "{}: AOD {} vs {}",
+                ours.label,
+                ours.values[4],
+                paper.values[4]
+            );
+        }
+    }
+}

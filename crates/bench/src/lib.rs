@@ -1,0 +1,49 @@
+//! # mtm-bench
+//!
+//! The experiment harness that regenerates **every table and figure** of
+//! the paper's evaluation section on the simulated cluster:
+//!
+//! | target | paper artifact |
+//! |---|---|
+//! | `table1` | Table I — the configuration parameter surface |
+//! | `table2` | Table II — generated topology statistics |
+//! | `table3` | Table III — operator counts in the literature |
+//! | `fig3_network`  | Fig. 3 — per-worker network load |
+//! | `fig4_throughput` | Fig. 4 — strategy throughput grid |
+//! | `fig5_convergence` | Fig. 5 — steps to best configuration |
+//! | `fig6_trajectories` | Fig. 6 — LOESS-smoothed BO trajectories |
+//! | `fig7_scalability` | Fig. 7 — optimizer step wall-time |
+//! | `fig8_sundog` | Fig. 8 — Sundog throughput & convergence |
+//! | `run_all` | everything above in sequence |
+//! | `ablations` | design-choice ablations (averaging, acquisition, kernel, marginalization, contention exponent) |
+//!
+//! Every binary accepts the `MTM_SCALE` environment variable:
+//! `paper` (default — the paper's budgets: 60/180 steps, 2 passes, 30
+//! confirmation runs), `fast` (reduced budgets for a laptop-minute run)
+//! or `smoke` (seconds; used by the integration tests). Results print as
+//! aligned tables and are also written as CSV under `results/`.
+//!
+//! The synthetic grid (Figs. 4–7 share it) is expensive, so [`grid`]
+//! caches its outcome as JSON under `results/`; delete the cache to force
+//! a re-run.
+
+pub mod ablations;
+pub mod figures;
+pub mod grid;
+pub mod scale;
+
+pub use scale::Scale;
+
+use std::path::PathBuf;
+
+/// Directory all harness outputs go to (`results/` under the workspace
+/// root, or `$MTM_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("MTM_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    // The bench crate lives at <root>/crates/bench.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}

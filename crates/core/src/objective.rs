@@ -1,0 +1,140 @@
+//! The measured objective: deploy a configuration on the simulated
+//! cluster, run it for two (virtual) minutes, read back noisy throughput.
+
+use mtm_stormsim::noise::MeasurementNoise;
+use mtm_stormsim::{simulate_flow, ClusterSpec, SimResult, StormConfig, Topology};
+use serde::{Deserialize, Serialize};
+
+/// The fixed batch configuration the synthetic parallelism experiments
+/// run under (§V-A only tunes parallelism; batching stays put).
+///
+/// Batch size scales with topology size so that the mini-batch pipeline
+/// neither drowns small-topology runs in commit overhead nor times out
+/// the first low-parallelism steps of the sweep.
+pub fn synthetic_base(topo: &Topology) -> StormConfig {
+    let mut base = StormConfig::baseline(topo.n_nodes());
+    base.batch_size = match topo.n_nodes() {
+        0..=19 => 1_000,
+        20..=69 => 2_000,
+        _ => 1_500,
+    };
+    base.batch_parallelism = 3;
+    base
+}
+
+/// An evaluable tuning objective for one topology on one cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Objective {
+    topo: Topology,
+    cluster: ClusterSpec,
+    base: StormConfig,
+    window_s: f64,
+    noise: MeasurementNoise,
+}
+
+impl Objective {
+    /// Objective with the paper's defaults: 2-minute runs and the default
+    /// measurement noise, starting from the baseline configuration.
+    pub fn new(topo: Topology, cluster: ClusterSpec) -> Self {
+        let base = StormConfig::baseline(topo.n_nodes());
+        Objective { topo, cluster, base, window_s: 120.0, noise: MeasurementNoise::default() }
+    }
+
+    /// Override the base configuration (everything a strategy doesn't
+    /// control comes from here).
+    pub fn with_base(mut self, base: StormConfig) -> Self {
+        assert_eq!(base.parallelism_hints.len(), self.topo.n_nodes());
+        self.base = base;
+        self
+    }
+
+    /// Override the measurement window.
+    pub fn with_window(mut self, window_s: f64) -> Self {
+        assert!(window_s > 0.0);
+        self.window_s = window_s;
+        self
+    }
+
+    /// Override the noise model.
+    pub fn with_noise(mut self, noise: MeasurementNoise) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// The topology under tuning.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The cluster model.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// The base configuration.
+    pub fn base_config(&self) -> &StormConfig {
+        &self.base
+    }
+
+    /// Measurement window in seconds.
+    pub fn window(&self) -> f64 {
+        self.window_s
+    }
+
+    /// One measured evaluation run: returns noisy throughput in tuples/s.
+    /// `run_id` individualizes the noise draw (use a distinct id per
+    /// evaluation, as the experiment runner does).
+    pub fn measure(&self, config: &StormConfig, run_id: u64) -> f64 {
+        let result = simulate_flow(&self.topo, config, &self.cluster, self.window_s);
+        self.noise.apply(result.throughput_tps, run_id)
+    }
+
+    /// The full (noise-free) simulation result for a configuration —
+    /// used by the reporting paths that need more than throughput.
+    pub fn inspect(&self, config: &StormConfig) -> SimResult {
+        simulate_flow(&self.topo, config, &self.cluster, self.window_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtm_stormsim::topology::TopologyBuilder;
+
+    fn objective() -> Objective {
+        let mut tb = TopologyBuilder::new("t");
+        let s = tb.spout("s", 5.0);
+        let a = tb.bolt("a", 20.0);
+        tb.connect(s, a);
+        Objective::new(tb.build().unwrap(), ClusterSpec::paper_cluster())
+    }
+
+    #[test]
+    fn measure_is_noisy_but_reproducible() {
+        let obj = objective();
+        let c = obj.base_config().clone();
+        let a = obj.measure(&c, 1);
+        let b = obj.measure(&c, 1);
+        let c2 = obj.measure(&c, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c2);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn inspect_is_noise_free() {
+        let obj = objective();
+        let c = obj.base_config().clone();
+        let r1 = obj.inspect(&c);
+        let r2 = obj.inspect(&c);
+        assert_eq!(r1.throughput_tps, r2.throughput_tps);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let obj = objective().with_window(30.0).with_noise(MeasurementNoise::none());
+        assert_eq!(obj.window(), 30.0);
+        let c = obj.base_config().clone();
+        assert_eq!(obj.measure(&c, 1), obj.measure(&c, 99), "no noise configured");
+    }
+}

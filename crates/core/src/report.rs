@@ -1,0 +1,157 @@
+//! Tabular and CSV rendering of experiment results.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use mtm_stats::Summary;
+
+use crate::experiment::ExperimentResult;
+
+/// One row of a figure table: a labelled measurement series.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (e.g. "medium / 25% contentious / bo").
+    pub label: String,
+    /// Values in column order.
+    pub values: Vec<f64>,
+}
+
+/// A simple column-labelled table that renders as aligned text or CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers (not counting the label column).
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Empty table with headers.
+    pub fn new(title: &str, columns: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, label: &str, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width must match header");
+        self.rows.push(Row { label: label.to_string(), values });
+    }
+
+    /// Render as aligned text.
+    pub fn render(&self) -> String {
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap();
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = write!(out, "{:<label_w$}", "");
+        for c in &self.columns {
+            let _ = write!(out, " {c:>14}");
+        }
+        let _ = writeln!(out);
+        for r in &self.rows {
+            let _ = write!(out, "{:<label_w$}", r.label);
+            for v in &r.values {
+                let _ = write!(out, " {v:>14.3}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Render as CSV (label column first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "label");
+        for c in &self.columns {
+            let _ = write!(out, ",{c}");
+        }
+        let _ = writeln!(out);
+        for r in &self.rows {
+            let _ = write!(out, "{}", csv_escape(&r.label));
+            for v in &r.values {
+                let _ = write!(out, ",{v}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Write the CSV form to `path`, creating parent directories.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Summarize an experiment as `(mean, min, max)` of its confirmation runs
+/// — the numbers the paper's bar plots show.
+pub fn bar_stats(result: &ExperimentResult) -> (f64, f64, f64) {
+    let s = Summary::of(&result.confirmation);
+    (s.mean, s.min, s.max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_text_and_csv() {
+        let mut t = Table::new("Throughput", &["mean", "min", "max"]);
+        t.push("small/pla", vec![100.0, 90.0, 110.0]);
+        t.push("small/bo", vec![120.0, 105.0, 130.0]);
+        let text = t.render();
+        assert!(text.contains("# Throughput"));
+        assert!(text.contains("small/bo"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("label,mean,min,max\n"));
+        assert!(csv.contains("small/pla,100,90,110"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("x", &["v"]);
+        t.push("a,b", vec![1.0]);
+        assert!(t.to_csv().contains("\"a,b\",1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push("r", vec![1.0]);
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("mtm_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = Table::new("x", &["v"]);
+        t.push("r", vec![2.0]);
+        let path = dir.join("nested/out.csv");
+        t.write_csv(&path).unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,225 @@
+//! The four optimization strategies of §V.
+
+use mtm_bayesopt::{BayesOpt, BoConfig, Candidate};
+use mtm_gp::FitOptions;
+use mtm_stormsim::{StormConfig, Topology};
+
+use crate::paramsets::{ParamSet, HINT_MAX};
+use crate::weights::{hints_from_weights, normalized_weights};
+
+/// A configuration-proposing strategy.
+///
+/// All four are driven by the same loop: `propose` a configuration for
+/// step `t`, measure it, `observe` the result.
+// Variant sizes differ by design: the BO variant carries the surrogate
+// state; strategies are created once per pass, never stored in bulk.
+#[allow(clippy::large_enum_variant)]
+pub enum Strategy {
+    /// Parallel linear ascent: the same hint on every node, increased by
+    /// one each step ("sets the same parallelism hint on all spout/bolt
+    /// nodes in the topology and increases them in parallel").
+    Pla,
+    /// Informed pla: hints = base-parallelism weights × the step's
+    /// multiplier.
+    Ipla {
+        /// Per-node base weights.
+        weights: Vec<f64>,
+    },
+    /// Bayesian Optimization over a parameter set.
+    Bo {
+        /// The underlying optimizer.
+        opt: BayesOpt,
+        /// The tuned surface.
+        set: ParamSet,
+        /// The candidate awaiting its observation.
+        pending: Option<Candidate>,
+    },
+}
+
+impl Strategy {
+    /// The plain `pla` baseline.
+    pub fn pla() -> Strategy {
+        Strategy::Pla
+    }
+
+    /// The informed `ipla` baseline for `topo`.
+    pub fn ipla(topo: &Topology) -> Strategy {
+        Strategy::Ipla { weights: normalized_weights(topo) }
+    }
+
+    /// Bayesian Optimization over `set`.
+    pub fn bo(topo: &Topology, set: ParamSet, seed: u64) -> Strategy {
+        let space = set.space(topo);
+        // Scale the fit effort down a little for very wide spaces (the
+        // large topology tunes >100 hints); Fig. 7 measures this cost.
+        let wide = space.dim() > 40;
+        let fit = if wide { FitOptions::fast() } else { FitOptions::default() };
+        let config = BoConfig {
+            seed,
+            fit,
+            n_init: (space.dim() / 4).clamp(6, 16),
+            n_candidates: 768,
+            local_passes: 3,
+            // Wide spaces (the large topology tunes >100 hints) refit the
+            // surrogate hyperparameters less often; Fig. 7 measures the
+            // resulting sublinear step-time growth.
+            refit_every: if wide { 3 } else { 1 },
+            ..Default::default()
+        };
+        Strategy::Bo { opt: BayesOpt::new(space, config), set, pending: None }
+    }
+
+    /// Bayesian Optimization with a caller-supplied optimizer
+    /// configuration (used by the ablation benches to swap acquisition
+    /// functions, kernels, or hyperparameter marginalization).
+    pub fn bo_with(topo: &Topology, set: ParamSet, config: BoConfig) -> Strategy {
+        let space = set.space(topo);
+        Strategy::Bo { opt: BayesOpt::new(space, config), set, pending: None }
+    }
+
+    /// Informed Bayesian Optimization: BO over a single multiplier for
+    /// the base-parallelism weights.
+    pub fn ibo(topo: &Topology, seed: u64) -> Strategy {
+        let weights = normalized_weights(topo);
+        Strategy::bo(topo, ParamSet::InformedMultiplier { weights }, seed)
+    }
+
+    /// Strategy label as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Pla => "pla",
+            Strategy::Ipla { .. } => "ipla",
+            Strategy::Bo { set, .. } => match set {
+                ParamSet::InformedMultiplier { .. } => "ibo",
+                _ => "bo",
+            },
+        }
+    }
+
+    /// `true` for the linear-ascent strategies (they use the paper's
+    /// three-consecutive-zeros early stop).
+    pub fn is_linear(&self) -> bool {
+        matches!(self, Strategy::Pla | Strategy::Ipla { .. })
+    }
+
+    /// Propose the configuration to evaluate at step `step` (0-based).
+    /// Returns `None` when the strategy has exhausted its schedule.
+    pub fn propose(&mut self, topo: &Topology, base: &StormConfig, step: usize) -> Option<StormConfig> {
+        match self {
+            Strategy::Pla => {
+                let hint = step as i64 + 1;
+                if hint > HINT_MAX {
+                    return None;
+                }
+                let mut c = base.clone();
+                c.parallelism_hints = vec![hint as u32; topo.n_nodes()];
+                Some(c)
+            }
+            Strategy::Ipla { weights } => {
+                let mult = step as f64 + 1.0;
+                if mult > HINT_MAX as f64 {
+                    return None;
+                }
+                let mut c = base.clone();
+                c.parallelism_hints = hints_from_weights(weights, mult);
+                Some(c)
+            }
+            Strategy::Bo { opt, set, pending } => {
+                assert!(pending.is_none(), "observe() must be called between proposals");
+                let cand = opt.propose();
+                let config = set.to_config(topo, base, &cand.values);
+                *pending = Some(cand);
+                Some(config)
+            }
+        }
+    }
+
+    /// Feed back the measured throughput for the last proposal.
+    pub fn observe(&mut self, throughput: f64) {
+        if let Strategy::Bo { opt, pending, .. } = self {
+            let cand = pending.take().expect("propose() must precede observe()");
+            opt.observe(cand, throughput);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtm_stormsim::topology::TopologyBuilder;
+
+    fn topo() -> Topology {
+        let mut tb = TopologyBuilder::new("t");
+        let s = tb.spout("s", 1.0);
+        let a = tb.bolt("a", 1.0);
+        let b = tb.bolt("b", 1.0);
+        tb.connect(s, a).connect(s, b);
+        tb.build().unwrap()
+    }
+
+    #[test]
+    fn pla_sweeps_uniform_hints() {
+        let t = topo();
+        let base = StormConfig::baseline(3);
+        let mut s = Strategy::pla();
+        for step in 0..5 {
+            let c = s.propose(&t, &base, step).unwrap();
+            assert_eq!(c.parallelism_hints, vec![step as u32 + 1; 3]);
+            s.observe(1.0);
+        }
+        assert!(s.propose(&t, &base, HINT_MAX as usize).is_none());
+    }
+
+    #[test]
+    fn ipla_scales_weights() {
+        let t = topo();
+        let base = StormConfig::baseline(3);
+        let mut s = Strategy::ipla(&t);
+        let c = s.propose(&t, &base, 2).unwrap(); // multiplier 3
+        assert_eq!(c.parallelism_hints, vec![3, 3, 3]);
+        s.observe(1.0);
+    }
+
+    #[test]
+    fn bo_round_trips_propose_observe() {
+        let t = topo();
+        let base = StormConfig::baseline(3);
+        let mut s = Strategy::bo(&t, ParamSet::Hints, 1);
+        assert_eq!(s.name(), "bo");
+        for step in 0..6 {
+            let c = s.propose(&t, &base, step).unwrap();
+            assert!(c.validate(&t).is_ok());
+            s.observe(c.parallelism_hints.iter().sum::<u32>() as f64);
+        }
+    }
+
+    #[test]
+    fn ibo_controls_only_the_multiplier() {
+        let t = topo();
+        let base = StormConfig::baseline(3);
+        let mut s = Strategy::ibo(&t, 2);
+        assert_eq!(s.name(), "ibo");
+        let c = s.propose(&t, &base, 0).unwrap();
+        // All weights are 1 in this topology, so hints are uniform.
+        assert!(c.parallelism_hints.iter().all(|&h| h == c.parallelism_hints[0]));
+        s.observe(5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "observe() must be called")]
+    fn bo_requires_observation_between_proposals() {
+        let t = topo();
+        let base = StormConfig::baseline(3);
+        let mut s = Strategy::bo(&t, ParamSet::Hints, 1);
+        let _ = s.propose(&t, &base, 0);
+        let _ = s.propose(&t, &base, 1);
+    }
+
+    #[test]
+    fn linearity_flag() {
+        let t = topo();
+        assert!(Strategy::pla().is_linear());
+        assert!(Strategy::ipla(&t).is_linear());
+        assert!(!Strategy::bo(&t, ParamSet::Hints, 0).is_linear());
+    }
+}

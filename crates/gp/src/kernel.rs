@@ -1,0 +1,314 @@
+//! Covariance functions (kernels) with ARD lengthscales.
+//!
+//! All hyperparameters are handled in **log space** (`log σ_f^2`,
+//! `log ℓ_i`): that keeps them positive under unconstrained optimization
+//! and makes the marginal-likelihood surface much better behaved. The
+//! gradient methods therefore return `∂k/∂(log θ_j)`.
+
+use serde::{Deserialize, Serialize};
+
+/// A stationary covariance function with tunable log-hyperparameters.
+pub trait Kernel: Send + Sync + Clone {
+    /// Number of tunable hyperparameters (signal variance + lengthscales).
+    fn n_params(&self) -> usize;
+
+    /// Current hyperparameters in log space.
+    fn params(&self) -> Vec<f64>;
+
+    /// Overwrite hyperparameters from a log-space vector.
+    ///
+    /// # Panics
+    /// Panics if `p.len() != self.n_params()`.
+    fn set_params(&mut self, p: &[f64]);
+
+    /// Covariance `k(a, b)`.
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64;
+
+    /// Covariance and gradient with respect to each log-hyperparameter.
+    /// `grad` must have length `n_params()`; returns `k(a, b)`.
+    fn eval_grad(&self, a: &[f64], b: &[f64], grad: &mut [f64]) -> f64;
+
+    /// Prior variance at any point, `k(x, x)`.
+    fn diag(&self) -> f64;
+
+    /// Input dimensionality this kernel was built for.
+    fn input_dim(&self) -> usize;
+}
+
+/// Squared-exponential (RBF) kernel with Automatic Relevance Determination:
+///
+/// ```text
+/// k(a, b) = σ_f² exp( -½ Σ_i (a_i - b_i)² / ℓ_i² )
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SquaredExpArd {
+    log_signal_var: f64,
+    log_lengthscales: Vec<f64>,
+}
+
+impl SquaredExpArd {
+    /// Create with uniform `lengthscale` across `dim` inputs and signal
+    /// variance `signal_var`.
+    pub fn new(dim: usize, signal_var: f64, lengthscale: f64) -> Self {
+        assert!(dim > 0 && signal_var > 0.0 && lengthscale > 0.0);
+        SquaredExpArd {
+            log_signal_var: signal_var.ln(),
+            log_lengthscales: vec![lengthscale.ln(); dim],
+        }
+    }
+
+    /// Current lengthscales (linear space).
+    pub fn lengthscales(&self) -> Vec<f64> {
+        self.log_lengthscales.iter().map(|l| l.exp()).collect()
+    }
+}
+
+impl Kernel for SquaredExpArd {
+    fn n_params(&self) -> usize {
+        1 + self.log_lengthscales.len()
+    }
+
+    fn params(&self) -> Vec<f64> {
+        let mut p = Vec::with_capacity(self.n_params());
+        p.push(self.log_signal_var);
+        p.extend_from_slice(&self.log_lengthscales);
+        p
+    }
+
+    fn set_params(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.n_params());
+        self.log_signal_var = p[0];
+        self.log_lengthscales.copy_from_slice(&p[1..]);
+    }
+
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), self.log_lengthscales.len());
+        let mut s = 0.0;
+        for i in 0..a.len() {
+            let inv_l = (-self.log_lengthscales[i]).exp();
+            let d = (a[i] - b[i]) * inv_l;
+            s += d * d;
+        }
+        self.log_signal_var.exp() * (-0.5 * s).exp()
+    }
+
+    fn eval_grad(&self, a: &[f64], b: &[f64], grad: &mut [f64]) -> f64 {
+        debug_assert_eq!(grad.len(), self.n_params());
+        let mut s = 0.0;
+        // Scaled squared distances per dimension, reused for the gradient.
+        for i in 0..a.len() {
+            let inv_l = (-self.log_lengthscales[i]).exp();
+            let d = (a[i] - b[i]) * inv_l;
+            let d2 = d * d;
+            grad[1 + i] = d2; // placeholder, scaled below
+            s += d2;
+        }
+        let k = self.log_signal_var.exp() * (-0.5 * s).exp();
+        // ∂k/∂ log σ_f² = k ;  ∂k/∂ log ℓ_i = k * d_i²
+        grad[0] = k;
+        for g in grad[1..].iter_mut() {
+            *g *= k;
+        }
+        k
+    }
+
+    fn diag(&self) -> f64 {
+        self.log_signal_var.exp()
+    }
+
+    fn input_dim(&self) -> usize {
+        self.log_lengthscales.len()
+    }
+}
+
+/// Matérn 5/2 kernel with ARD — the covariance Spearmint uses by default
+/// for hyperparameter tuning (Snoek et al. 2012 argue the SE kernel is too
+/// smooth for real objective surfaces):
+///
+/// ```text
+/// r²   = Σ_i (a_i - b_i)² / ℓ_i²
+/// k    = σ_f² (1 + √5 r + 5r²/3) exp(-√5 r)
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Matern52Ard {
+    log_signal_var: f64,
+    log_lengthscales: Vec<f64>,
+}
+
+impl Matern52Ard {
+    /// Create with uniform `lengthscale` across `dim` inputs.
+    pub fn new(dim: usize, signal_var: f64, lengthscale: f64) -> Self {
+        assert!(dim > 0 && signal_var > 0.0 && lengthscale > 0.0);
+        Matern52Ard {
+            log_signal_var: signal_var.ln(),
+            log_lengthscales: vec![lengthscale.ln(); dim],
+        }
+    }
+
+    /// Current lengthscales (linear space).
+    pub fn lengthscales(&self) -> Vec<f64> {
+        self.log_lengthscales.iter().map(|l| l.exp()).collect()
+    }
+}
+
+impl Kernel for Matern52Ard {
+    fn n_params(&self) -> usize {
+        1 + self.log_lengthscales.len()
+    }
+
+    fn params(&self) -> Vec<f64> {
+        let mut p = Vec::with_capacity(self.n_params());
+        p.push(self.log_signal_var);
+        p.extend_from_slice(&self.log_lengthscales);
+        p
+    }
+
+    fn set_params(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.n_params());
+        self.log_signal_var = p[0];
+        self.log_lengthscales.copy_from_slice(&p[1..]);
+    }
+
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let mut r2 = 0.0;
+        for i in 0..a.len() {
+            let inv_l = (-self.log_lengthscales[i]).exp();
+            let d = (a[i] - b[i]) * inv_l;
+            r2 += d * d;
+        }
+        let r = r2.sqrt();
+        let sqrt5_r = 5.0_f64.sqrt() * r;
+        self.log_signal_var.exp() * (1.0 + sqrt5_r + 5.0 * r2 / 3.0) * (-sqrt5_r).exp()
+    }
+
+    fn eval_grad(&self, a: &[f64], b: &[f64], grad: &mut [f64]) -> f64 {
+        debug_assert_eq!(grad.len(), self.n_params());
+        let sf2 = self.log_signal_var.exp();
+        let mut r2 = 0.0;
+        for i in 0..a.len() {
+            let inv_l = (-self.log_lengthscales[i]).exp();
+            let d = (a[i] - b[i]) * inv_l;
+            grad[1 + i] = d * d; // per-dim scaled squared distance
+            r2 += d * d;
+        }
+        let r = r2.sqrt();
+        let sqrt5 = 5.0_f64.sqrt();
+        let e = (-sqrt5 * r).exp();
+        let k = sf2 * (1.0 + sqrt5 * r + 5.0 * r2 / 3.0) * e;
+        grad[0] = k; // ∂k/∂ log σ_f²
+
+        // dk/dr = -(5 σ_f²/3) r (1 + √5 r) e^{-√5 r};
+        // ∂r/∂ log ℓ_i = -d_i² / r  (r > 0), so
+        // ∂k/∂ log ℓ_i = (5 σ_f²/3)(1 + √5 r) e^{-√5 r} d_i².
+        let factor = (5.0 * sf2 / 3.0) * (1.0 + sqrt5 * r) * e;
+        for g in grad[1..].iter_mut() {
+            *g *= factor; // d_i² * factor; at r = 0 every d_i² = 0 → grad 0
+        }
+        k
+    }
+
+    fn diag(&self) -> f64 {
+        self.log_signal_var.exp()
+    }
+
+    fn input_dim(&self) -> usize {
+        self.log_lengthscales.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd_grad<K: Kernel>(k: &K, a: &[f64], b: &[f64]) -> Vec<f64> {
+        let p0 = k.params();
+        let h = 1e-6;
+        (0..k.n_params())
+            .map(|j| {
+                let mut kp = k.clone();
+                let mut p = p0.clone();
+                p[j] += h;
+                kp.set_params(&p);
+                let up = kp.eval(a, b);
+                p[j] -= 2.0 * h;
+                kp.set_params(&p);
+                let dn = kp.eval(a, b);
+                (up - dn) / (2.0 * h)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn se_kernel_basics() {
+        let k = SquaredExpArd::new(2, 2.0, 0.5);
+        let x = [0.3, 0.7];
+        assert!((k.eval(&x, &x) - 2.0).abs() < 1e-12);
+        assert_eq!(k.diag(), k.eval(&x, &x));
+        // Symmetry and decay.
+        let y = [0.5, 0.1];
+        assert_eq!(k.eval(&x, &y), k.eval(&y, &x));
+        assert!(k.eval(&x, &y) < k.eval(&x, &x));
+    }
+
+    #[test]
+    fn matern_kernel_basics() {
+        let k = Matern52Ard::new(3, 1.5, 1.0);
+        let x = [0.0, 0.0, 0.0];
+        let y = [1.0, -1.0, 0.5];
+        assert!((k.eval(&x, &x) - 1.5).abs() < 1e-12);
+        assert_eq!(k.eval(&x, &y), k.eval(&y, &x));
+        assert!(k.eval(&x, &y) > 0.0 && k.eval(&x, &y) < 1.5);
+    }
+
+    #[test]
+    fn se_gradient_matches_finite_differences() {
+        let mut k = SquaredExpArd::new(3, 1.0, 1.0);
+        k.set_params(&[0.3, -0.2, 0.1, 0.5]);
+        let a = [0.1, 0.9, 0.4];
+        let b = [0.7, 0.2, 0.3];
+        let mut g = vec![0.0; k.n_params()];
+        let kv = k.eval_grad(&a, &b, &mut g);
+        assert!((kv - k.eval(&a, &b)).abs() < 1e-14);
+        let fd = fd_grad(&k, &a, &b);
+        for (an, num) in g.iter().zip(&fd) {
+            assert!((an - num).abs() < 1e-6, "analytic {an} vs fd {num}");
+        }
+    }
+
+    #[test]
+    fn matern_gradient_matches_finite_differences() {
+        let mut k = Matern52Ard::new(2, 1.0, 1.0);
+        k.set_params(&[-0.4, 0.2, -0.6]);
+        let a = [0.8, 0.1];
+        let b = [0.25, 0.65];
+        let mut g = vec![0.0; k.n_params()];
+        let kv = k.eval_grad(&a, &b, &mut g);
+        assert!((kv - k.eval(&a, &b)).abs() < 1e-14);
+        let fd = fd_grad(&k, &a, &b);
+        for (an, num) in g.iter().zip(&fd) {
+            assert!((an - num).abs() < 1e-6, "analytic {an} vs fd {num}");
+        }
+    }
+
+    #[test]
+    fn matern_gradient_at_zero_distance_is_finite() {
+        let k = Matern52Ard::new(2, 1.0, 1.0);
+        let a = [0.5, 0.5];
+        let mut g = vec![0.0; 3];
+        let kv = k.eval_grad(&a, &a, &mut g);
+        assert!((kv - 1.0).abs() < 1e-12);
+        assert!(g.iter().all(|v| v.is_finite()));
+        assert!((g[1]).abs() < 1e-12 && (g[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let mut k = SquaredExpArd::new(4, 1.0, 1.0);
+        let p = vec![0.1, -0.2, 0.3, -0.4, 0.5];
+        k.set_params(&p);
+        assert_eq!(k.params(), p);
+        assert_eq!(k.input_dim(), 4);
+        let ls = k.lengthscales();
+        assert!((ls[0] - (-0.2_f64).exp()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,233 @@
+//! BLAS-like computational kernels.
+//!
+//! The kernels here are written for cache-friendly row-major access (the
+//! `i-k-j` loop order for matmul keeps the innermost loop streaming over
+//! contiguous rows of both the right-hand side and the accumulator, letting
+//! LLVM vectorize it) and switch to rayon data-parallelism over output rows
+//! once the work is large enough to amortize the fork/join overhead.
+
+use rayon::prelude::*;
+
+use crate::{LinalgError, Mat, Result};
+
+/// Above this many multiply-adds the matmul fans out across rayon workers.
+const PAR_FLOP_THRESHOLD: usize = 64 * 64 * 64;
+
+/// General matrix multiply: `C = A * B`.
+pub fn matmul(a: &Mat, b: &Mat) -> Result<Mat> {
+    if a.cols() != b.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Mat::zeros(m, n);
+    if m * k * n >= PAR_FLOP_THRESHOLD {
+        // Parallel over output rows: each row of C depends on one row of A
+        // and all of B, so rows are independent work items.
+        let b_data = b.as_slice();
+        c.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, c_row)| {
+                let a_row = a.row(i);
+                for (kk, &a_ik) in a_row.iter().enumerate() {
+                    let b_row = &b_data[kk * n..(kk + 1) * n];
+                    for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row) {
+                        *c_ij += a_ik * b_kj;
+                    }
+                }
+            });
+    } else {
+        for i in 0..m {
+            for kk in 0..k {
+                let a_ik = a[(i, kk)];
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(kk);
+                let c_row = c.row_mut(i);
+                for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row) {
+                    *c_ij += a_ik * b_kj;
+                }
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// `A * B^T` without materializing the transpose.
+pub fn matmul_nt(a: &Mat, b: &Mat) -> Result<Mat> {
+    if a.cols() != b.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "matmul_nt",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, n) = (a.rows(), b.rows());
+    let mut c = Mat::zeros(m, n);
+    let run = |(i, c_row): (usize, &mut [f64])| {
+        let a_row = a.row(i);
+        for (j, c_ij) in c_row.iter_mut().enumerate() {
+            *c_ij = dot(a_row, b.row(j));
+        }
+    };
+    if m * n * a.cols() >= PAR_FLOP_THRESHOLD {
+        c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(run);
+    } else {
+        c.as_mut_slice().chunks_mut(n).enumerate().for_each(run);
+    }
+    Ok(c)
+}
+
+/// Symmetric rank-k update: returns `A * A^T` (an `m x m` SPD-ish Gram
+/// matrix). Only the lower triangle is computed; the upper is mirrored.
+pub fn syrk(a: &Mat) -> Mat {
+    let m = a.rows();
+    let mut c = Mat::zeros(m, m);
+    for i in 0..m {
+        for j in 0..=i {
+            let v = dot(a.row(i), a.row(j));
+            c[(i, j)] = v;
+            c[(j, i)] = v;
+        }
+    }
+    c
+}
+
+/// Matrix-vector product written into a caller-provided buffer
+/// (`out = A * v`), avoiding an allocation on hot paths.
+///
+/// # Panics
+/// Panics (debug) on shape mismatch; callers validate shapes.
+pub fn gemv_into(a: &Mat, v: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.cols(), v.len());
+    debug_assert_eq!(a.rows(), out.len());
+    for (i, out_i) in out.iter_mut().enumerate() {
+        *out_i = dot(a.row(i), v);
+    }
+}
+
+/// Transposed matrix-vector product `out = A^T * v` into a buffer.
+pub fn gemv_t_into(a: &Mat, v: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.rows(), v.len());
+    debug_assert_eq!(a.cols(), out.len());
+    out.fill(0.0);
+    for (i, &v_i) in v.iter().enumerate() {
+        if v_i == 0.0 {
+            continue;
+        }
+        for (out_j, &a_ij) in out.iter_mut().zip(a.row(i)) {
+            *out_j += v_i * a_ij;
+        }
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// Unrolled by four lanes; the independent accumulators break the
+/// floating-point dependency chain so the loop pipelines well.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for c in 0..chunks {
+        let i = c * 4;
+        s0 += a[i] * b[i];
+        s1 += a[i + 1] * b[i + 1];
+        s2 += a[i + 2] * b[i + 2];
+        s3 += a[i + 3] * b[i + 3];
+    }
+    let mut rest = 0.0;
+    for i in chunks * 4..a.len() {
+        rest += a[i] * b[i];
+    }
+    s0 + s1 + s2 + s3 + rest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+        let mut c = Mat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                for k in 0..a.cols() {
+                    c[(i, j)] += a[(i, k)] * b[(k, j)];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_small_matches_naive() {
+        let a = Mat::from_fn(3, 4, |i, j| (i + j) as f64);
+        let b = Mat::from_fn(4, 2, |i, j| (i as f64) - (j as f64));
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c, naive_matmul(&a, &b));
+    }
+
+    #[test]
+    fn matmul_large_takes_parallel_path() {
+        // 70^3 > threshold, so this exercises the rayon branch.
+        let a = Mat::from_fn(70, 70, |i, j| ((i * 31 + j * 7) % 13) as f64 - 6.0);
+        let b = Mat::from_fn(70, 70, |i, j| ((i * 17 + j * 3) % 11) as f64 - 5.0);
+        let c = matmul(&a, &b).unwrap();
+        let expected = naive_matmul(&a, &b);
+        assert!((&c - &expected).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Mat::from_fn(3, 5, |i, j| (i * j) as f64 + 1.0);
+        let b = Mat::from_fn(4, 5, |i, j| (i + 2 * j) as f64);
+        let c = matmul_nt(&a, &b).unwrap();
+        let expected = matmul(&a, &b.transpose()).unwrap();
+        assert!((&c - &expected).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn syrk_is_gram_matrix() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let g = syrk(&a);
+        assert_eq!(g.shape(), (3, 3));
+        assert_eq!(g[(0, 0)], 5.0);
+        assert_eq!(g[(2, 1)], 39.0);
+        assert!(g.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn gemv_variants() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut out = vec![0.0; 3];
+        gemv_into(&a, &[1.0, -1.0], &mut out);
+        assert_eq!(out, vec![-1.0, -1.0, -1.0]);
+
+        let mut out_t = vec![0.0; 2];
+        gemv_t_into(&a, &[1.0, 1.0, 1.0], &mut out_t);
+        assert_eq!(out_t, vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn dot_handles_remainders() {
+        for n in 0..9 {
+            let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+            let expected: f64 = (0..n).map(|i| (i * (i + 1)) as f64).sum();
+            assert_eq!(dot(&a, &b), expected, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,323 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{triangular, LinalgError, Mat, Result};
+
+/// Jitter ladder: when plain factorization fails we retry with increasing
+/// multiples of the mean diagonal added, exactly the strategy GP libraries
+/// (GPy, Spearmint) use to cope with near-singular kernel matrices.
+const JITTER_STEPS: &[f64] = &[0.0, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2];
+
+/// Lower-triangular Cholesky factorization of a symmetric positive-definite
+/// matrix: `A = L L^T`.
+///
+/// The factor retains the jitter that had to be added to succeed (zero in
+/// the common case) so callers can account for it, e.g. when reporting the
+/// effective noise level of a GP fit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cholesky {
+    l: Mat,
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Factor `a`, escalating diagonal jitter if needed.
+    ///
+    /// Returns an error if `a` is not square, contains non-finite values, or
+    /// stays indefinite even at the largest jitter.
+    pub fn factor(a: &Mat) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        if !a.all_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        let n = a.rows();
+        let mean_diag = if n == 0 { 0.0 } else { a.trace().abs() / n as f64 };
+        let scale = if mean_diag > 0.0 { mean_diag } else { 1.0 };
+        let mut max_tried = 0.0;
+        for &step in JITTER_STEPS {
+            let jitter = step * scale;
+            max_tried = jitter;
+            if let Some(l) = try_factor(a, jitter) {
+                return Ok(Cholesky { l, jitter });
+            }
+        }
+        Err(LinalgError::NotPositiveDefinite { max_jitter: max_tried })
+    }
+
+    /// Factor without any jitter escalation; fails fast when indefinite.
+    pub fn factor_exact(a: &Mat) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        if !a.all_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        try_factor(a, 0.0)
+            .map(|l| Cholesky { l, jitter: 0.0 })
+            .ok_or(LinalgError::NotPositiveDefinite { max_jitter: 0.0 })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Mat {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Jitter added to the diagonal to achieve positive definiteness.
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Solve `A x = b` via two triangular solves.
+    pub fn solve_vec(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        triangular::solve_lower_in_place(&self.l, &mut x);
+        triangular::solve_lower_transpose_in_place(&self.l, &mut x);
+        x
+    }
+
+    /// Solve `A X = B` for a matrix right-hand side.
+    pub fn solve_mat(&self, b: &Mat) -> Mat {
+        let y = triangular::solve_lower_mat(&self.l, b);
+        triangular::solve_lower_transpose_mat(&self.l, &y)
+    }
+
+    /// `L^{-1} b` — "whitens" a vector against the factored covariance.
+    pub fn whiten(&self, b: &[f64]) -> Vec<f64> {
+        triangular::solve_lower(&self.l, b)
+    }
+
+    /// `log |A| = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        self.l.diag().iter().map(|d| d.ln()).sum::<f64>() * 2.0
+    }
+
+    /// Explicit inverse `A^{-1}` (used for LML gradients where the full
+    /// inverse genuinely appears; prefer the solve methods elsewhere).
+    pub fn inverse(&self) -> Mat {
+        self.solve_mat(&Mat::identity(self.dim()))
+    }
+
+    /// Quadratic form `b^T A^{-1} b` computed stably as `||L^{-1} b||^2`.
+    pub fn quad_form(&self, b: &[f64]) -> f64 {
+        let w = self.whiten(b);
+        crate::blas::dot(&w, &w)
+    }
+
+    /// Rank-one *update*: refactor to represent `A + v v^T` in `O(n^2)`.
+    ///
+    /// This is the classic hyperbolic-rotation-free algorithm (Golub & Van
+    /// Loan §6.5.4). Used by the incremental GP to absorb one new
+    /// observation without an `O(n^3)` refactorization.
+    pub fn rank_one_update(&mut self, v: &[f64]) {
+        let n = self.dim();
+        debug_assert_eq!(v.len(), n);
+        let mut work = v.to_vec();
+        for k in 0..n {
+            let lkk = self.l[(k, k)];
+            let r = (lkk * lkk + work[k] * work[k]).sqrt();
+            let c = r / lkk;
+            let s = work[k] / lkk;
+            self.l[(k, k)] = r;
+            #[allow(clippy::needless_range_loop)] // parallel update of L and work
+            for i in (k + 1)..n {
+                let lik = self.l[(i, k)];
+                self.l[(i, k)] = (lik + s * work[i]) / c;
+                work[i] = c * work[i] - s * self.l[(i, k)];
+            }
+        }
+    }
+
+    /// Grow the factorization to represent the `(n+1) x (n+1)` matrix that
+    /// appends column `[b; c]` to `A`:
+    ///
+    /// ```text
+    /// A' = [ A  b ]
+    ///      [ b' c ]
+    /// ```
+    ///
+    /// Costs `O(n^2)` — one triangular solve — instead of refactoring.
+    /// Returns an error if the Schur complement is not positive.
+    pub fn append(&mut self, b: &[f64], c: f64) -> Result<()> {
+        let n = self.dim();
+        debug_assert_eq!(b.len(), n);
+        let l12 = self.whiten(b);
+        let schur = c - crate::blas::dot(&l12, &l12);
+        if schur <= 0.0 || !schur.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { max_jitter: self.jitter });
+        }
+        let mut grown = Mat::zeros(n + 1, n + 1);
+        for i in 0..n {
+            grown.row_mut(i)[..=i].copy_from_slice(&self.l.row(i)[..=i]);
+        }
+        grown.row_mut(n)[..n].copy_from_slice(&l12);
+        grown[(n, n)] = schur.sqrt();
+        self.l = grown;
+        Ok(())
+    }
+}
+
+/// Attempt a plain lower Cholesky of `a + jitter * I`. Returns `None` if a
+/// non-positive pivot shows up.
+fn try_factor(a: &Mat, jitter: f64) -> Option<Mat> {
+    let n = a.rows();
+    let mut l = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            // Split borrow: rows i and j of the factor under construction.
+            let s = {
+                let row_i = l.row(i);
+                let row_j = l.row(j);
+                crate::blas::dot(&row_i[..j], &row_j[..j])
+            };
+            if i == j {
+                let d = a[(i, i)] + jitter - s;
+                if d <= 0.0 || !d.is_finite() {
+                    return None;
+                }
+                l[(i, j)] = d.sqrt();
+            } else {
+                l[(i, j)] = (a[(i, j)] - s) / l[(j, j)];
+            }
+        }
+    }
+    Some(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas;
+
+    fn spd(n: usize, seed: u64) -> Mat {
+        // Deterministic pseudo-random SPD matrix: B B^T + n I.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let b = Mat::from_fn(n, n, |_, _| next());
+        let mut g = blas::syrk(&b);
+        g.add_diag(n as f64);
+        g
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd(12, 7);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert_eq!(ch.jitter(), 0.0);
+        let recon = blas::matmul_nt(ch.l(), ch.l()).unwrap();
+        assert!((&recon - &a).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd(8, 3);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b: Vec<f64> = (0..8).map(|i| (i as f64) - 3.5).collect();
+        let x = ch.solve_vec(&b);
+        let ax = a.matvec(&x).unwrap();
+        for (got, want) in ax.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_known() {
+        let a = Mat::from_diag(&[2.0, 3.0, 4.0]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.log_det() - 24.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quad_form_matches_manual() {
+        let a = spd(5, 11);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = vec![1.0, -1.0, 0.5, 2.0, 0.0];
+        let x = ch.solve_vec(&b);
+        let manual = blas::dot(&b, &x);
+        assert!((ch.quad_form(&b) - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_rescues_near_singular() {
+        // Rank-deficient Gram matrix: ones everywhere.
+        let a = Mat::filled(4, 4, 1.0);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!(ch.jitter() > 0.0, "jitter should have been needed");
+        assert!(Cholesky::factor_exact(&a).is_err());
+    }
+
+    #[test]
+    fn indefinite_rejected() {
+        let a = Mat::from_rows(&[&[1.0, 0.0], &[0.0, -5.0]]);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let mut a = Mat::identity(3);
+        a[(1, 1)] = f64::INFINITY;
+        assert!(matches!(Cholesky::factor(&a), Err(LinalgError::NonFinite)));
+    }
+
+    #[test]
+    fn rank_one_update_matches_refactor() {
+        let a = spd(6, 5);
+        let v: Vec<f64> = (0..6).map(|i| 0.3 * (i as f64) - 1.0).collect();
+        let mut ch = Cholesky::factor(&a).unwrap();
+        ch.rank_one_update(&v);
+
+        let mut a_up = a.clone();
+        for i in 0..6 {
+            for j in 0..6 {
+                a_up[(i, j)] += v[i] * v[j];
+            }
+        }
+        let ch_ref = Cholesky::factor(&a_up).unwrap();
+        assert!((ch.l() - ch_ref.l()).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn append_matches_refactor() {
+        let a = spd(7, 9);
+        let full = spd(8, 9); // not related; we build the bordered matrix by hand
+        let _ = full;
+        let mut bordered = Mat::zeros(8, 8);
+        for i in 0..7 {
+            for j in 0..7 {
+                bordered[(i, j)] = a[(i, j)];
+            }
+        }
+        let b: Vec<f64> = (0..7).map(|i| 0.1 * i as f64).collect();
+        for i in 0..7 {
+            bordered[(i, 7)] = b[i];
+            bordered[(7, i)] = b[i];
+        }
+        bordered[(7, 7)] = 10.0;
+
+        let mut ch = Cholesky::factor(&a).unwrap();
+        ch.append(&b, 10.0).unwrap();
+        let ch_ref = Cholesky::factor(&bordered).unwrap();
+        assert!((ch.l() - ch_ref.l()).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn append_rejects_nonpositive_schur() {
+        let a = Mat::identity(2);
+        let mut ch = Cholesky::factor(&a).unwrap();
+        // c smaller than ||b||^2 makes the Schur complement negative.
+        assert!(ch.append(&[1.0, 1.0], 1.0).is_err());
+    }
+}

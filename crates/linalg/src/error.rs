@@ -1,0 +1,50 @@
+use std::fmt;
+
+/// Errors produced by numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Matrix dimensions do not conform for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Left-hand-side shape.
+        lhs: (usize, usize),
+        /// Right-hand-side shape.
+        rhs: (usize, usize),
+    },
+    /// The matrix was expected to be square but is not.
+    NotSquare {
+        /// Actual shape.
+        shape: (usize, usize),
+    },
+    /// Cholesky factorization failed: the matrix is not positive definite
+    /// even after the maximum jitter was added to the diagonal.
+    NotPositiveDefinite {
+        /// Largest jitter that was attempted.
+        max_jitter: f64,
+    },
+    /// A non-finite value (NaN or infinity) was encountered in the input.
+    NonFinite,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::NotPositiveDefinite { max_jitter } => write!(
+                f,
+                "matrix is not positive definite (max jitter tried: {max_jitter:e})"
+            ),
+            LinalgError::NonFinite => write!(f, "non-finite value in input"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

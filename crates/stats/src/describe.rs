@@ -1,0 +1,128 @@
+//! Descriptive statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Unbiased sample variance (0 for n < 2).
+    pub var: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Standard error of the mean.
+    pub sem: f64,
+    /// Smallest observation (+inf for empty).
+    pub min: f64,
+    /// Largest observation (-inf for empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute summary statistics with Welford's numerically-stable
+    /// single-pass algorithm.
+    pub fn of(xs: &[f64]) -> Summary {
+        let mut n = 0usize;
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in xs {
+            n += 1;
+            let delta = x - mean;
+            mean += delta / n as f64;
+            m2 += delta * (x - mean);
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let var = if n > 1 { m2 / (n as f64 - 1.0) } else { 0.0 };
+        let std = var.sqrt();
+        let sem = if n > 0 { std / (n as f64).sqrt() } else { 0.0 };
+        Summary { n, mean: if n > 0 { mean } else { 0.0 }, var, std, sem, min, max }
+    }
+
+    /// Coefficient of variation (std / mean); `None` when mean is ~0.
+    pub fn cv(&self) -> Option<f64> {
+        if self.mean.abs() < 1e-300 {
+            None
+        } else {
+            Some(self.std / self.mean.abs())
+        }
+    }
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance; 0 for fewer than two observations.
+pub fn variance(xs: &[f64]) -> f64 {
+    Summary::of(xs).var
+}
+
+/// Population standard deviation of an exhaustive set.
+pub fn pop_std(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // population variance is 4; sample variance is 32/7.
+        assert!((s.var - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_empty_and_single() {
+        let e = Summary::of(&[]);
+        assert_eq!(e.n, 0);
+        assert_eq!(e.mean, 0.0);
+        assert_eq!(e.var, 0.0);
+
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.var, 0.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass_on_shifted_data() {
+        // Large offset stresses numerical stability.
+        let xs: Vec<f64> = (0..1000).map(|i| 1e9 + (i % 7) as f64).collect();
+        let s = Summary::of(&xs);
+        let m = mean(&xs);
+        let two_pass =
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() as f64 - 1.0);
+        // At a 1e9 offset each centered term carries ~1 ulp(1e9) ≈ 1e-7 of
+        // absolute error, so only ~1e-6 relative agreement is achievable.
+        assert!((s.var - two_pass).abs() / two_pass < 1e-6);
+    }
+
+    #[test]
+    fn cv_handles_zero_mean() {
+        assert!(Summary::of(&[-1.0, 1.0]).cv().is_none());
+        let cv = Summary::of(&[9.0, 11.0]).cv().unwrap();
+        assert!((cv - (2.0_f64).sqrt() / 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,259 @@
+//! LOESS — locally weighted regression smoothing.
+//!
+//! Figure 6 of the paper plots "LOESS regression smoothing with span 0.75"
+//! of the BO optimization trajectories. This module implements the
+//! Cleveland (1979) estimator: for each query point, fit a weighted local
+//! polynomial (degree 1 or 2) over the `span * n` nearest neighbours using
+//! tricube weights, and evaluate it at the query point.
+
+use serde::{Deserialize, Serialize};
+
+/// Degree of the local polynomial fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoessDegree {
+    /// Local linear fit (the common default, used for Fig. 6).
+    Linear,
+    /// Local quadratic fit.
+    Quadratic,
+}
+
+/// LOESS smoother configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Loess {
+    /// Fraction of points used in each local fit, in `(0, 1]`.
+    pub span: f64,
+    /// Degree of the local polynomial.
+    pub degree: LoessDegree,
+}
+
+impl Default for Loess {
+    fn default() -> Self {
+        // Span 0.75 is both R's default and what the paper reports.
+        Loess { span: 0.75, degree: LoessDegree::Linear }
+    }
+}
+
+impl Loess {
+    /// Construct a smoother with the given span and a linear local fit.
+    ///
+    /// # Panics
+    /// Panics if `span` is not in `(0, 1]`.
+    pub fn new(span: f64) -> Self {
+        assert!(span > 0.0 && span <= 1.0, "span must be in (0, 1], got {span}");
+        Loess { span, degree: LoessDegree::Linear }
+    }
+
+    /// Smooth `(x, y)` and evaluate the fit at each `x` (the usual use).
+    pub fn fit(&self, x: &[f64], y: &[f64]) -> Vec<f64> {
+        self.fit_at(x, y, x)
+    }
+
+    /// Smooth `(x, y)` and evaluate the local fits at `query` points.
+    ///
+    /// # Panics
+    /// Panics if `x` and `y` lengths differ or fewer than 2 points given.
+    pub fn fit_at(&self, x: &[f64], y: &[f64], query: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), y.len(), "x and y must have equal length");
+        assert!(x.len() >= 2, "need at least two points to smooth");
+        let n = x.len();
+        let q = ((self.span * n as f64).ceil() as usize).clamp(2, n);
+
+        // Sort indices once by x for nearest-neighbour windows.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("NaN in x"));
+        let xs: Vec<f64> = order.iter().map(|&i| x[i]).collect();
+        let ys: Vec<f64> = order.iter().map(|&i| y[i]).collect();
+
+        query.iter().map(|&x0| self.smooth_point(&xs, &ys, q, x0)).collect()
+    }
+
+    /// One local weighted fit around `x0` over the `q` nearest points of the
+    /// x-sorted sample.
+    fn smooth_point(&self, xs: &[f64], ys: &[f64], q: usize, x0: f64) -> f64 {
+        let n = xs.len();
+        // Slide a window of size q to the position minimizing the max
+        // distance to x0 (two-pointer over the sorted xs).
+        let mut lo = match xs.binary_search_by(|v| v.partial_cmp(&x0).unwrap()) {
+            Ok(i) | Err(i) => i,
+        };
+        lo = lo.saturating_sub(q / 2).min(n - q);
+        // Improve the window greedily: shift while it reduces the max dist.
+        loop {
+            let cur = window_max_dist(xs, lo, q, x0);
+            if lo + q < n && window_max_dist(xs, lo + 1, q, x0) < cur {
+                lo += 1;
+            } else if lo > 0 && window_max_dist(xs, lo - 1, q, x0) < cur {
+                lo -= 1;
+            } else {
+                break;
+            }
+        }
+        let window_x = &xs[lo..lo + q];
+        let window_y = &ys[lo..lo + q];
+        let d_max = window_max_dist(xs, lo, q, x0).max(1e-12);
+
+        // Tricube weights on scaled distances.
+        let w: Vec<f64> = window_x
+            .iter()
+            .map(|&xi| {
+                let u = ((xi - x0).abs() / d_max).min(1.0);
+                let t = 1.0 - u * u * u;
+                t * t * t
+            })
+            .collect();
+
+        match self.degree {
+            LoessDegree::Linear => weighted_linear_at(window_x, window_y, &w, x0),
+            LoessDegree::Quadratic => weighted_quadratic_at(window_x, window_y, &w, x0),
+        }
+    }
+}
+
+fn window_max_dist(xs: &[f64], lo: usize, q: usize, x0: f64) -> f64 {
+    (xs[lo] - x0).abs().max((xs[lo + q - 1] - x0).abs())
+}
+
+/// Weighted least-squares line through the window, evaluated at `x0`.
+/// Centering on x0 makes the evaluation just the intercept and keeps the
+/// normal equations well-conditioned.
+fn weighted_linear_at(x: &[f64], y: &[f64], w: &[f64], x0: f64) -> f64 {
+    let (mut sw, mut swx, mut swy, mut swxx, mut swxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for i in 0..x.len() {
+        let xc = x[i] - x0;
+        sw += w[i];
+        swx += w[i] * xc;
+        swy += w[i] * y[i];
+        swxx += w[i] * xc * xc;
+        swxy += w[i] * xc * y[i];
+    }
+    let det = sw * swxx - swx * swx;
+    if det.abs() < 1e-12 * sw.max(1e-300) {
+        // Degenerate (all x equal): fall back to the weighted mean.
+        return if sw > 0.0 { swy / sw } else { 0.0 };
+    }
+    // Intercept of the centered fit = value at x0.
+    (swxx * swy - swx * swxy) / det
+}
+
+/// Weighted quadratic fit evaluated at `x0` via a small 3x3 normal solve.
+fn weighted_quadratic_at(x: &[f64], y: &[f64], w: &[f64], x0: f64) -> f64 {
+    let mut s = [0.0_f64; 5]; // sums of w * xc^k, k = 0..4
+    let mut t = [0.0_f64; 3]; // sums of w * xc^k * y, k = 0..2
+    for i in 0..x.len() {
+        let xc = x[i] - x0;
+        let mut p = w[i];
+        for sk in s.iter_mut() {
+            *sk += p;
+            p *= xc;
+        }
+        let mut p = w[i];
+        for tk in t.iter_mut() {
+            *tk += p * y[i];
+            p *= xc;
+        }
+    }
+    // Solve the 3x3 system [s0 s1 s2; s1 s2 s3; s2 s3 s4] beta = t with
+    // Gaussian elimination (partial pivoting on such a small system).
+    let mut a = [
+        [s[0], s[1], s[2], t[0]],
+        [s[1], s[2], s[3], t[1]],
+        [s[2], s[3], s[4], t[2]],
+    ];
+    for col in 0..3 {
+        let piv = (col..3)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        a.swap(col, piv);
+        if a[col][col].abs() < 1e-12 {
+            // Degenerate design: fall back to the linear fit.
+            return weighted_linear_at(x, y, w, x0);
+        }
+        for row in (col + 1)..3 {
+            let f = a[row][col] / a[col][col];
+            let (pivot_row, rest) = a.split_at_mut(row);
+            let pivot = &pivot_row[col];
+            for (k, v) in rest[0].iter_mut().enumerate().take(4).skip(col) {
+                *v -= f * pivot[k];
+            }
+        }
+    }
+    let mut beta = [0.0_f64; 3];
+    for row in (0..3).rev() {
+        let mut v = a[row][3];
+        for (k, &bk) in beta.iter().enumerate().take(3).skip(row + 1) {
+            v -= a[row][k] * bk;
+        }
+        beta[row] = v / a[row][row];
+    }
+    beta[0] // centered quadratic's value at x0 is the constant term
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_straight_line_exactly() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 7.0).collect();
+        let smooth = Loess::new(0.5).fit(&x, &y);
+        for (s, yi) in smooth.iter().zip(&y) {
+            assert!((s - yi).abs() < 1e-9, "line should be reproduced exactly");
+        }
+    }
+
+    #[test]
+    fn quadratic_degree_recovers_parabola() {
+        let x: Vec<f64> = (0..60).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * v - 2.0 * v + 1.0).collect();
+        let mut lo = Loess::new(0.4);
+        lo.degree = LoessDegree::Quadratic;
+        let smooth = lo.fit(&x, &y);
+        for (s, yi) in smooth.iter().zip(&y) {
+            assert!((s - yi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn smooths_noise_towards_trend() {
+        // y = x plus deterministic "noise"; the smoother must reduce the
+        // mean squared deviation from the trend.
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let noise: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 5.0 } else { -5.0 }).collect();
+        let y: Vec<f64> = x.iter().zip(&noise).map(|(v, n)| v + n).collect();
+        let smooth = Loess::default().fit(&x, &y);
+        let mse_raw: f64 = y.iter().zip(&x).map(|(a, b)| (a - b) * (a - b)).sum();
+        let mse_smooth: f64 = smooth.iter().zip(&x).map(|(a, b)| (a - b) * (a - b)).sum();
+        assert!(
+            mse_smooth < mse_raw / 10.0,
+            "smoothing should remove most alternating noise ({mse_smooth} vs {mse_raw})"
+        );
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let x = vec![5.0, 1.0, 3.0, 2.0, 4.0, 0.0];
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+        let smooth = Loess::new(1.0).fit(&x, &y);
+        // Result is aligned with the *query* order, which here equals x.
+        for (s, yi) in smooth.iter().zip(&y) {
+            assert!((s - yi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_x_degenerates_to_mean() {
+        let x = vec![2.0; 10];
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let smooth = Loess::new(1.0).fit(&x, &y);
+        for s in smooth {
+            assert!((s - 4.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "span must be in")]
+    fn rejects_bad_span() {
+        let _ = Loess::new(0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the statistics substrate.
+
+use proptest::prelude::*;
+
+use mtm_stats::dist::{norm_cdf, norm_ppf, t_cdf};
+use mtm_stats::quantile::{median, quantile};
+use mtm_stats::special::{betainc_reg, erf, erfc};
+use mtm_stats::{welch_t_test, Loess, Summary};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn summary_bounds_hold(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.var >= 0.0);
+        prop_assert!(s.std >= 0.0);
+        prop_assert_eq!(s.n, xs.len());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo).unwrap();
+        let b = quantile(&xs, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+        // Quantiles live within the data range.
+        let s = Summary::of(&xs);
+        prop_assert!(a >= s.min - 1e-12 && b <= s.max + 1e-12);
+    }
+
+    #[test]
+    fn median_is_between_min_and_max(xs in prop::collection::vec(-1e3f64..1e3, 1..50)) {
+        let m = median(&xs).unwrap();
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= m && m <= s.max);
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        prop_assert!(erf(x).abs() <= 1.0);
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn norm_cdf_is_monotone(a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(norm_cdf(lo) <= norm_cdf(hi) + 1e-14);
+    }
+
+    #[test]
+    fn norm_ppf_inverts_cdf(p in 0.001f64..0.999) {
+        let x = norm_ppf(p);
+        prop_assert!((norm_cdf(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_cdf_between_zero_and_one(t in -20.0f64..20.0, df in 1.0f64..200.0) {
+        let v = t_cdf(t, df);
+        prop_assert!((0.0..=1.0).contains(&v));
+        // Symmetry.
+        prop_assert!((v + t_cdf(-t, df) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn betainc_is_monotone_in_x(
+        a in 0.2f64..10.0,
+        b in 0.2f64..10.0,
+        x1 in 0.0f64..1.0,
+        x2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(betainc_reg(a, b, lo) <= betainc_reg(a, b, hi) + 1e-10);
+    }
+
+    #[test]
+    fn welch_p_value_is_a_probability(
+        xs in prop::collection::vec(-10.0f64..10.0, 2..40),
+        ys in prop::collection::vec(-10.0f64..10.0, 2..40),
+    ) {
+        if let Some(t) = welch_t_test(&xs, &ys) {
+            prop_assert!((0.0..=1.0).contains(&t.p_value));
+            prop_assert!(t.df >= 1.0);
+            prop_assert!(t.t.is_finite());
+        }
+    }
+
+    #[test]
+    fn welch_is_antisymmetric(
+        xs in prop::collection::vec(-10.0f64..10.0, 3..20),
+        ys in prop::collection::vec(-10.0f64..10.0, 3..20),
+    ) {
+        if let (Some(ab), Some(ba)) = (welch_t_test(&xs, &ys), welch_t_test(&ys, &xs)) {
+            prop_assert!((ab.t + ba.t).abs() < 1e-10);
+            prop_assert!((ab.p_value - ba.p_value).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn loess_stays_within_data_envelope(
+        ys in prop::collection::vec(-100.0f64..100.0, 5..60),
+        span in 0.3f64..1.0,
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let smooth = Loess::new(span).fit(&xs, &ys);
+        let s = Summary::of(&ys);
+        // Local *linear* fits can overshoot slightly at the edges; allow
+        // a margin proportional to the data spread.
+        let margin = (s.max - s.min).abs() * 0.5 + 1e-6;
+        for v in smooth {
+            prop_assert!(v >= s.min - margin && v <= s.max + margin,
+                "smoothed {v} far outside [{}, {}]", s.min, s.max);
+        }
+    }
+
+    #[test]
+    fn loess_is_exact_on_affine_data(
+        slope in -5.0f64..5.0,
+        intercept in -10.0f64..10.0,
+        n in 5usize..40,
+        span in 0.3f64..1.0,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let smooth = Loess::new(span).fit(&xs, &ys);
+        for (s, y) in smooth.iter().zip(&ys) {
+            prop_assert!((s - y).abs() < 1e-6 * (1.0 + y.abs()));
+        }
+    }
+}

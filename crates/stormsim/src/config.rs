@@ -1,0 +1,212 @@
+//! The configuration surface of Table I.
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::Topology;
+
+/// A complete runtime configuration for deploying a topology — exactly the
+/// parameters of Table I in the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StormConfig {
+    /// Threads in each worker's executor pool ("Worker Threads").
+    pub worker_threads: u32,
+    /// Message-receive threads per worker ("Receiver Threads").
+    pub receiver_threads: u32,
+    /// Total acker task instances ("Ackers"). 0 = one per worker (the
+    /// Storm default the paper used for its baseline runs).
+    pub ackers: u32,
+    /// Mini-batches processed in parallel ("Batch Parallelism").
+    pub batch_parallelism: u32,
+    /// Tuples per mini-batch ("Batch Size").
+    pub batch_size: u32,
+    /// Parallelism hint per topology node ("Parallelism Hints").
+    pub parallelism_hints: Vec<u32>,
+    /// Upper bound on total task instances; hints are normalized against
+    /// it (paper §V-A: "we normalized the chosen hints using the max-task
+    /// parameter").
+    pub max_tasks: u32,
+}
+
+impl StormConfig {
+    /// A conservative default for a topology with `n_nodes` operators:
+    /// hint 1 everywhere, the paper's baseline batch settings.
+    pub fn baseline(n_nodes: usize) -> Self {
+        StormConfig {
+            worker_threads: 8,
+            receiver_threads: 1,
+            ackers: 0,
+            batch_parallelism: 3,
+            batch_size: 300,
+            parallelism_hints: vec![1; n_nodes],
+            max_tasks: 4_000,
+        }
+    }
+
+    /// Uniform-hint constructor (what the `pla` strategy sweeps).
+    pub fn uniform_hints(n_nodes: usize, hint: u32) -> Self {
+        StormConfig {
+            parallelism_hints: vec![hint.max(1); n_nodes],
+            ..StormConfig::baseline(n_nodes)
+        }
+    }
+
+    /// The actual task counts Storm would instantiate: hints clamped to at
+    /// least 1, then scaled down proportionally if their sum exceeds
+    /// `max_tasks` (each node keeps at least one task).
+    pub fn normalized_tasks(&self, topo: &Topology) -> Vec<u32> {
+        assert_eq!(
+            self.parallelism_hints.len(),
+            topo.n_nodes(),
+            "one parallelism hint per topology node"
+        );
+        let hints: Vec<u64> = self.parallelism_hints.iter().map(|&h| h.max(1) as u64).collect();
+        let total: u64 = hints.iter().sum();
+        let cap = self.max_tasks.max(topo.n_nodes() as u32) as u64;
+        if total <= cap {
+            return hints.iter().map(|&h| h as u32).collect();
+        }
+        // Over budget: every node keeps one task, and the remaining
+        // budget is distributed proportionally to the excess hints
+        // (water-filling), so the sum never exceeds the cap.
+        let n = hints.len() as u64;
+        let spare = cap - n;
+        let excess: Vec<u64> = hints.iter().map(|&h| h - 1).collect();
+        let excess_total: u64 = excess.iter().sum();
+        hints
+            .iter()
+            .zip(&excess)
+            .map(|(_, &e)| {
+                let extra = if excess_total == 0 {
+                    0
+                } else {
+                    (e as u128 * spare as u128 / excess_total as u128) as u64
+                };
+                (1 + extra) as u32
+            })
+            .collect()
+    }
+
+    /// Total acker tasks given `workers` in use (Storm default: one per
+    /// worker when unset).
+    pub fn effective_ackers(&self, workers: usize) -> u32 {
+        if self.ackers == 0 {
+            workers as u32
+        } else {
+            self.ackers
+        }
+    }
+
+    /// Validate ranges; returns a human-readable complaint if unusable.
+    pub fn validate(&self, topo: &Topology) -> Result<(), String> {
+        if self.parallelism_hints.len() != topo.n_nodes() {
+            return Err(format!(
+                "{} hints for {} nodes",
+                self.parallelism_hints.len(),
+                topo.n_nodes()
+            ));
+        }
+        if self.worker_threads == 0 {
+            return Err("worker_threads must be >= 1".into());
+        }
+        if self.receiver_threads == 0 {
+            return Err("receiver_threads must be >= 1".into());
+        }
+        if self.batch_parallelism == 0 {
+            return Err("batch_parallelism must be >= 1".into());
+        }
+        if self.batch_size == 0 {
+            return Err("batch_size must be >= 1".into());
+        }
+        if self.max_tasks == 0 {
+            return Err("max_tasks must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    fn chain(n: usize) -> Topology {
+        let mut tb = TopologyBuilder::new("chain");
+        let mut prev = tb.spout("s", 10.0);
+        for i in 1..n {
+            let b = tb.bolt(&format!("b{i}"), 10.0);
+            tb.connect(prev, b);
+            prev = b;
+        }
+        tb.build().unwrap()
+    }
+
+    #[test]
+    fn normalization_noop_when_under_cap() {
+        let t = chain(3);
+        let mut c = StormConfig::baseline(3);
+        c.parallelism_hints = vec![5, 7, 9];
+        c.max_tasks = 100;
+        assert_eq!(c.normalized_tasks(&t), vec![5, 7, 9]);
+    }
+
+    #[test]
+    fn normalization_scales_proportionally() {
+        let t = chain(3);
+        let mut c = StormConfig::baseline(3);
+        c.parallelism_hints = vec![10, 20, 70];
+        c.max_tasks = 10;
+        let tasks = c.normalized_tasks(&t);
+        assert!(tasks.iter().sum::<u32>() <= 10, "{tasks:?}");
+        // Ordering of the hints is preserved.
+        assert!(tasks[0] <= tasks[1] && tasks[1] <= tasks[2], "{tasks:?}");
+        // The biggest hint keeps the lion's share.
+        assert!(tasks[2] >= 5, "{tasks:?}");
+    }
+
+    #[test]
+    fn normalization_never_exceeds_cap_with_extreme_skew() {
+        let t = chain(4);
+        let mut c = StormConfig::baseline(4);
+        c.parallelism_hints = vec![1, 1, 1, 500];
+        c.max_tasks = 16;
+        let tasks = c.normalized_tasks(&t);
+        assert!(tasks.iter().sum::<u32>() <= 16, "{tasks:?}");
+        assert!(tasks.iter().all(|&x| x >= 1));
+    }
+
+    #[test]
+    fn normalization_keeps_minimum_one() {
+        let t = chain(4);
+        let mut c = StormConfig::baseline(4);
+        c.parallelism_hints = vec![1, 1, 1, 997];
+        c.max_tasks = 8;
+        let tasks = c.normalized_tasks(&t);
+        assert!(tasks.iter().all(|&x| x >= 1), "{tasks:?}");
+    }
+
+    #[test]
+    fn zero_hints_are_clamped() {
+        let t = chain(2);
+        let mut c = StormConfig::baseline(2);
+        c.parallelism_hints = vec![0, 3];
+        assert_eq!(c.normalized_tasks(&t), vec![1, 3]);
+    }
+
+    #[test]
+    fn effective_ackers_defaults_to_workers() {
+        let c = StormConfig::baseline(1);
+        assert_eq!(c.effective_ackers(80), 80);
+        let c = StormConfig { ackers: 5, ..StormConfig::baseline(1) };
+        assert_eq!(c.effective_ackers(80), 5);
+    }
+
+    #[test]
+    fn validation_catches_zeroes() {
+        let t = chain(2);
+        let good = StormConfig::baseline(2);
+        assert!(good.validate(&t).is_ok());
+        assert!(StormConfig { worker_threads: 0, ..good.clone() }.validate(&t).is_err());
+        assert!(StormConfig { batch_size: 0, ..good.clone() }.validate(&t).is_err());
+        assert!(StormConfig { parallelism_hints: vec![1], ..good }.validate(&t).is_err());
+    }
+}

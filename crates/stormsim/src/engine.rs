@@ -1,0 +1,177 @@
+//! A small deterministic discrete-event simulation core.
+//!
+//! Events are ordered by `(time, insertion sequence)`, so simultaneous
+//! events fire in FIFO order and runs are exactly reproducible. Time is
+//! `f64` seconds; NaN times are rejected at insertion.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event queue over event payloads of type `E`.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: f64,
+    popped: u64,
+    pushed: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are never NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: 0.0, popped: 0, pushed: 0 }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is NaN or earlier than the current time (events
+    /// may not be scheduled in the past).
+    pub fn schedule(&mut self, time: f64, event: E) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(
+            time >= self.now,
+            "cannot schedule in the past: {time} < now {}",
+            self.now
+        );
+        self.heap.push(Entry { time, seq: self.seq, event });
+        self.seq += 1;
+        self.pushed += 1;
+    }
+
+    /// Schedule `event` `delay` seconds from now.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        let now = self.now;
+        self.schedule(now + delay.max(0.0), event);
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "time must be monotone");
+        self.now = entry.time;
+        self.popped += 1;
+        Some((entry.time, entry.event))
+    }
+
+    /// Pending event count.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events processed so far (diagnostics).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Total events ever scheduled (diagnostics).
+    pub fn events_scheduled(&self) -> u64 {
+        self.pushed
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(1.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.schedule(2.0, ());
+        assert_eq!(q.now(), 0.0);
+        let (t1, _) = q.pop().unwrap();
+        assert_eq!(t1, 2.0);
+        assert_eq!(q.now(), 2.0);
+        q.schedule_in(1.0, ());
+        let (t2, _) = q.pop().unwrap();
+        assert_eq!(t2, 3.0);
+        let (t3, _) = q.pop().unwrap();
+        assert_eq!(t3, 5.0);
+        assert!(q.is_empty());
+        assert_eq!(q.events_processed(), 3);
+        assert_eq!(q.events_scheduled(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn rejects_nan() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+}

@@ -1,0 +1,536 @@
+//! The fast flow-level performance model.
+//!
+//! `simulate_flow` evaluates a configured topology analytically: every
+//! constraint of the cluster model is linear in the aggregate spout rate
+//! `R`, so the steady-state throughput is the minimum over constraint
+//! bounds, followed by the (nonlinear but closed-form) batch-pipeline,
+//! memory and latency corrections. One evaluation costs microseconds,
+//! which is what lets the benches replay the paper's thousands of
+//! optimization runs.
+//!
+//! The constraints, in the order they are applied:
+//!
+//! 1. **node capacity** — a node's tasks are single threads: at most one
+//!    core each (grouping can cap effective parallelism further),
+//! 2. **machine CPU** — processor sharing of each machine's effective
+//!    capacity (worker-thread-limited, context-switch-penalized) across
+//!    the tasks placed on it, minus per-task spin overhead,
+//! 3. **ackers** — one bookkeeping op per processed tuple,
+//! 4. **receivers** — per-worker ingress of remote tuples,
+//! 5. **network** — per-worker NIC bandwidth,
+//! 6. **batch pipeline** — Trident's serial per-batch commit (overhead
+//!    grows with total task count) pipelined over `batch_parallelism`
+//!    in-flight batches of `batch_size` tuples,
+//! 7. **memory** — in-flight batch data vs worker buffering,
+//! 8. **batch timeout** — configurations whose batch latency exceeds the
+//!    timeout measure *zero* (replay storm), which is how degenerate
+//!    configurations failed on the paper's cluster.
+
+use crate::cluster::ClusterSpec;
+use crate::config::StormConfig;
+use crate::flow::{self, FlowAnalysis};
+use crate::metrics::{Bottleneck, SimResult};
+use crate::placement::{place_even, Placement};
+use crate::topology::{Grouping, Topology};
+
+/// Evaluate `config` on `topo` over a measurement window of `window_s`
+/// virtual seconds. Deterministic; apply
+/// [`crate::noise::MeasurementNoise`] on top for realistic measurements.
+pub fn simulate_flow(
+    topo: &Topology,
+    config: &StormConfig,
+    cluster: &ClusterSpec,
+    window_s: f64,
+) -> SimResult {
+    assert!(window_s > 0.0, "window must be positive");
+    if let Err(_e) = config.validate(topo) {
+        return SimResult::failed(window_s, 0, 0);
+    }
+    let tasks = config.normalized_tasks(topo);
+    let ackers = config.effective_ackers(tasks.iter().map(|&t| t as usize).sum::<usize>().min(cluster.machines));
+    let placement = place_even(topo, &tasks, ackers, cluster);
+    let flows = flow::analyze(topo);
+
+    let model = ConstraintModel::build(topo, config, cluster, &tasks, placement, flows);
+    model.solve(window_s)
+}
+
+/// Intermediate per-configuration constraint data.
+struct ConstraintModel<'a> {
+    topo: &'a Topology,
+    config: &'a StormConfig,
+    cluster: &'a ClusterSpec,
+    tasks: Vec<u32>,
+    placement: Placement,
+    flows: FlowAnalysis,
+    /// Per-tuple compute cost of node v including contention and overhead.
+    node_cost: Vec<f64>,
+    /// Effective parallelism of node v after grouping caps.
+    eff_tasks: Vec<f64>,
+}
+
+impl<'a> ConstraintModel<'a> {
+    fn build(
+        topo: &'a Topology,
+        config: &'a StormConfig,
+        cluster: &'a ClusterSpec,
+        tasks: &[u32],
+        placement: Placement,
+        flows: FlowAnalysis,
+    ) -> Self {
+        let node_cost: Vec<f64> = (0..topo.n_nodes())
+            .map(|v| {
+                let spec = topo.node(v);
+                let contention = if spec.contentious {
+                    (tasks[v] as f64).powf(cluster.contention_exponent)
+                } else {
+                    1.0
+                };
+                spec.time_complexity * contention + cluster.per_tuple_overhead_units
+            })
+            .collect();
+        let eff_tasks: Vec<f64> = (0..topo.n_nodes())
+            .map(|v| {
+                let mut eff = tasks[v] as f64;
+                for &ei in topo.in_edges(v) {
+                    match topo.edges()[ei].grouping {
+                        Grouping::Shuffle => {}
+                        Grouping::Fields { key_cardinality } => {
+                            eff = eff.min(key_cardinality as f64);
+                        }
+                        Grouping::Global => eff = 1.0,
+                    }
+                }
+                eff.max(1.0)
+            })
+            .collect();
+        ConstraintModel {
+            topo,
+            config,
+            cluster,
+            tasks: tasks.to_vec(),
+            placement,
+            flows,
+            node_cost,
+            eff_tasks,
+        }
+    }
+
+    fn solve(&self, window_s: f64) -> SimResult {
+        let cl = self.cluster;
+        let total_tasks = self.placement.total_tasks();
+        let workers = self.placement.workers;
+        let remote = self.placement.remote_fraction();
+        let ackers = self.placement.acker_worker.len().max(1);
+
+        let mut best = f64::INFINITY;
+        let mut bottleneck = Bottleneck::ClusterCpu;
+        let mut consider = |bound: f64, what: Bottleneck| {
+            if bound < best {
+                best = bound;
+                bottleneck = what;
+            }
+        };
+
+        // 1. Node capacity: R * f_v * cost_v <= eff_tasks_v * unit_rate.
+        for v in 0..self.topo.n_nodes() {
+            let f = self.flows.node_flow[v];
+            if f <= 0.0 {
+                continue;
+            }
+            consider(
+                self.eff_tasks[v] * cl.unit_rate / (f * self.node_cost[v]),
+                Bottleneck::NodeCapacity(v),
+            );
+        }
+
+        // 2. Machine CPU. Per-task demand coefficient of node v (units per
+        // aggregate spout tuple): f_v * cost_v / tasks_v.
+        let coef: Vec<f64> = (0..self.topo.n_nodes())
+            .map(|v| {
+                let f = self.flows.node_flow[v];
+                if self.tasks[v] == 0 {
+                    0.0
+                } else {
+                    f * self.node_cost[v] / self.tasks[v] as f64
+                }
+            })
+            .collect();
+        let ack_coef =
+            self.flows.total_processing * cl.acker_cost_units / ackers as f64;
+        let mut machine_demand = vec![0.0; workers];
+        for (tid, task) in self.placement.tasks.iter().enumerate() {
+            machine_demand[self.placement.task_worker[tid]] += coef[task.node];
+        }
+        for &w in &self.placement.acker_worker {
+            machine_demand[w] += ack_coef;
+        }
+        let mut total_capacity = 0.0;
+        let mut spin_total = 0.0;
+        let mut failed = false;
+        #[allow(clippy::needless_range_loop)] // indexes three parallel arrays
+        for m in 0..workers {
+            let threads = (self.placement.tasks_per_worker[m] as u32)
+                .min(self.config.worker_threads)
+                + self.config.receiver_threads
+                + self.placement.ackers_per_worker[m] as u32;
+            let cap = cl.machine_capacity(threads);
+            let spin = cl.task_spin_units
+                * (self.placement.tasks_per_worker[m] + self.placement.ackers_per_worker[m])
+                    as f64;
+            total_capacity += cap;
+            spin_total += spin;
+            if spin >= cap {
+                failed = true; // the machine thrashes on overhead alone
+                continue;
+            }
+            if machine_demand[m] > 0.0 {
+                consider((cap - spin) / machine_demand[m], Bottleneck::ClusterCpu);
+            }
+            // Executor work is additionally limited by the worker's
+            // thread pool: at most min(worker_threads, tasks) bolt/spout
+            // tuples in service at once, one core each.
+            let exec_demand: f64 = machine_demand[m]
+                - self.placement.ackers_per_worker[m] as f64 * ack_coef;
+            if exec_demand > 0.0 {
+                let exec_threads = (self.placement.tasks_per_worker[m] as u32)
+                    .min(self.config.worker_threads) as f64;
+                consider(exec_threads * cl.unit_rate / exec_demand, Bottleneck::ClusterCpu);
+            }
+        }
+        if failed {
+            return SimResult::failed(window_s, workers, total_tasks);
+        }
+
+        // 3. Ackers: every processed tuple produces one ack op; each acker
+        // task is one thread (at most one core).
+        let ack_demand_per_r = self.flows.total_processing * cl.acker_cost_units;
+        if ack_demand_per_r > 0.0 {
+            consider(
+                ackers as f64 * cl.unit_rate / ack_demand_per_r,
+                Bottleneck::Ackers,
+            );
+        }
+
+        // 4. Receivers: remote tuples arriving per worker per unit R.
+        let edge_tuples_per_unit: f64 = self.flows.edge_flow.iter().sum();
+        let inbound_per_worker = edge_tuples_per_unit * remote / workers as f64;
+        if inbound_per_worker > 0.0 {
+            consider(
+                self.config.receiver_threads as f64 * cl.receiver_tuple_rate
+                    / inbound_per_worker,
+                Bottleneck::Receivers,
+            );
+        }
+
+        // 5. Network bandwidth per worker.
+        let bytes_per_worker = self.flows.bytes_per_unit * remote / workers as f64;
+        if bytes_per_worker > 0.0 {
+            consider(cl.net_bandwidth_bps / bytes_per_worker, Bottleneck::Network);
+        }
+
+        if !best.is_finite() || best <= 0.0 {
+            return SimResult::failed(window_s, workers, total_tasks);
+        }
+        let r_proc = best;
+
+        // 6. Batch pipeline. Serial commit time grows with the number of
+        // coordinated tasks (topology tasks and ackers alike).
+        let s = self.config.batch_size as f64;
+        let b = self.config.batch_parallelism as f64;
+        let t_commit = cl.batch_overhead_s
+            + cl.batch_coord_per_task_s * (total_tasks + ackers) as f64;
+        let r_commit = s / t_commit;
+        let mut r = r_proc.min(r_commit);
+        if r_commit < r_proc {
+            bottleneck = Bottleneck::BatchPipeline;
+        }
+        // Pipeline smoothing: B batches of S tuples amortize the serial
+        // commit; R = R * BS / (BS + R * T_commit).
+        let smoothed = r * (b * s) / (b * s + r * t_commit);
+        if smoothed < r * 0.85 && !matches!(bottleneck, Bottleneck::BatchPipeline) {
+            bottleneck = Bottleneck::BatchPipeline;
+        }
+        r = smoothed;
+
+        // 7. Memory: in-flight tuples across the pipeline occupy worker
+        // buffers; amplification by downstream processing.
+        let mean_bytes = self.mean_tuple_bytes();
+        let inflight_bytes =
+            b * s * mean_bytes * (1.0 + self.flows.total_processing) / workers as f64;
+        if inflight_bytes > cl.worker_buffer_bytes {
+            let factor = cl.worker_buffer_bytes / inflight_bytes;
+            r *= factor * factor; // thrashing is superlinear
+            bottleneck = Bottleneck::Memory;
+        }
+
+        // 8. Latency and window truncation. Past the batch timeout the
+        // topology degrades into replays: throughput falls off steeply
+        // and collapses entirely at twice the timeout (in a 2-minute
+        // window some early batches still commit before the replay storm
+        // takes hold, which is also what gives the optimizer a usable
+        // gradient at the cliff's edge instead of a flat zero plateau).
+        let batch_latency = b * s / r + t_commit;
+        if batch_latency > cl.batch_timeout_s {
+            let over = batch_latency / cl.batch_timeout_s;
+            if over >= 2.0 {
+                return SimResult::failed(window_s, workers, total_tasks);
+            }
+            // Root-cause attribution is kept: the slow constraint that
+            // inflated the latency is still what the operator must fix.
+            r *= 2.0 - over;
+        }
+        let truncation = ((window_s - batch_latency) / window_s).clamp(0.0, 1.0);
+        let measured = r * truncation;
+        if measured <= 0.0 {
+            return SimResult::failed(window_s, workers, total_tasks);
+        }
+
+        // Metrics.
+        let committed_batches = (measured * window_s / s).floor() as u64;
+        let cpu_used = measured
+            * (0..self.topo.n_nodes())
+                .map(|v| self.flows.node_flow[v] * self.node_cost[v])
+                .sum::<f64>()
+            + measured * ack_demand_per_r
+            + spin_total;
+        let cpu_utilization = (cpu_used / total_capacity).clamp(0.0, 1.0);
+        let avg_worker_net_mbps =
+            measured * self.flows.bytes_per_unit * remote / workers as f64 / (1024.0 * 1024.0);
+
+        SimResult {
+            throughput_tps: measured,
+            committed_batches,
+            duration_s: window_s,
+            avg_worker_net_mbps,
+            batch_latency_s: batch_latency,
+            cpu_utilization,
+            workers_used: workers,
+            total_tasks,
+            bottleneck,
+        }
+    }
+
+    /// Flow-weighted mean emitted-tuple size.
+    fn mean_tuple_bytes(&self) -> f64 {
+        let mut weight = 0.0;
+        let mut sum = 0.0;
+        for v in 0..self.topo.n_nodes() {
+            let f = self.flows.node_flow[v];
+            weight += f;
+            sum += f * self.topo.node(v).tuple_bytes as f64;
+        }
+        if weight > 0.0 {
+            sum / weight
+        } else {
+            128.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    fn chain(costs: &[f64]) -> Topology {
+        let mut tb = TopologyBuilder::new("chain");
+        let mut prev = tb.spout("s", costs[0]);
+        for (i, &c) in costs.iter().enumerate().skip(1) {
+            let b = tb.bolt(&format!("b{i}"), c);
+            tb.connect(prev, b);
+            prev = b;
+        }
+        tb.build().unwrap()
+    }
+
+    fn eval(topo: &Topology, config: &StormConfig) -> SimResult {
+        simulate_flow(topo, config, &ClusterSpec::paper_cluster(), 120.0)
+    }
+
+    #[test]
+    fn throughput_positive_and_finite() {
+        let topo = chain(&[10.0, 20.0, 20.0]);
+        let r = eval(&topo, &StormConfig::baseline(3));
+        assert!(r.throughput_tps > 0.0 && r.throughput_tps.is_finite());
+        assert!(r.batch_latency_s > 0.0);
+        assert!(r.cpu_utilization > 0.0 && r.cpu_utilization <= 1.0);
+    }
+
+    #[test]
+    fn more_parallelism_helps_until_it_does_not() {
+        // Sweep uniform hints: throughput must rise, peak, then decline —
+        // the interior optimum the pla strategy searches for.
+        let topo = chain(&[10.0, 20.0, 20.0, 20.0, 20.0]);
+        let mut sweep = Vec::new();
+        for h in [1u32, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+            let mut c = StormConfig::uniform_hints(5, h);
+            c.max_tasks = 1_000_000;
+            sweep.push(eval(&topo, &c).throughput_tps);
+        }
+        assert!(sweep[1] > sweep[0], "2 tasks beat 1: {sweep:?}");
+        let peak = sweep.iter().cloned().fold(0.0, f64::max);
+        let last = *sweep.last().unwrap();
+        assert!(
+            last < peak * 0.9,
+            "extreme parallelism must cost throughput: {sweep:?}"
+        );
+    }
+
+    #[test]
+    fn contention_negates_parallelism() {
+        let mut tb = TopologyBuilder::new("cont");
+        let s = tb.spout("s", 10.0);
+        let a = tb.bolt("a", 20.0);
+        tb.connect(s, a);
+        tb.contentious(a, true);
+        let topo = tb.build().unwrap();
+
+        // On an unconstrained cluster extra tasks on a contentious bolt
+        // must not *help* (the per-tuple cost scales with the task count,
+        // §IV-B2)...
+        let low = eval(&topo, &{
+            let mut c = StormConfig::baseline(2);
+            c.parallelism_hints = vec![4, 1];
+            c
+        });
+        let high = eval(&topo, &{
+            let mut c = StormConfig::baseline(2);
+            c.parallelism_hints = vec![4, 16];
+            c
+        });
+        assert!(
+            high.throughput_tps <= low.throughput_tps * 1.01,
+            "parallelizing a contentious bolt must not help: {} vs {}",
+            high.throughput_tps,
+            low.throughput_tps
+        );
+
+        // ...and on a CPU-tight cluster the wasted cycles actively hurt.
+        let tight = ClusterSpec::tiny();
+        let low_tight = simulate_flow(
+            &topo,
+            &{
+                let mut c = StormConfig::baseline(2);
+                c.parallelism_hints = vec![4, 1];
+                c
+            },
+            &tight,
+            120.0,
+        );
+        let high_tight = simulate_flow(
+            &topo,
+            &{
+                let mut c = StormConfig::baseline(2);
+                c.parallelism_hints = vec![4, 16];
+                c
+            },
+            &tight,
+            120.0,
+        );
+        assert!(
+            high_tight.throughput_tps < low_tight.throughput_tps,
+            "on a tight cluster contention waste must cost throughput: {} vs {}",
+            high_tight.throughput_tps,
+            low_tight.throughput_tps
+        );
+    }
+
+    #[test]
+    fn bigger_batches_amortize_commit_overhead() {
+        let topo = chain(&[1.0, 1.0, 1.0]);
+        let small = eval(&topo, &{
+            let mut c = StormConfig::uniform_hints(3, 8);
+            c.batch_size = 100;
+            c
+        });
+        let big = eval(&topo, &{
+            let mut c = StormConfig::uniform_hints(3, 8);
+            c.batch_size = 20_000;
+            c
+        });
+        assert!(
+            big.throughput_tps > small.throughput_tps * 1.3,
+            "batch amortization: {} vs {}",
+            big.throughput_tps,
+            small.throughput_tps
+        );
+    }
+
+    #[test]
+    fn absurd_batches_time_out_to_zero() {
+        let topo = chain(&[10.0, 30.0]);
+        let mut c = StormConfig::uniform_hints(2, 1);
+        c.batch_size = 4_000_000;
+        c.batch_parallelism = 64;
+        let r = eval(&topo, &c);
+        assert_eq!(r.throughput_tps, 0.0, "latency beyond timeout must fail");
+        assert_eq!(r.bottleneck, Bottleneck::Failed);
+    }
+
+    #[test]
+    fn global_grouping_caps_effective_parallelism() {
+        let mut tb = TopologyBuilder::new("glob");
+        let s = tb.spout("s", 5.0);
+        let a = tb.bolt("agg", 20.0);
+        tb.connect_grouped(s, a, Grouping::Global);
+        let topo = tb.build().unwrap();
+        let mut c = StormConfig::baseline(2);
+        c.parallelism_hints = vec![4, 1];
+        let one = eval(&topo, &c).throughput_tps;
+        c.parallelism_hints = vec![4, 32];
+        let many = eval(&topo, &c).throughput_tps;
+        assert!(
+            many <= one * 1.05,
+            "global grouping pins work to one task: {many} vs {one}"
+        );
+    }
+
+    #[test]
+    fn fields_grouping_caps_at_key_cardinality() {
+        let mut tb = TopologyBuilder::new("fields");
+        let s = tb.spout("s", 1.0);
+        let a = tb.bolt("count", 20.0);
+        tb.connect_grouped(s, a, Grouping::Fields { key_cardinality: 2 });
+        let topo = tb.build().unwrap();
+        let with = |hint: u32| {
+            let mut c = StormConfig::baseline(2);
+            c.parallelism_hints = vec![4, hint];
+            eval(&topo, &c).throughput_tps
+        };
+        let h2 = with(2);
+        let h16 = with(16);
+        // Past the key cardinality extra tasks bring nothing (only spin).
+        assert!(h16 <= h2 * 1.02, "cardinality cap: {h16} vs {h2}");
+    }
+
+    #[test]
+    fn network_metric_below_nic_limit() {
+        let topo = chain(&[1.0, 1.0, 1.0, 1.0]);
+        let r = eval(&topo, &StormConfig::uniform_hints(4, 16));
+        assert!(r.avg_worker_net_mbps >= 0.0);
+        assert!(
+            r.avg_worker_net_mbps <= 128.0,
+            "per-worker net {} exceeds the NIC",
+            r.avg_worker_net_mbps
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let topo = chain(&[10.0, 20.0]);
+        let c = StormConfig::baseline(2);
+        let a = eval(&topo, &c);
+        let b = eval(&topo, &c);
+        assert_eq!(a.throughput_tps, b.throughput_tps);
+    }
+
+    #[test]
+    fn invalid_config_fails_cleanly() {
+        let topo = chain(&[10.0, 20.0]);
+        let mut c = StormConfig::baseline(2);
+        c.batch_size = 0;
+        let r = eval(&topo, &c);
+        assert_eq!(r.throughput_tps, 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Simulation results and bottleneck attribution.
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::NodeId;
+
+/// What limited the measured throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Bottleneck {
+    /// A node's task instances saturated (one thread per task can't keep
+    /// up) — raise that node's parallelism hint.
+    NodeCapacity(NodeId),
+    /// Aggregate machine CPU exhausted (including per-task spin overhead).
+    ClusterCpu,
+    /// Acker tasks saturated.
+    Ackers,
+    /// Receiver threads saturated.
+    Receivers,
+    /// Network bandwidth saturated.
+    Network,
+    /// Serial batch-commit coordination dominated.
+    BatchPipeline,
+    /// In-flight batch data exceeded worker buffering.
+    Memory,
+    /// The configuration failed outright (batch timeout / thrashing):
+    /// measured throughput is zero, as the paper observed for degenerate
+    /// configurations.
+    Failed,
+}
+
+impl Bottleneck {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Bottleneck::NodeCapacity(n) => format!("node:{n}"),
+            Bottleneck::ClusterCpu => "cpu".into(),
+            Bottleneck::Ackers => "ackers".into(),
+            Bottleneck::Receivers => "receivers".into(),
+            Bottleneck::Network => "network".into(),
+            Bottleneck::BatchPipeline => "batch-pipeline".into(),
+            Bottleneck::Memory => "memory".into(),
+            Bottleneck::Failed => "failed".into(),
+        }
+    }
+}
+
+/// Outcome of simulating one configured run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Measured throughput in spout tuples per second (committed work
+    /// within the measurement window — the paper's headline metric).
+    pub throughput_tps: f64,
+    /// Mini-batches committed during the window.
+    pub committed_batches: u64,
+    /// Length of the measured window in (virtual) seconds.
+    pub duration_s: f64,
+    /// Average network load per worker in MB/s (Fig. 3's metric).
+    pub avg_worker_net_mbps: f64,
+    /// End-to-end latency of a batch in seconds.
+    pub batch_latency_s: f64,
+    /// Fraction of total cluster CPU used (including overheads).
+    pub cpu_utilization: f64,
+    /// Workers that hosted at least one task.
+    pub workers_used: usize,
+    /// Total task instances deployed.
+    pub total_tasks: usize,
+    /// What limited throughput.
+    pub bottleneck: Bottleneck,
+}
+
+impl SimResult {
+    /// A zero-throughput (failed) result.
+    pub fn failed(duration_s: f64, workers: usize, tasks: usize) -> SimResult {
+        SimResult {
+            throughput_tps: 0.0,
+            committed_batches: 0,
+            duration_s,
+            avg_worker_net_mbps: 0.0,
+            batch_latency_s: f64::INFINITY,
+            cpu_utilization: 0.0,
+            workers_used: workers,
+            total_tasks: tasks,
+            bottleneck: Bottleneck::Failed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Bottleneck::NodeCapacity(3).label(), "node:3");
+        assert_eq!(Bottleneck::ClusterCpu.label(), "cpu");
+        assert_eq!(Bottleneck::Failed.label(), "failed");
+    }
+
+    #[test]
+    fn failed_result_is_zero() {
+        let r = SimResult::failed(120.0, 4, 16);
+        assert_eq!(r.throughput_tps, 0.0);
+        assert_eq!(r.committed_batches, 0);
+        assert_eq!(r.bottleneck, Bottleneck::Failed);
+    }
+}

@@ -1,0 +1,192 @@
+//! Task placement: Storm's even scheduler.
+//!
+//! One worker per machine; task instances (and acker tasks) are dealt
+//! round-robin across workers, which is what Storm's default `EvenScheduler`
+//! converges to for homogeneous workers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::ClusterSpec;
+use crate::topology::{NodeId, Topology};
+
+/// A task instance of a topology node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskRef {
+    /// The node this task instantiates.
+    pub node: NodeId,
+    /// Instance index within the node, `0..n_tasks(node)`.
+    pub instance: u32,
+}
+
+/// The physical layout of a configured topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Placement {
+    /// Number of workers in use (= machines hosting at least one task).
+    pub workers: usize,
+    /// Every task instance, in global id order.
+    pub tasks: Vec<TaskRef>,
+    /// Worker index per task (parallel to `tasks`).
+    pub task_worker: Vec<usize>,
+    /// Task ids per node.
+    pub node_tasks: Vec<Vec<usize>>,
+    /// Worker index per acker instance.
+    pub acker_worker: Vec<usize>,
+    /// Topology task count per worker (ackers excluded).
+    pub tasks_per_worker: Vec<usize>,
+    /// Acker count per worker.
+    pub ackers_per_worker: Vec<usize>,
+}
+
+/// Place `tasks_per_node[v]` instances of each node and `ackers` acker
+/// tasks round-robin on the cluster.
+pub fn place_even(
+    topo: &Topology,
+    tasks_per_node: &[u32],
+    ackers: u32,
+    cluster: &ClusterSpec,
+) -> Placement {
+    assert_eq!(tasks_per_node.len(), topo.n_nodes());
+    let total_tasks: usize = tasks_per_node.iter().map(|&t| t as usize).sum();
+    // Storm spreads a topology over as many workers as it has been
+    // assigned; with one worker slot per machine and fewer tasks than
+    // machines, the surplus machines stay idle.
+    let workers = total_tasks.min(cluster.machines).max(1);
+
+    let mut tasks = Vec::with_capacity(total_tasks);
+    let mut task_worker = Vec::with_capacity(total_tasks);
+    let mut node_tasks = vec![Vec::new(); topo.n_nodes()];
+    let mut tasks_per_worker = vec![0usize; workers];
+
+    // Interleave nodes (rather than placing node-by-node) so every worker
+    // gets a cross-section of the topology — matches Storm's executor
+    // distribution closely enough for capacity modeling.
+    let mut next_worker = 0usize;
+    let mut remaining: Vec<u32> = tasks_per_node.to_vec();
+    let mut instance: Vec<u32> = vec![0; topo.n_nodes()];
+    loop {
+        let mut placed_any = false;
+        for node in 0..topo.n_nodes() {
+            if remaining[node] == 0 {
+                continue;
+            }
+            remaining[node] -= 1;
+            let id = tasks.len();
+            tasks.push(TaskRef { node, instance: instance[node] });
+            instance[node] += 1;
+            node_tasks[node].push(id);
+            task_worker.push(next_worker);
+            tasks_per_worker[next_worker] += 1;
+            next_worker = (next_worker + 1) % workers;
+            placed_any = true;
+        }
+        if !placed_any {
+            break;
+        }
+    }
+
+    let mut acker_worker = Vec::with_capacity(ackers as usize);
+    let mut ackers_per_worker = vec![0usize; workers];
+    for a in 0..ackers as usize {
+        let w = a % workers;
+        acker_worker.push(w);
+        ackers_per_worker[w] += 1;
+    }
+
+    Placement {
+        workers,
+        tasks,
+        task_worker,
+        node_tasks,
+        acker_worker,
+        tasks_per_worker,
+        ackers_per_worker,
+    }
+}
+
+impl Placement {
+    /// Total topology task instances.
+    pub fn total_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Fraction of an edge's traffic that crosses machine boundaries under
+    /// shuffle grouping, assuming both endpoint nodes are spread evenly
+    /// over the workers.
+    pub fn remote_fraction(&self) -> f64 {
+        if self.workers <= 1 {
+            0.0
+        } else {
+            1.0 - 1.0 / self.workers as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    fn three_node() -> Topology {
+        let mut tb = TopologyBuilder::new("t");
+        let s = tb.spout("s", 1.0);
+        let a = tb.bolt("a", 1.0);
+        let b = tb.bolt("b", 1.0);
+        tb.connect(s, a).connect(a, b);
+        tb.build().unwrap()
+    }
+
+    #[test]
+    fn counts_and_parallel_structures_agree() {
+        let topo = three_node();
+        let cl = ClusterSpec::tiny();
+        let p = place_even(&topo, &[2, 3, 1], 4, &cl);
+        assert_eq!(p.total_tasks(), 6);
+        assert_eq!(p.workers, 2);
+        assert_eq!(p.task_worker.len(), 6);
+        assert_eq!(p.node_tasks[0].len(), 2);
+        assert_eq!(p.node_tasks[1].len(), 3);
+        assert_eq!(p.node_tasks[2].len(), 1);
+        assert_eq!(p.tasks_per_worker.iter().sum::<usize>(), 6);
+        assert_eq!(p.ackers_per_worker.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn balance_is_tight() {
+        let topo = three_node();
+        let cl = ClusterSpec::paper_cluster();
+        let p = place_even(&topo, &[40, 40, 40], 80, &cl);
+        assert_eq!(p.workers, 80);
+        let min = p.tasks_per_worker.iter().min().unwrap();
+        let max = p.tasks_per_worker.iter().max().unwrap();
+        assert!(max - min <= 1, "even scheduler keeps workers within 1 task");
+    }
+
+    #[test]
+    fn fewer_tasks_than_machines_uses_fewer_workers() {
+        let topo = three_node();
+        let cl = ClusterSpec::paper_cluster();
+        let p = place_even(&topo, &[1, 1, 1], 0, &cl);
+        assert_eq!(p.workers, 3);
+        assert_eq!(p.remote_fraction(), 1.0 - 1.0 / 3.0);
+    }
+
+    #[test]
+    fn single_worker_has_no_remote_traffic() {
+        let topo = three_node();
+        let mut cl = ClusterSpec::tiny();
+        cl.machines = 1;
+        let p = place_even(&topo, &[1, 1, 1], 1, &cl);
+        assert_eq!(p.workers, 1);
+        assert_eq!(p.remote_fraction(), 0.0);
+    }
+
+    #[test]
+    fn instances_are_sequential_within_node() {
+        let topo = three_node();
+        let cl = ClusterSpec::tiny();
+        let p = place_even(&topo, &[3, 1, 1], 0, &cl);
+        let instances: Vec<u32> =
+            p.node_tasks[0].iter().map(|&id| p.tasks[id].instance).collect();
+        assert_eq!(instances, vec![0, 1, 2]);
+    }
+}

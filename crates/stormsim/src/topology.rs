@@ -1,0 +1,530 @@
+//! Storm topologies: directed acyclic graphs of spouts and bolts.
+//!
+//! The cost model attached to each node follows §IV-B of the paper:
+//!
+//! * **time complexity** — compute units needed per tuple; 1 unit ≈ 1 ms of
+//!   one core on an idle machine (the paper's busy-wait calibration),
+//! * **resource contention** — a flagged bolt's per-tuple cost is
+//!   multiplied by the *total number of task instances of that bolt*, so
+//!   adding parallelism to it buys nothing and wastes cycles,
+//! * **selectivity** — average number of output tuples per input tuple.
+//!
+//! Each edge carries a [`Grouping`] (how tuples pick a destination *task*)
+//! and each node a [`RoutePolicy`] (whether an emitted tuple is sent to
+//! every downstream bolt or split across them; the synthetic benchmark
+//! topologies shuffle "evenly among downstream bolts", i.e. split).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node within its topology.
+pub type NodeId = usize;
+
+/// Spout (source) or bolt (operator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Data source; emits tuples into the topology.
+    Spout,
+    /// Operator; consumes upstream tuples, may emit downstream.
+    Bolt,
+}
+
+/// Stream grouping: how tuples on an edge choose a destination task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Grouping {
+    /// Round-robin / random across destination tasks (load balancing).
+    Shuffle,
+    /// Hash of a key field: all tuples with equal keys hit the same task.
+    /// `key_cardinality` bounds how many distinct keys exist, which caps
+    /// the effective parallelism of the destination.
+    Fields {
+        /// Number of distinct key values in the stream.
+        key_cardinality: u32,
+    },
+    /// Everything to task 0 (aggregation endpoint).
+    Global,
+}
+
+/// How a node's emitted tuples fan out across multiple outgoing edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutePolicy {
+    /// Each emitted tuple is copied onto **every** outgoing edge (Storm's
+    /// semantics when several bolts subscribe to the same stream).
+    Replicate,
+    /// Each emitted tuple is routed to **one** outgoing edge, chosen
+    /// evenly — the behaviour of the paper's generated topologies.
+    Split,
+}
+
+/// Per-node specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Spout or bolt.
+    pub kind: NodeKind,
+    /// Compute units consumed per processed tuple (1 unit ≈ 1 ms·core).
+    pub time_complexity: f64,
+    /// When `true`, per-tuple cost is multiplied by this node's task count.
+    pub contentious: bool,
+    /// Average tuples emitted per tuple processed (ignored for sinks).
+    pub selectivity: f64,
+    /// Serialized size of an emitted tuple, for network accounting.
+    pub tuple_bytes: u32,
+    /// Fan-out behaviour across this node's outgoing edges.
+    pub route: RoutePolicy,
+}
+
+/// A directed edge with its grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Producing node.
+    pub from: NodeId,
+    /// Consuming node.
+    pub to: NodeId,
+    /// Grouping strategy on this edge.
+    pub grouping: Grouping,
+}
+
+/// A validated Storm topology (connected DAG with at least one spout).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    name: String,
+    nodes: Vec<NodeSpec>,
+    edges: Vec<Edge>,
+    /// Outgoing edge indices per node.
+    out_edges: Vec<Vec<usize>>,
+    /// Incoming edge indices per node.
+    in_edges: Vec<Vec<usize>>,
+    /// Topological order of node ids.
+    topo_order: Vec<NodeId>,
+}
+
+/// Errors from topology validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyError {
+    /// The graph contains a directed cycle.
+    Cyclic,
+    /// No spout present.
+    NoSpout,
+    /// A node is completely disconnected (paper requires all vertices
+    /// connected to at least one other vertex).
+    Disconnected(NodeId),
+    /// A spout has incoming edges.
+    SpoutWithInput(NodeId),
+    /// An edge references a missing node.
+    DanglingEdge(usize),
+    /// Duplicate edge between the same pair.
+    DuplicateEdge(NodeId, NodeId),
+    /// A numeric field is invalid (negative cost, non-positive selectivity…).
+    BadSpec(NodeId, &'static str),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::Cyclic => write!(f, "topology contains a cycle"),
+            TopologyError::NoSpout => write!(f, "topology has no spout"),
+            TopologyError::Disconnected(n) => write!(f, "node {n} is disconnected"),
+            TopologyError::SpoutWithInput(n) => write!(f, "spout {n} has incoming edges"),
+            TopologyError::DanglingEdge(e) => write!(f, "edge {e} references a missing node"),
+            TopologyError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            TopologyError::BadSpec(n, what) => write!(f, "node {n}: invalid {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Incremental builder for [`Topology`].
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    name: String,
+    nodes: Vec<NodeSpec>,
+    edges: Vec<Edge>,
+}
+
+impl TopologyBuilder {
+    /// Start a topology with the given name.
+    pub fn new(name: &str) -> Self {
+        TopologyBuilder { name: name.into(), nodes: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Add a spout with per-tuple emission cost `time_complexity`.
+    pub fn spout(&mut self, name: &str, time_complexity: f64) -> NodeId {
+        self.push_node(name, NodeKind::Spout, time_complexity)
+    }
+
+    /// Add a bolt with per-tuple processing cost `time_complexity`.
+    pub fn bolt(&mut self, name: &str, time_complexity: f64) -> NodeId {
+        self.push_node(name, NodeKind::Bolt, time_complexity)
+    }
+
+    fn push_node(&mut self, name: &str, kind: NodeKind, time_complexity: f64) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(NodeSpec {
+            name: name.into(),
+            kind,
+            time_complexity,
+            contentious: false,
+            selectivity: 1.0,
+            tuple_bytes: 128,
+            route: RoutePolicy::Split,
+        });
+        id
+    }
+
+    /// Mark a node resource-contentious (§IV-B2).
+    pub fn contentious(&mut self, id: NodeId, flag: bool) -> &mut Self {
+        self.nodes[id].contentious = flag;
+        self
+    }
+
+    /// Set a node's selectivity (§IV-B3).
+    pub fn selectivity(&mut self, id: NodeId, s: f64) -> &mut Self {
+        self.nodes[id].selectivity = s;
+        self
+    }
+
+    /// Set a node's emitted tuple size in bytes.
+    pub fn tuple_bytes(&mut self, id: NodeId, bytes: u32) -> &mut Self {
+        self.nodes[id].tuple_bytes = bytes;
+        self
+    }
+
+    /// Set a node's fan-out policy.
+    pub fn route(&mut self, id: NodeId, route: RoutePolicy) -> &mut Self {
+        self.nodes[id].route = route;
+        self
+    }
+
+    /// Connect `from -> to` with shuffle grouping.
+    pub fn connect(&mut self, from: NodeId, to: NodeId) -> &mut Self {
+        self.connect_grouped(from, to, Grouping::Shuffle)
+    }
+
+    /// Connect `from -> to` with an explicit grouping.
+    pub fn connect_grouped(&mut self, from: NodeId, to: NodeId, grouping: Grouping) -> &mut Self {
+        self.edges.push(Edge { from, to, grouping });
+        self
+    }
+
+    /// Validate and finalize.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        Topology::validate(self.name, self.nodes, self.edges)
+    }
+}
+
+impl Topology {
+    fn validate(
+        name: String,
+        nodes: Vec<NodeSpec>,
+        edges: Vec<Edge>,
+    ) -> Result<Topology, TopologyError> {
+        let n = nodes.len();
+        for (i, e) in edges.iter().enumerate() {
+            if e.from >= n || e.to >= n {
+                return Err(TopologyError::DanglingEdge(i));
+            }
+        }
+        // Duplicate edges.
+        for i in 0..edges.len() {
+            for j in (i + 1)..edges.len() {
+                if edges[i].from == edges[j].from && edges[i].to == edges[j].to {
+                    return Err(TopologyError::DuplicateEdge(edges[i].from, edges[i].to));
+                }
+            }
+        }
+        // Node specs.
+        for (id, node) in nodes.iter().enumerate() {
+            if node.time_complexity.is_nan() || node.time_complexity < 0.0 || !node.time_complexity.is_finite() {
+                return Err(TopologyError::BadSpec(id, "time_complexity"));
+            }
+            if node.selectivity.is_nan() || node.selectivity < 0.0 || !node.selectivity.is_finite() {
+                return Err(TopologyError::BadSpec(id, "selectivity"));
+            }
+        }
+        let mut out_edges = vec![Vec::new(); n];
+        let mut in_edges = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            out_edges[e.from].push(i);
+            in_edges[e.to].push(i);
+        }
+        // Structural checks.
+        if !nodes.iter().any(|nd| nd.kind == NodeKind::Spout) {
+            return Err(TopologyError::NoSpout);
+        }
+        for id in 0..n {
+            if nodes[id].kind == NodeKind::Spout && !in_edges[id].is_empty() {
+                return Err(TopologyError::SpoutWithInput(id));
+            }
+            if n > 1 && out_edges[id].is_empty() && in_edges[id].is_empty() {
+                return Err(TopologyError::Disconnected(id));
+            }
+        }
+        // Kahn's algorithm: topological order + cycle detection.
+        let mut indeg: Vec<usize> = in_edges.iter().map(|v| v.len()).collect();
+        let mut queue: Vec<NodeId> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut topo_order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            topo_order.push(u);
+            for &ei in &out_edges[u] {
+                let v = edges[ei].to;
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if topo_order.len() != n {
+            return Err(TopologyError::Cyclic);
+        }
+        Ok(Topology { name, nodes, edges, out_edges, in_edges, topo_order })
+    }
+
+    /// Topology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Node specification by id.
+    pub fn node(&self, id: NodeId) -> &NodeSpec {
+        &self.nodes[id]
+    }
+
+    /// Mutable node specification (for generator post-processing).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut NodeSpec {
+        &mut self.nodes[id]
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Indices of outgoing edges of `id`.
+    pub fn out_edges(&self, id: NodeId) -> &[usize] {
+        &self.out_edges[id]
+    }
+
+    /// Indices of incoming edges of `id`.
+    pub fn in_edges(&self, id: NodeId) -> &[usize] {
+        &self.in_edges[id]
+    }
+
+    /// Node ids in topological order.
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo_order
+    }
+
+    /// Ids of all spouts.
+    pub fn spouts(&self) -> Vec<NodeId> {
+        (0..self.n_nodes()).filter(|&i| self.nodes[i].kind == NodeKind::Spout).collect()
+    }
+
+    /// Ids of all source nodes (in-degree 0; includes spouts).
+    pub fn sources(&self) -> Vec<NodeId> {
+        (0..self.n_nodes()).filter(|&i| self.in_edges[i].is_empty()).collect()
+    }
+
+    /// Ids of all sinks (out-degree 0).
+    pub fn sinks(&self) -> Vec<NodeId> {
+        (0..self.n_nodes()).filter(|&i| self.out_edges[i].is_empty()).collect()
+    }
+
+    /// Average out-degree across all nodes (Table II's AOD column).
+    pub fn avg_out_degree(&self) -> f64 {
+        self.n_edges() as f64 / self.n_nodes() as f64
+    }
+
+    /// Longest-path layering: layer(v) = 1 + max layer over predecessors,
+    /// sources at layer 0. Returns per-node layers.
+    pub fn layers(&self) -> Vec<usize> {
+        let mut layer = vec![0usize; self.n_nodes()];
+        for &u in &self.topo_order {
+            for &ei in &self.out_edges[u] {
+                let v = self.edges[ei].to;
+                layer[v] = layer[v].max(layer[u] + 1);
+            }
+        }
+        layer
+    }
+
+    /// Number of distinct layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers().iter().max().map_or(0, |m| m + 1)
+    }
+
+    /// Total compute units across nodes (used to flag "25% of compute
+    /// time" as contentious, §IV-B2).
+    pub fn total_compute_units(&self) -> f64 {
+        self.nodes.iter().map(|n| n.time_complexity).sum()
+    }
+
+    /// Critical path: the maximum total compute units along any
+    /// source-to-sink path — the serial latency floor of one tuple
+    /// through the topology (per-tuple cost model, contention excluded).
+    pub fn critical_path_units(&self) -> f64 {
+        let mut best = vec![0.0_f64; self.n_nodes()];
+        for &u in &self.topo_order {
+            best[u] += self.nodes[u].time_complexity;
+            for &ei in &self.out_edges[u] {
+                let v = self.edges[ei].to;
+                best[v] = best[v].max(best[u]);
+            }
+        }
+        best.into_iter().fold(0.0, f64::max)
+    }
+
+    /// Sum of compute units on contentious nodes.
+    pub fn contentious_compute_units(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.contentious)
+            .map(|n| n.time_complexity)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Topology {
+        // s -> a, s -> b, a -> c, b -> c
+        let mut tb = TopologyBuilder::new("diamond");
+        let s = tb.spout("s", 10.0);
+        let a = tb.bolt("a", 20.0);
+        let b = tb.bolt("b", 30.0);
+        let c = tb.bolt("c", 5.0);
+        tb.connect(s, a).connect(s, b).connect(a, c).connect(b, c);
+        tb.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_reports_structure() {
+        let t = diamond();
+        assert_eq!(t.n_nodes(), 4);
+        assert_eq!(t.n_edges(), 4);
+        assert_eq!(t.spouts(), vec![0]);
+        assert_eq!(t.sinks(), vec![3]);
+        assert_eq!(t.sources(), vec![0]);
+        assert!((t.avg_out_degree() - 1.0).abs() < 1e-12);
+        assert_eq!(t.layers(), vec![0, 1, 1, 2]);
+        assert_eq!(t.n_layers(), 3);
+        assert_eq!(t.total_compute_units(), 65.0);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let t = diamond();
+        let order = t.topo_order();
+        let pos: Vec<usize> = (0..4).map(|i| order.iter().position(|&x| x == i).unwrap()).collect();
+        for e in t.edges() {
+            assert!(pos[e.from] < pos[e.to], "edge {} -> {}", e.from, e.to);
+        }
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let mut tb = TopologyBuilder::new("cyc");
+        let s = tb.spout("s", 1.0);
+        let a = tb.bolt("a", 1.0);
+        let b = tb.bolt("b", 1.0);
+        tb.connect(s, a).connect(a, b).connect(b, a);
+        assert_eq!(tb.build().unwrap_err(), TopologyError::Cyclic);
+    }
+
+    #[test]
+    fn rejects_spout_with_input() {
+        let mut tb = TopologyBuilder::new("bad");
+        let s1 = tb.spout("s1", 1.0);
+        let s2 = tb.spout("s2", 1.0);
+        tb.connect(s1, s2);
+        assert_eq!(tb.build().unwrap_err(), TopologyError::SpoutWithInput(1));
+    }
+
+    #[test]
+    fn rejects_disconnected_and_no_spout() {
+        let mut tb = TopologyBuilder::new("iso");
+        let s = tb.spout("s", 1.0);
+        let a = tb.bolt("a", 1.0);
+        let _lonely = tb.bolt("b", 1.0);
+        tb.connect(s, a);
+        assert_eq!(tb.build().unwrap_err(), TopologyError::Disconnected(2));
+
+        let mut tb = TopologyBuilder::new("nospout");
+        let a = tb.bolt("a", 1.0);
+        let b = tb.bolt("b", 1.0);
+        tb.connect(a, b);
+        assert_eq!(tb.build().unwrap_err(), TopologyError::NoSpout);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_dangling() {
+        let mut tb = TopologyBuilder::new("dup");
+        let s = tb.spout("s", 1.0);
+        let a = tb.bolt("a", 1.0);
+        tb.connect(s, a).connect(s, a);
+        assert_eq!(tb.build().unwrap_err(), TopologyError::DuplicateEdge(0, 1));
+
+        let mut tb = TopologyBuilder::new("dangle");
+        let s = tb.spout("s", 1.0);
+        tb.connect(s, 7);
+        assert_eq!(tb.build().unwrap_err(), TopologyError::DanglingEdge(0));
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        let mut tb = TopologyBuilder::new("bad");
+        let s = tb.spout("s", f64::NAN);
+        let a = tb.bolt("a", 1.0);
+        tb.connect(s, a);
+        assert!(matches!(tb.build(), Err(TopologyError::BadSpec(0, "time_complexity"))));
+    }
+
+    #[test]
+    fn contentious_accounting() {
+        let mut tb = TopologyBuilder::new("cont");
+        let s = tb.spout("s", 10.0);
+        let a = tb.bolt("a", 30.0);
+        let b = tb.bolt("b", 20.0);
+        tb.connect(s, a).connect(s, b);
+        tb.contentious(a, true);
+        let t = tb.build().unwrap();
+        assert_eq!(t.contentious_compute_units(), 30.0);
+        assert_eq!(t.total_compute_units(), 60.0);
+    }
+
+    #[test]
+    fn critical_path_takes_the_heavier_branch() {
+        let t = diamond();
+        // s(10) -> b(30) -> c(5) is the heavier branch: 45 units.
+        assert_eq!(t.critical_path_units(), 45.0);
+    }
+
+    #[test]
+    fn single_spout_topology_is_valid() {
+        let mut tb = TopologyBuilder::new("solo");
+        tb.spout("s", 1.0);
+        let t = tb.build().unwrap();
+        assert_eq!(t.sinks(), vec![0]);
+    }
+}

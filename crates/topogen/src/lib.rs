@@ -1,0 +1,28 @@
+//! # mtm-topogen
+//!
+//! Benchmark topology generation — the paper's "reusable benchmark
+//! consisting of a set of operator graphs as well as generation approach"
+//! (contribution 3):
+//!
+//! * [`ggen`] — a layer-by-layer random DAG generator equivalent to the
+//!   GGen configuration of §IV-B,
+//! * [`modify`] — the workload modifications of §IV-B1/B2: uniform
+//!   time-complexity imbalance and contention flagged by compute-unit
+//!   budget,
+//! * [`presets`] — the Table II topologies (small/medium/large) and the
+//!   four experiment conditions of Fig. 4,
+//! * [`sundog`] — the Sundog entity-ranking topology of Fig. 2,
+//! * [`literature`] — the Table III survey of topology sizes,
+//! * [`stats`] — the Table II statistics columns (V, E, L, Src, Snk, AOD).
+
+pub mod ggen;
+pub mod literature;
+pub mod modify;
+pub mod presets;
+pub mod stats;
+pub mod sundog;
+
+pub use ggen::{generate_layer_by_layer, GgenParams};
+pub use presets::{condition_name, make_condition, Condition, SizeClass};
+pub use stats::TopologyStats;
+pub use sundog::sundog_topology;

@@ -1,0 +1,63 @@
+//! Table III: number of operators of topologies in the literature — the
+//! survey the paper used to pick its 10/50/100-vertex benchmark sizes.
+
+use serde::{Deserialize, Serialize};
+
+/// One surveyed topology from Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LiteratureTopology {
+    /// Publication year.
+    pub year: u32,
+    /// Description, as the paper lists it.
+    pub description: &'static str,
+    /// Number of operators.
+    pub operators: u32,
+}
+
+/// The Table III rows.
+pub const LITERATURE: &[LiteratureTopology] = &[
+    LiteratureTopology {
+        year: 2003,
+        description: "Data Dissemination Problem in [Aurora]",
+        operators: 40,
+    },
+    LiteratureTopology {
+        year: 2004,
+        description: "Linear Road Benchmark in [Arasu et al.]",
+        operators: 60,
+    },
+    LiteratureTopology {
+        year: 2013,
+        description: "Linear Road Benchmark used in [Castro Fernandez et al.]",
+        operators: 7,
+    },
+    LiteratureTopology {
+        year: 2013,
+        description: "DEBS'13 Grand Challenge Query",
+        operators: 3,
+    },
+];
+
+/// Largest operator count surveyed (plus the enterprise note of up to 100
+/// components the paper cites from Hajjat et al.).
+pub fn max_surveyed_operators() -> u32 {
+    LITERATURE.iter().map(|t| t.operators).max().unwrap_or(0)
+}
+
+/// Enterprise-grade upper bound the paper quotes ("up to 100 components").
+pub const ENTERPRISE_UPPER_BOUND: u32 = 100;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_contents() {
+        assert_eq!(LITERATURE.len(), 4);
+        assert_eq!(max_surveyed_operators(), 60);
+        assert!(LITERATURE.iter().all(|t| t.operators <= ENTERPRISE_UPPER_BOUND));
+        // Benchmark sizes bracket the survey: most topologies < 60 ops,
+        // enterprise up to 100 — hence small/medium/large = 10/50/100.
+        assert!(LITERATURE.iter().filter(|t| t.operators < 60).count() >= 3);
+    }
+}

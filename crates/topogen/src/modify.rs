@@ -1,0 +1,148 @@
+//! The paper's workload modifications (§IV-B1, §IV-B2).
+
+use mtm_stormsim::topology::{NodeKind, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Apply **time-complexity imbalance** (§IV-B1): bolt costs are redrawn
+/// uniformly from `[0, 2 * mean]` so the topology-wide average stays at
+/// `mean` (the paper uses mean 20, range 0–40). `degree` interpolates
+/// between the balanced base (0.0) and full imbalance (1.0) — the paper's
+/// "0% TiIm" and "100% TiIm" conditions.
+pub fn apply_time_imbalance(topo: &mut Topology, mean: f64, degree: f64, seed: u64) {
+    assert!((0.0..=1.0).contains(&degree), "degree must be in [0,1]");
+    assert!(mean >= 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for v in 0..topo.n_nodes() {
+        if topo.node(v).kind != NodeKind::Bolt {
+            continue; // spout emission cost is not part of the modification
+        }
+        let drawn = rng.random_range(0.0..=(2.0 * mean));
+        let cost = (1.0 - degree) * mean + degree * drawn;
+        // Keep a tiny floor so a zero-cost bolt still passes through the
+        // framework overhead path.
+        topo.node_mut(v).time_complexity = cost.max(0.1);
+    }
+}
+
+/// Flag **contentious resources** (§IV-B2): select bolts until the flagged
+/// nodes account for `fraction` of the topology's total compute units —
+/// "this percentage is based on the number of total compute resource
+/// units, rather than just selecting a percentage of the bolts."
+///
+/// Selection order is a seeded shuffle, so different seeds flag different
+/// bolts while preserving the budget rule. Returns the ids flagged.
+pub fn apply_contention(topo: &mut Topology, fraction: f64, seed: u64) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    // Clear previous flags.
+    for v in 0..topo.n_nodes() {
+        topo.node_mut(v).contentious = false;
+    }
+    if fraction == 0.0 {
+        return Vec::new();
+    }
+    let budget = topo.total_compute_units() * fraction;
+    let mut bolts: Vec<usize> = (0..topo.n_nodes())
+        .filter(|&v| topo.node(v).kind == NodeKind::Bolt)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    bolts.shuffle(&mut rng);
+
+    let mut flagged = Vec::new();
+    let mut used = 0.0;
+    for v in bolts {
+        if used >= budget {
+            break;
+        }
+        topo.node_mut(v).contentious = true;
+        used += topo.node(v).time_complexity;
+        flagged.push(v);
+    }
+    flagged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ggen::{generate_layer_by_layer, GgenParams};
+    use mtm_stormsim::topology::NodeKind;
+
+    #[test]
+    fn zero_degree_keeps_costs_balanced() {
+        let mut t = generate_layer_by_layer(&GgenParams::small(1));
+        apply_time_imbalance(&mut t, 20.0, 0.0, 9);
+        for v in 0..t.n_nodes() {
+            if t.node(v).kind == NodeKind::Bolt {
+                assert_eq!(t.node(v).time_complexity, 20.0);
+            }
+        }
+    }
+
+    #[test]
+    fn full_imbalance_varies_but_preserves_mean() {
+        let mut t = generate_layer_by_layer(&GgenParams::large(2));
+        apply_time_imbalance(&mut t, 20.0, 1.0, 5);
+        let costs: Vec<f64> = (0..t.n_nodes())
+            .filter(|&v| t.node(v).kind == NodeKind::Bolt)
+            .map(|v| t.node(v).time_complexity)
+            .collect();
+        let mean = costs.iter().sum::<f64>() / costs.len() as f64;
+        assert!((mean - 20.0).abs() < 4.0, "mean cost should stay near 20, got {mean}");
+        assert!(costs.iter().cloned().fold(f64::NEG_INFINITY, f64::max) > 25.0);
+        assert!(costs.iter().cloned().fold(f64::INFINITY, f64::min) < 15.0);
+        assert!(costs.iter().all(|&c| (0.1..=40.0).contains(&c)));
+    }
+
+    #[test]
+    fn spouts_are_untouched() {
+        let mut t = generate_layer_by_layer(&GgenParams::small(3));
+        let spout_costs: Vec<f64> =
+            t.spouts().iter().map(|&s| t.node(s).time_complexity).collect();
+        apply_time_imbalance(&mut t, 20.0, 1.0, 1);
+        for (i, &s) in t.spouts().iter().enumerate() {
+            assert_eq!(t.node(s).time_complexity, spout_costs[i]);
+        }
+    }
+
+    #[test]
+    fn contention_budget_is_respected() {
+        let mut t = generate_layer_by_layer(&GgenParams::medium(4));
+        let flagged = apply_contention(&mut t, 0.25, 11);
+        assert!(!flagged.is_empty());
+        let frac = t.contentious_compute_units() / t.total_compute_units();
+        // The last flagged bolt may overshoot by its own cost.
+        assert!(frac >= 0.25, "must reach the budget, got {frac}");
+        assert!(frac <= 0.40, "should not wildly overshoot, got {frac}");
+    }
+
+    #[test]
+    fn zero_fraction_clears_flags() {
+        let mut t = generate_layer_by_layer(&GgenParams::small(5));
+        apply_contention(&mut t, 0.5, 1);
+        assert!(t.contentious_compute_units() > 0.0);
+        let flagged = apply_contention(&mut t, 0.0, 1);
+        assert!(flagged.is_empty());
+        assert_eq!(t.contentious_compute_units(), 0.0);
+    }
+
+    #[test]
+    fn different_seeds_flag_different_bolts() {
+        let base = generate_layer_by_layer(&GgenParams::medium(6));
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let fa = apply_contention(&mut a, 0.25, 1);
+        let fb = apply_contention(&mut b, 0.25, 2);
+        assert_ne!(fa, fb, "seeded shuffles should differ");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let base = generate_layer_by_layer(&GgenParams::medium(7));
+        let mut a = base.clone();
+        let mut b = base.clone();
+        apply_time_imbalance(&mut a, 20.0, 1.0, 3);
+        apply_time_imbalance(&mut b, 20.0, 1.0, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,135 @@
+//! The paper's experiment grid: Table II sizes × Fig. 4 conditions.
+
+use mtm_stormsim::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+use crate::ggen::{generate_layer_by_layer, GgenParams};
+use crate::modify::{apply_contention, apply_time_imbalance};
+
+/// Topology size class (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SizeClass {
+    /// 10 vertices, 4 layers, p = 0.40.
+    Small,
+    /// 50 vertices, 5 layers, p = 0.08.
+    Medium,
+    /// 100 vertices, 10 layers, p = 0.04.
+    Large,
+}
+
+impl SizeClass {
+    /// All three classes in Table II order.
+    pub fn all() -> [SizeClass; 3] {
+        [SizeClass::Small, SizeClass::Medium, SizeClass::Large]
+    }
+
+    /// GGen parameters for this class.
+    pub fn params(&self, seed: u64) -> GgenParams {
+        match self {
+            SizeClass::Small => GgenParams::small(seed),
+            SizeClass::Medium => GgenParams::medium(seed),
+            SizeClass::Large => GgenParams::large(seed),
+        }
+    }
+
+    /// Lower-case label used in figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SizeClass::Small => "small",
+            SizeClass::Medium => "medium",
+            SizeClass::Large => "large",
+        }
+    }
+}
+
+/// One cell of the Fig. 4 grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Condition {
+    /// Time-complexity imbalance degree: 0.0 ("0% TiIm") or 1.0
+    /// ("100% TiIm").
+    pub time_imbalance: f64,
+    /// Fraction of compute units on contentious bolts: 0.0 or 0.25.
+    pub contention: f64,
+}
+
+impl Condition {
+    /// The four Fig. 4 conditions, row-major (top-left, top-right,
+    /// bottom-left, bottom-right).
+    pub fn grid() -> [Condition; 4] {
+        [
+            Condition { time_imbalance: 0.0, contention: 0.0 },
+            Condition { time_imbalance: 0.0, contention: 0.25 },
+            Condition { time_imbalance: 1.0, contention: 0.0 },
+            Condition { time_imbalance: 1.0, contention: 0.25 },
+        ]
+    }
+}
+
+/// Human-readable condition label matching the paper's facets.
+pub fn condition_name(c: &Condition) -> String {
+    format!(
+        "{}% TiIm / {}% Contentious",
+        (c.time_imbalance * 100.0) as u32,
+        (c.contention * 100.0) as u32
+    )
+}
+
+/// Build the topology for one grid cell: generate the base graph for
+/// `size`, then apply the condition's modifications. `seed` controls both
+/// the base graph and the modification draws, so a cell is fully
+/// reproducible.
+pub fn make_condition(size: SizeClass, condition: &Condition, seed: u64) -> Topology {
+    let mut topo = generate_layer_by_layer(&size.params(seed));
+    // Target mean 20 compute units per tuple (§IV-B1).
+    apply_time_imbalance(&mut topo, 20.0, condition.time_imbalance, seed ^ 0xA5A5);
+    apply_contention(&mut topo, condition.contention, seed ^ 0x5A5A);
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_four_conditions() {
+        let grid = Condition::grid();
+        assert_eq!(grid.len(), 4);
+        assert_eq!(condition_name(&grid[0]), "0% TiIm / 0% Contentious");
+        assert_eq!(condition_name(&grid[3]), "100% TiIm / 25% Contentious");
+    }
+
+    #[test]
+    fn all_cells_build_valid_topologies() {
+        for size in SizeClass::all() {
+            for cond in Condition::grid() {
+                let t = make_condition(size, &cond, 1);
+                assert_eq!(
+                    t.n_nodes(),
+                    size.params(0).vertices,
+                    "{} {}",
+                    size.label(),
+                    condition_name(&cond)
+                );
+                let has_contention = t.contentious_compute_units() > 0.0;
+                assert_eq!(has_contention, cond.contention > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_cell_has_uniform_bolt_costs() {
+        let t = make_condition(SizeClass::Medium, &Condition::grid()[0], 3);
+        let costs: Vec<f64> = (0..t.n_nodes())
+            .filter(|&v| !t.in_edges(v).is_empty())
+            .map(|v| t.node(v).time_complexity)
+            .collect();
+        assert!(costs.iter().all(|&c| (c - 20.0).abs() < 1e-12 || c == 2.0));
+    }
+
+    #[test]
+    fn reproducible_per_seed() {
+        let a = make_condition(SizeClass::Large, &Condition::grid()[3], 9);
+        let b = make_condition(SizeClass::Large, &Condition::grid()[3], 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,78 @@
+//! Table II statistics: V, E, L, Src, Snk, AOD.
+
+use mtm_stormsim::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// The statistics columns of Table II for one topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyStats {
+    /// Topology name.
+    pub name: String,
+    /// Vertex count (V).
+    pub vertices: usize,
+    /// Edge count (E).
+    pub edges: usize,
+    /// Layer count (L) — longest-path layering.
+    pub layers: usize,
+    /// Source count (Src) — in-degree-0 vertices.
+    pub sources: usize,
+    /// Sink count (Snk) — out-degree-0 vertices.
+    pub sinks: usize,
+    /// Average out-degree (AOD).
+    pub avg_out_degree: f64,
+}
+
+impl TopologyStats {
+    /// Compute the statistics of `topo`.
+    pub fn of(topo: &Topology) -> TopologyStats {
+        TopologyStats {
+            name: topo.name().to_string(),
+            vertices: topo.n_nodes(),
+            edges: topo.n_edges(),
+            layers: topo.n_layers(),
+            sources: topo.sources().len(),
+            sinks: topo.sinks().len(),
+            avg_out_degree: topo.avg_out_degree(),
+        }
+    }
+
+    /// One row in the Table II format.
+    pub fn table_row(&self, label: &str) -> String {
+        format!(
+            "{:<8} {:>4} {:>4} {:>3} {:>4} {:>4} {:>6.2}",
+            label, self.vertices, self.edges, self.layers, self.sources, self.sinks,
+            self.avg_out_degree
+        )
+    }
+
+    /// The Table II header matching [`TopologyStats::table_row`].
+    pub fn table_header() -> &'static str {
+        "Name        V    E   L  Src  Snk    AOD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ggen::{generate_layer_by_layer, GgenParams};
+
+    #[test]
+    fn stats_match_topology_accessors() {
+        let t = generate_layer_by_layer(&GgenParams::small(1));
+        let s = TopologyStats::of(&t);
+        assert_eq!(s.vertices, 10);
+        assert_eq!(s.edges, t.n_edges());
+        assert_eq!(s.sources, t.sources().len());
+        assert_eq!(s.sinks, t.sinks().len());
+        assert!((s.avg_out_degree - t.n_edges() as f64 / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_and_header_align() {
+        let t = generate_layer_by_layer(&GgenParams::small(1));
+        let s = TopologyStats::of(&t);
+        let row = s.table_row("Small");
+        assert!(row.starts_with("Small"));
+        assert!(TopologyStats::table_header().contains("AOD"));
+    }
+}

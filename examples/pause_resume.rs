@@ -1,0 +1,57 @@
+//! Pause and resume an optimization run — the Spearmint feature the
+//! paper's authors singled out ("it supports pausing and resuming the
+//! optimization process, a feature that turned out to be important in our
+//! evaluation setup": their cluster was student workstations).
+//!
+//! ```text
+//! cargo run --release --example pause_resume
+//! ```
+
+use mtm::bayesopt::{BayesOpt, BoConfig, Snapshot};
+use mtm::bayesopt::space::{Param, ParamSpace};
+
+fn objective(x: f64, y: f64) -> f64 {
+    // A bumpy 2-D surface with its peak near (3, -1).
+    -((x - 3.0).powi(2) + (y + 1.0).powi(2)) + (2.0 * x).sin() * (3.0 * y).cos()
+}
+
+fn main() {
+    let space = ParamSpace::new(vec![
+        Param::float("x", -5.0, 5.0),
+        Param::float("y", -5.0, 5.0),
+    ]);
+    let mut bo = BayesOpt::new(space, BoConfig { seed: 99, ..Default::default() });
+
+    // Run ten steps...
+    for _ in 0..10 {
+        let c = bo.propose();
+        let v = objective(c.values[0].as_float(), c.values[1].as_float());
+        bo.observe(c, v);
+    }
+    println!("after 10 steps: best = {:.3}", bo.best().unwrap().y);
+
+    // ...the cluster goes away: snapshot to JSON (in a real deployment,
+    // to disk).
+    let json = Snapshot::capture(bo).to_json().expect("serialize");
+    println!("snapshot captured: {} bytes of JSON", json.len());
+
+    // ...the next morning: resume and continue. Because per-step
+    // randomness derives from (seed, step), the resumed run proposes
+    // exactly what the uninterrupted one would have.
+    let mut bo = Snapshot::from_json(&json)
+        .expect("parse")
+        .resume()
+        .expect("resume");
+    for _ in 0..15 {
+        let c = bo.propose();
+        let v = objective(c.values[0].as_float(), c.values[1].as_float());
+        bo.observe(c, v);
+    }
+    let best = bo.best().unwrap();
+    println!(
+        "after resume + 15 steps: best = {:.3} at x={:.2}, y={:.2} (true peak ~ (3, -1))",
+        best.y,
+        best.values[0].as_float(),
+        best.values[1].as_float()
+    );
+}

@@ -1,0 +1,60 @@
+//! Cross-validate the two substrate simulators: the per-tuple
+//! discrete-event simulation and the fast flow-level model evaluate the
+//! same configuration and should agree on throughput to within the
+//! fidelity gap.
+//!
+//! ```text
+//! cargo run --release --example two_simulators
+//! ```
+
+use mtm::stormsim::topology::TopologyBuilder;
+use mtm::stormsim::{
+    simulate_flow, simulate_tuples, ClusterSpec, StormConfig, TupleSimOptions,
+};
+
+fn main() {
+    // A small three-stage pipeline on a 4-machine cluster.
+    let mut tb = TopologyBuilder::new("xcheck");
+    let s = tb.spout("source", 0.5);
+    let a = tb.bolt("stage-a", 3.0);
+    let b = tb.bolt("stage-b", 6.0);
+    tb.connect(s, a).connect(a, b);
+    let topo = tb.build().unwrap();
+
+    let mut cluster = ClusterSpec::paper_cluster();
+    cluster.machines = 4;
+
+    println!("{:<28} {:>12} {:>12} {:>8}", "configuration", "flow tps", "tuple tps", "ratio");
+    for hint in [1u32, 2, 4, 8] {
+        let mut config = StormConfig::uniform_hints(3, hint);
+        config.batch_size = 400;
+        config.batch_parallelism = 4;
+
+        let flow = simulate_flow(&topo, &config, &cluster, 60.0);
+        let opts = TupleSimOptions {
+            window_s: 60.0,
+            max_events: 20_000_000,
+            network_delay_s: 0.0005,
+        };
+        let tuple = simulate_tuples(&topo, &config, &cluster, &opts);
+
+        let ratio = if tuple.throughput_tps > 0.0 {
+            flow.throughput_tps / tuple.throughput_tps
+        } else {
+            f64::NAN
+        };
+        println!(
+            "{:<28} {:>12.0} {:>12.0} {:>8.2}",
+            format!("hints={hint} (x3 nodes)"),
+            flow.throughput_tps,
+            tuple.throughput_tps,
+            ratio
+        );
+    }
+    println!(
+        "\nThe flow model is the one the optimization loops call (microseconds \
+         per evaluation); the tuple-level DES plays out every tuple, ack and \
+         batch commit. Agreement within tens of percent across configurations \
+         is what makes the fast model a usable objective."
+    );
+}

@@ -1,0 +1,255 @@
+//! A human-writable JSON topology specification.
+//!
+//! [`mtm_stormsim::Topology`] serializes with its internal caches, which
+//! is right for snapshots but unpleasant to write by hand. This module
+//! defines the small declarative format the `mtm-tune` CLI consumes:
+//!
+//! ```json
+//! {
+//!   "name": "word-count",
+//!   "nodes": [
+//!     { "name": "lines",  "kind": "spout", "cost": 0.5 },
+//!     { "name": "split",  "kind": "bolt",  "cost": 2.0, "selectivity": 8.0 },
+//!     { "name": "count",  "kind": "bolt",  "cost": 1.0 }
+//!   ],
+//!   "edges": [
+//!     { "from": "lines", "to": "split" },
+//!     { "from": "split", "to": "count", "grouping": { "fields": 10000 } }
+//!   ]
+//! }
+//! ```
+
+use mtm_stormsim::topology::{Grouping, RoutePolicy, Topology, TopologyBuilder};
+use serde::{Deserialize, Serialize};
+
+/// Node kind in the spec file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum SpecKind {
+    /// Data source.
+    Spout,
+    /// Operator.
+    Bolt,
+}
+
+/// Edge grouping in the spec file.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum SpecGrouping {
+    /// Round-robin across destination tasks (the default).
+    Shuffle,
+    /// Key-hashed; the value is the number of distinct keys.
+    Fields(u32),
+    /// Everything to one task.
+    Global,
+}
+
+/// One node of the spec.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpecNode {
+    /// Unique node name.
+    pub name: String,
+    /// Spout or bolt.
+    pub kind: SpecKind,
+    /// Compute units per tuple (1 unit ≈ 1 ms of one core).
+    pub cost: f64,
+    /// Output tuples per input tuple (default 1).
+    #[serde(default = "one")]
+    pub selectivity: f64,
+    /// Whether the node is bound by a globally contended resource.
+    #[serde(default)]
+    pub contentious: bool,
+    /// Emitted tuple size in bytes (default 128).
+    #[serde(default = "default_bytes")]
+    pub tuple_bytes: u32,
+    /// `true` to copy each emitted tuple to every outgoing edge instead
+    /// of splitting across them.
+    #[serde(default)]
+    pub replicate: bool,
+}
+
+fn one() -> f64 {
+    1.0
+}
+fn default_bytes() -> u32 {
+    128
+}
+
+/// One edge of the spec.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpecEdge {
+    /// Producer node name.
+    pub from: String,
+    /// Consumer node name.
+    pub to: String,
+    /// Grouping (default shuffle).
+    #[serde(default = "shuffle")]
+    pub grouping: SpecGrouping,
+}
+
+fn shuffle() -> SpecGrouping {
+    SpecGrouping::Shuffle
+}
+
+/// A whole topology spec.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// Topology name.
+    pub name: String,
+    /// Nodes.
+    pub nodes: Vec<SpecNode>,
+    /// Edges.
+    pub edges: Vec<SpecEdge>,
+}
+
+/// Errors turning a spec into a topology.
+#[derive(Debug)]
+pub enum SpecError {
+    /// JSON parse failure.
+    Json(serde_json::Error),
+    /// An edge references an unknown node name.
+    UnknownNode(String),
+    /// The resulting graph failed topology validation.
+    Invalid(mtm_stormsim::topology::TopologyError),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Json(e) => write!(f, "spec JSON error: {e}"),
+            SpecError::UnknownNode(n) => write!(f, "edge references unknown node '{n}'"),
+            SpecError::Invalid(e) => write!(f, "invalid topology: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl TopologySpec {
+    /// Parse a spec from JSON text.
+    pub fn from_json(text: &str) -> Result<TopologySpec, SpecError> {
+        serde_json::from_str(text).map_err(SpecError::Json)
+    }
+
+    /// Build the validated [`Topology`].
+    pub fn to_topology(&self) -> Result<Topology, SpecError> {
+        let mut tb = TopologyBuilder::new(&self.name);
+        let mut ids = std::collections::HashMap::new();
+        for node in &self.nodes {
+            let id = match node.kind {
+                SpecKind::Spout => tb.spout(&node.name, node.cost),
+                SpecKind::Bolt => tb.bolt(&node.name, node.cost),
+            };
+            tb.selectivity(id, node.selectivity);
+            tb.contentious(id, node.contentious);
+            tb.tuple_bytes(id, node.tuple_bytes);
+            tb.route(
+                id,
+                if node.replicate { RoutePolicy::Replicate } else { RoutePolicy::Split },
+            );
+            ids.insert(node.name.clone(), id);
+        }
+        for edge in &self.edges {
+            let from = *ids
+                .get(&edge.from)
+                .ok_or_else(|| SpecError::UnknownNode(edge.from.clone()))?;
+            let to = *ids
+                .get(&edge.to)
+                .ok_or_else(|| SpecError::UnknownNode(edge.to.clone()))?;
+            let grouping = match edge.grouping {
+                SpecGrouping::Shuffle => Grouping::Shuffle,
+                SpecGrouping::Fields(k) => Grouping::Fields { key_cardinality: k },
+                SpecGrouping::Global => Grouping::Global,
+            };
+            tb.connect_grouped(from, to, grouping);
+        }
+        tb.build().map_err(SpecError::Invalid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WORD_COUNT: &str = r#"{
+        "name": "word-count",
+        "nodes": [
+            { "name": "lines", "kind": "spout", "cost": 0.5 },
+            { "name": "split", "kind": "bolt", "cost": 2.0, "selectivity": 8.0 },
+            { "name": "count", "kind": "bolt", "cost": 1.0, "contentious": true }
+        ],
+        "edges": [
+            { "from": "lines", "to": "split" },
+            { "from": "split", "to": "count", "grouping": { "fields": 10000 } }
+        ]
+    }"#;
+
+    #[test]
+    fn parses_and_builds() {
+        let spec = TopologySpec::from_json(WORD_COUNT).unwrap();
+        let topo = spec.to_topology().unwrap();
+        assert_eq!(topo.n_nodes(), 3);
+        assert_eq!(topo.spouts().len(), 1);
+        assert_eq!(topo.node(1).selectivity, 8.0);
+        assert!(topo.node(2).contentious);
+        assert!(matches!(
+            topo.edges()[1].grouping,
+            Grouping::Fields { key_cardinality: 10000 }
+        ));
+    }
+
+    #[test]
+    fn defaults_are_applied() {
+        let spec = TopologySpec::from_json(
+            r#"{"name":"t","nodes":[
+                {"name":"s","kind":"spout","cost":1.0},
+                {"name":"b","kind":"bolt","cost":1.0}],
+               "edges":[{"from":"s","to":"b"}]}"#,
+        )
+        .unwrap();
+        let topo = spec.to_topology().unwrap();
+        assert_eq!(topo.node(0).selectivity, 1.0);
+        assert_eq!(topo.node(0).tuple_bytes, 128);
+        assert!(!topo.node(0).contentious);
+    }
+
+    #[test]
+    fn unknown_node_is_reported() {
+        let spec = TopologySpec::from_json(
+            r#"{"name":"t","nodes":[{"name":"s","kind":"spout","cost":1.0}],
+               "edges":[{"from":"s","to":"ghost"}]}"#,
+        )
+        .unwrap();
+        assert!(matches!(spec.to_topology(), Err(SpecError::UnknownNode(n)) if n == "ghost"));
+    }
+
+    #[test]
+    fn bad_json_is_reported() {
+        assert!(matches!(
+            TopologySpec::from_json("{nope"),
+            Err(SpecError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_topology_is_reported() {
+        // Bolt-only graph: no spout.
+        let spec = TopologySpec::from_json(
+            r#"{"name":"t","nodes":[
+                {"name":"a","kind":"bolt","cost":1.0},
+                {"name":"b","kind":"bolt","cost":1.0}],
+               "edges":[{"from":"a","to":"b"}]}"#,
+        )
+        .unwrap();
+        assert!(matches!(spec.to_topology(), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn round_trips_through_serde() {
+        let spec = TopologySpec::from_json(WORD_COUNT).unwrap();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back = TopologySpec::from_json(&json).unwrap();
+        assert_eq!(back.nodes.len(), 3);
+        assert_eq!(back.edges.len(), 2);
+    }
+}

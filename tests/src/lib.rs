@@ -1,0 +1,8 @@
+//! Integration-test crate: the tests under `tests/tests/` exercise flows
+//! that span multiple `mtm` crates (optimizer ↔ simulator ↔ topology
+//! generation ↔ experiment protocol). See each test file for what it
+//! pins down.
+
+/// Marker so the crate has a target; all substance lives in the
+/// integration tests.
+pub const CRATE: &str = "mtm-integration";

@@ -1,0 +1,63 @@
+//! Smoke tests of the figure harness: every table/figure runner produces
+//! plausible output at smoke scale.
+
+use mtm_bench::figures;
+use mtm_bench::{grid, Scale};
+
+#[test]
+fn tables_render() {
+    let t1 = figures::table1::run();
+    assert!(t1.contains("Batch Size"));
+
+    let t2 = figures::table2::run(5);
+    assert_eq!(t2.rows.len(), 6); // ours + paper for each size
+
+    let t3 = figures::table3::run();
+    assert!(t3.contains("DEBS"));
+}
+
+#[test]
+fn fig3_reports_unsaturated_network() {
+    let t = figures::fig3::run(6);
+    assert_eq!(t.rows.len(), 4);
+    assert!(t.rows.iter().all(|r| r.values[0] > 0.0 && r.values[0] < 128.0));
+}
+
+#[test]
+fn synthetic_grid_figures_flow_from_one_grid() {
+    // One smoke grid feeds figs 4-7, like the real binaries.
+    let g = grid::run(Scale::Smoke);
+
+    let f4 = figures::fig4::run(&g);
+    assert_eq!(f4.rows.len(), 60);
+    assert!(f4.rows.iter().all(|r| r.values[0] >= 0.0));
+
+    let f5 = figures::fig5::run(&g);
+    assert!(f5.rows.iter().all(|r| r.values[0] <= r.values[2]));
+
+    let f6 = figures::fig6::run(&g);
+    assert_eq!(f6.len(), 4);
+
+    let f7 = figures::fig7::run(&g);
+    assert!(f7
+        .rows
+        .iter()
+        .filter(|r| r.label.ends_with("| pla"))
+        .all(|r| r.values[0] < 0.01));
+
+    // The shape reports never panic and mention their checks.
+    assert!(figures::fig4::shape_report(&g).contains("bo180"));
+    assert!(figures::fig5::shape_report(&g).contains("steps-to-best"));
+    assert!(figures::fig7::shape_report(&g).contains("step time"));
+}
+
+#[test]
+fn fig8_smoke() {
+    let opts60 = Scale::Smoke.run_options(1);
+    let opts180 = Scale::Smoke.run_options_extended(1);
+    let r = figures::fig8::run(&opts60, &opts180);
+    let a = figures::fig8::throughput_table(&r);
+    assert_eq!(a.rows.len(), 6);
+    let report = figures::fig8::significance_report(&r);
+    assert!(report.contains("pinned hint"));
+}

@@ -40,7 +40,9 @@ impl Acquisition {
     /// Score a candidate with posterior mean `mean` and standard deviation
     /// `std` against incumbent value `best`.
     pub fn score(&self, mean: f64, std: f64, best: f64) -> f64 {
-        match *self {
+        #[cfg(feature = "strict-invariants")]
+        crate::invariants::assert_finite("acquisition inputs (mean, std)", &[mean, std]);
+        let score = match *self {
             Acquisition::ExpectedImprovement { xi } => {
                 let improve = mean - best - xi;
                 if std <= 1e-12 {
@@ -57,7 +59,10 @@ impl Acquisition {
                 norm_cdf(improve / std)
             }
             Acquisition::UpperConfidenceBound { kappa } => mean + kappa * std,
-        }
+        };
+        #[cfg(feature = "strict-invariants")]
+        crate::invariants::assert_finite_val(self.label(), score);
+        score
     }
 
     /// Short label for reports.
@@ -80,9 +85,12 @@ mod tests {
     fn ei_matches_monte_carlo() {
         let acq = Acquisition::ExpectedImprovement { xi: 0.0 };
         let mut rng = StdRng::seed_from_u64(11);
-        for &(mean, std, best) in
-            &[(1.0, 0.5, 1.2), (0.0, 1.0, 0.0), (-0.5, 2.0, 1.0), (3.0, 0.1, 1.0)]
-        {
+        for &(mean, std, best) in &[
+            (1.0, 0.5, 1.2),
+            (0.0, 1.0, 0.0),
+            (-0.5, 2.0, 1.0),
+            (3.0, 0.1, 1.0),
+        ] {
             // Box–Muller Monte-Carlo estimate of E[max(0, N(mean,std)-best)].
             let n = 300_000;
             let mut acc = 0.0;

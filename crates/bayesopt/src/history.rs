@@ -59,7 +59,12 @@ impl Snapshot {
     /// reconstructed losslessly with [`Snapshot::resume`]).
     pub fn capture(bo: BayesOpt) -> Snapshot {
         let (space, config, observations) = bo.into_parts();
-        Snapshot { version: VERSION, space, config, observations }
+        Snapshot {
+            version: VERSION,
+            space,
+            config,
+            observations,
+        }
     }
 
     /// Rebuild the optimizer from the snapshot.
@@ -67,7 +72,11 @@ impl Snapshot {
         if self.version != VERSION {
             return Err(SnapshotError::UnsupportedVersion(self.version));
         }
-        Ok(BayesOpt::from_parts(self.space, self.config, self.observations))
+        Ok(BayesOpt::from_parts(
+            self.space,
+            self.config,
+            self.observations,
+        ))
     }
 
     /// Serialize to a JSON string.
@@ -102,7 +111,13 @@ mod tests {
     #[test]
     fn snapshot_round_trips_through_json() {
         let space = ParamSpace::new(vec![Param::float("x", 0.0, 1.0)]);
-        let mut bo = BayesOpt::new(space, BoConfig { seed: 42, ..Default::default() });
+        let mut bo = BayesOpt::new(
+            space,
+            BoConfig {
+                seed: 42,
+                ..Default::default()
+            },
+        );
         run_steps(&mut bo, 6);
         let snap = Snapshot::capture(bo);
         let json = snap.to_json().unwrap();
@@ -113,7 +128,11 @@ mod tests {
     #[test]
     fn resume_is_equivalent_to_uninterrupted_run() {
         let space = ParamSpace::new(vec![Param::float("x", 0.0, 1.0)]);
-        let cfg = BoConfig { seed: 7, fit: FitOptions::fast(), ..Default::default() };
+        let cfg = BoConfig {
+            seed: 7,
+            fit: FitOptions::fast(),
+            ..Default::default()
+        };
 
         // Uninterrupted: 10 steps.
         let mut full = BayesOpt::new(space.clone(), cfg.clone());
@@ -126,7 +145,10 @@ mod tests {
         let mut resumed = Snapshot::from_json(&json).unwrap().resume().unwrap();
         got.extend(run_steps(&mut resumed, 5));
 
-        assert_eq!(full_proposals, got, "pause/resume must not change the trajectory");
+        assert_eq!(
+            full_proposals, got,
+            "pause/resume must not change the trajectory"
+        );
     }
 
     #[test]

@@ -42,3 +42,8 @@ pub use acquisition::Acquisition;
 pub use history::Snapshot;
 pub use optimizer::{BayesOpt, BoConfig, Candidate, KernelChoice, Observation};
 pub use space::{Param, ParamSpace, Value};
+
+// Runtime invariant guards, available to callers when the
+// `strict-invariants` feature is on.
+#[cfg(feature = "strict-invariants")]
+pub use mtm_check::invariants;

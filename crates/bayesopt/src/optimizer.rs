@@ -385,8 +385,7 @@ impl BayesOpt {
                         // Box–Muller normal perturbation, sigma 0.1.
                         let u1: f64 = rng.random::<f64>().max(1e-12);
                         let u2: f64 = rng.random();
-                        let z =
-                            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                         (x + 0.1 * z).clamp(0.0, 1.0)
                     })
                     .collect();
@@ -436,7 +435,10 @@ mod tests {
     use crate::space::Param;
 
     fn quadratic_space() -> ParamSpace {
-        ParamSpace::new(vec![Param::float("x", -5.0, 5.0), Param::float("y", -5.0, 5.0)])
+        ParamSpace::new(vec![
+            Param::float("x", -5.0, 5.0),
+            Param::float("y", -5.0, 5.0),
+        ])
     }
 
     #[test]
@@ -453,7 +455,11 @@ mod tests {
         let space = quadratic_space();
         let mut bo = BayesOpt::new(
             space,
-            BoConfig { seed: 3, fit: FitOptions::fast(), ..Default::default() },
+            BoConfig {
+                seed: 3,
+                fit: FitOptions::fast(),
+                ..Default::default()
+            },
         );
         for _ in 0..25 {
             let c = bo.propose();
@@ -483,7 +489,11 @@ mod tests {
         for seed in 0..3u64 {
             let mut bo = BayesOpt::new(
                 quadratic_space(),
-                BoConfig { seed, fit: FitOptions::fast(), ..Default::default() },
+                BoConfig {
+                    seed,
+                    fit: FitOptions::fast(),
+                    ..Default::default()
+                },
             );
             for _ in 0..budget {
                 let c = bo.propose();
@@ -510,7 +520,13 @@ mod tests {
     #[test]
     fn integer_space_proposals_are_valid() {
         let space = ParamSpace::new(vec![Param::int("a", 1, 30), Param::int("b", 1, 30)]);
-        let mut bo = BayesOpt::new(space, BoConfig { seed: 5, ..Default::default() });
+        let mut bo = BayesOpt::new(
+            space,
+            BoConfig {
+                seed: 5,
+                ..Default::default()
+            },
+        );
         for _ in 0..10 {
             let c = bo.propose();
             let a = c.values[0].as_int();
@@ -535,7 +551,13 @@ mod tests {
     #[test]
     fn constant_objective_does_not_crash() {
         let space = ParamSpace::new(vec![Param::float("x", 0.0, 1.0)]);
-        let mut bo = BayesOpt::new(space, BoConfig { seed: 1, ..Default::default() });
+        let mut bo = BayesOpt::new(
+            space,
+            BoConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        );
         for _ in 0..8 {
             let c = bo.propose();
             bo.observe(c, 1.0); // zero variance targets
@@ -550,7 +572,10 @@ mod tests {
             seed: 9,
             n_init: 4,
             fit: FitOptions::fast(),
-            marginalize: Some(Marginalize { n_samples: 3, burn_in: 1 }),
+            marginalize: Some(Marginalize {
+                n_samples: 3,
+                burn_in: 1,
+            }),
             n_candidates: 64,
             ..Default::default()
         };

@@ -63,25 +63,41 @@ impl Param {
     /// Integer parameter constructor.
     pub fn int(name: &str, lo: i64, hi: i64) -> Param {
         assert!(hi >= lo, "int param needs hi >= lo");
-        Param::Int { name: name.into(), lo, hi }
+        Param::Int {
+            name: name.into(),
+            lo,
+            hi,
+        }
     }
 
     /// Float parameter constructor.
     pub fn float(name: &str, lo: f64, hi: f64) -> Param {
         assert!(hi > lo, "float param needs hi > lo");
-        Param::Float { name: name.into(), lo, hi }
+        Param::Float {
+            name: name.into(),
+            lo,
+            hi,
+        }
     }
 
     /// Log-scaled float parameter constructor.
     pub fn log_float(name: &str, lo: f64, hi: f64) -> Param {
         assert!(lo > 0.0 && hi > lo, "log float needs 0 < lo < hi");
-        Param::LogFloat { name: name.into(), lo, hi }
+        Param::LogFloat {
+            name: name.into(),
+            lo,
+            hi,
+        }
     }
 
     /// Log-scaled integer parameter constructor.
     pub fn log_int(name: &str, lo: i64, hi: i64) -> Param {
         assert!(lo >= 1 && hi > lo, "log int needs 1 <= lo < hi");
-        Param::LogInt { name: name.into(), lo, hi }
+        Param::LogInt {
+            name: name.into(),
+            lo,
+            hi,
+        }
     }
 
     /// Categorical parameter constructor.
@@ -139,7 +155,9 @@ impl Param {
                 let span = (hi - lo) as f64 + 1.0;
                 (((x - lo) as f64) + 0.5) / span
             }
-            (Param::Float { lo, hi, .. }, Value::Float(x)) => ((x - lo) / (hi - lo)).clamp(0.0, 1.0),
+            (Param::Float { lo, hi, .. }, Value::Float(x)) => {
+                ((x - lo) / (hi - lo)).clamp(0.0, 1.0)
+            }
             (Param::LogFloat { lo, hi, .. }, Value::Float(x)) => {
                 ((x.max(*lo).ln() - lo.ln()) / (hi.ln() - lo.ln())).clamp(0.0, 1.0)
             }
@@ -248,13 +266,21 @@ impl ParamSpace {
     /// Decode a unit-cube point into typed values.
     pub fn decode(&self, u: &[f64]) -> Vec<Value> {
         assert_eq!(u.len(), self.dim(), "point has wrong dimensionality");
-        self.params.iter().zip(u).map(|(p, &ui)| p.decode(ui)).collect()
+        self.params
+            .iter()
+            .zip(u)
+            .map(|(p, &ui)| p.decode(ui))
+            .collect()
     }
 
     /// Encode typed values into the unit cube.
     pub fn encode(&self, values: &[Value]) -> Vec<f64> {
         assert_eq!(values.len(), self.dim(), "values have wrong dimensionality");
-        self.params.iter().zip(values).map(|(p, v)| p.encode(v)).collect()
+        self.params
+            .iter()
+            .zip(values)
+            .map(|(p, v)| p.encode(v))
+            .collect()
     }
 
     /// Canonicalize a unit point: decode then re-encode, snapping discrete

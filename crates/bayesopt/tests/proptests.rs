@@ -10,10 +10,12 @@ use mtm_bayesopt::space::{Param, ParamSpace, Value};
 fn arb_param() -> impl Strategy<Value = Param> {
     prop_oneof![
         (-50i64..50, 1i64..100).prop_map(|(lo, span)| Param::int("p", lo, lo + span)),
-        (-10.0f64..10.0, 0.1f64..20.0)
-            .prop_map(|(lo, span)| Param::float("p", lo, lo + span)),
-        (0.01f64..10.0, 1.1f64..100.0)
-            .prop_map(|(lo, factor)| Param::log_float("p", lo, lo * factor)),
+        (-10.0f64..10.0, 0.1f64..20.0).prop_map(|(lo, span)| Param::float("p", lo, lo + span)),
+        (0.01f64..10.0, 1.1f64..100.0).prop_map(|(lo, factor)| Param::log_float(
+            "p",
+            lo,
+            lo * factor
+        )),
         (1i64..100, 2i64..1000).prop_map(|(lo, span)| Param::log_int("p", lo, lo + span)),
         (1usize..6).prop_map(|k| {
             let names: Vec<String> = (0..k).map(|i| format!("c{i}")).collect();

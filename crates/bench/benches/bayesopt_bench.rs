@@ -10,16 +10,27 @@ use mtm_bayesopt::{space::Param, BayesOpt, BoConfig, ParamSpace};
 use mtm_gp::FitOptions;
 
 fn primed_optimizer(dim: usize, n_obs: usize) -> BayesOpt {
-    let params: Vec<Param> =
-        (0..dim).map(|i| Param::int(&format!("h{i}"), 1, 60)).collect();
+    let params: Vec<Param> = (0..dim)
+        .map(|i| Param::int(&format!("h{i}"), 1, 60))
+        .collect();
     let space = ParamSpace::new(params);
     let mut bo = BayesOpt::new(
         space,
-        BoConfig { seed: 1, fit: FitOptions::fast(), n_candidates: 256, ..Default::default() },
+        BoConfig {
+            seed: 1,
+            fit: FitOptions::fast(),
+            n_candidates: 256,
+            ..Default::default()
+        },
     );
     for step in 0..n_obs {
         let c = bo.propose();
-        let y = c.values.iter().map(|v| v.as_int() as f64).sum::<f64>().sin();
+        let y = c
+            .values
+            .iter()
+            .map(|v| v.as_int() as f64)
+            .sum::<f64>()
+            .sin();
         let _ = step;
         bo.observe(c, y);
     }

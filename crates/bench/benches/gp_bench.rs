@@ -8,7 +8,11 @@ use mtm_gp::{kernel::Matern52Ard, FitOptions, GpRegression};
 
 fn dataset(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let xs: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..d).map(|j| (((i * 13 + j * 7) % 101) as f64) / 101.0).collect())
+        .map(|i| {
+            (0..d)
+                .map(|j| (((i * 13 + j * 7) % 101) as f64) / 101.0)
+                .collect()
+        })
         .collect();
     let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>().sin()).collect();
     (xs, ys)
@@ -44,8 +48,7 @@ fn bench_fit(c: &mut Criterion) {
 
 fn bench_predict(c: &mut Criterion) {
     let (xs, ys) = dataset(120, 20);
-    let gp =
-        GpRegression::fit(Matern52Ard::new(20, 1.0, 0.3), xs, ys, 1e-2).unwrap();
+    let gp = GpRegression::fit(Matern52Ard::new(20, 1.0, 0.3), xs, ys, 1e-2).unwrap();
     let query: Vec<f64> = (0..20).map(|j| j as f64 / 20.0).collect();
     c.bench_function("gp_predict_n120_d20", |b| {
         b.iter(|| black_box(gp.predict(black_box(&query))))

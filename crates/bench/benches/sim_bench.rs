@@ -11,7 +11,10 @@ use mtm_topogen::{make_condition, Condition, SizeClass};
 
 fn bench_flow_sim(c: &mut Criterion) {
     let cluster = ClusterSpec::paper_cluster();
-    let cond = Condition { time_imbalance: 1.0, contention: 0.25 };
+    let cond = Condition {
+        time_imbalance: 1.0,
+        contention: 0.25,
+    };
     let mut group = c.benchmark_group("flow_sim_eval");
     for size in SizeClass::all() {
         let topo = make_condition(size, &cond, 1);
@@ -20,9 +23,7 @@ fn bench_flow_sim(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(size.label()),
             &(topo, config),
-            |b, (topo, config)| {
-                b.iter(|| black_box(simulate_flow(topo, config, &cluster, 120.0)))
-            },
+            |b, (topo, config)| b.iter(|| black_box(simulate_flow(topo, config, &cluster, 120.0))),
         );
     }
     group.finish();
@@ -30,12 +31,19 @@ fn bench_flow_sim(c: &mut Criterion) {
 
 fn bench_tuple_sim(c: &mut Criterion) {
     let cluster = ClusterSpec::tiny();
-    let cond = Condition { time_imbalance: 0.0, contention: 0.0 };
+    let cond = Condition {
+        time_imbalance: 0.0,
+        contention: 0.0,
+    };
     let topo = make_condition(SizeClass::Small, &cond, 1);
     let mut config = synthetic_base(&topo);
     config.batch_size = 100;
     config.batch_parallelism = 2;
-    let opts = TupleSimOptions { window_s: 5.0, max_events: 2_000_000, network_delay_s: 0.0005 };
+    let opts = TupleSimOptions {
+        window_s: 5.0,
+        max_events: 2_000_000,
+        network_delay_s: 0.0005,
+    };
     c.bench_function("tuple_sim_small_5s", |b| {
         b.iter(|| black_box(simulate_tuples(&topo, &config, &cluster, &opts)))
     });

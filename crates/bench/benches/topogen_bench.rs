@@ -4,9 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use mtm_topogen::{
-    generate_layer_by_layer, make_condition, Condition, GgenParams, SizeClass,
-};
+use mtm_topogen::{generate_layer_by_layer, make_condition, Condition, GgenParams, SizeClass};
 
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ggen_layer_by_layer");
@@ -23,7 +21,10 @@ fn bench_generation(c: &mut Criterion) {
 }
 
 fn bench_condition_pipeline(c: &mut Criterion) {
-    let cond = Condition { time_imbalance: 1.0, contention: 0.25 };
+    let cond = Condition {
+        time_imbalance: 1.0,
+        contention: 0.25,
+    };
     c.bench_function("make_condition_large", |b| {
         b.iter(|| black_box(make_condition(SizeClass::Large, &cond, 7)))
     });

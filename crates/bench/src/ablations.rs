@@ -14,8 +14,8 @@
 //!    formula vs our slightly super-linear default (DESIGN.md §5
 //!    documents why the deviation exists).
 
-use mtm_bayesopt::{Acquisition, BoConfig, KernelChoice};
 use mtm_bayesopt::optimizer::Marginalize;
+use mtm_bayesopt::{Acquisition, BoConfig, KernelChoice};
 use mtm_core::objective::synthetic_base;
 use mtm_core::report::Table;
 use mtm_core::{run_experiment, Objective, ParamSet, RunOptions, Strategy};
@@ -28,7 +28,10 @@ use mtm_topogen::{make_condition, Condition, SizeClass};
 fn cell_objective(cluster: ClusterSpec) -> Objective {
     let topo = make_condition(
         SizeClass::Medium,
-        &Condition { time_imbalance: 0.0, contention: 0.25 },
+        &Condition {
+            time_imbalance: 0.0,
+            contention: 0.25,
+        },
         0x2015,
     );
     let base = synthetic_base(&topo);
@@ -82,7 +85,12 @@ pub fn measurement_averaging(steps: usize) -> Table {
 /// Ablation 2: acquisition functions.
 pub fn acquisitions(steps: usize) -> Table {
     let objective = cell_objective(ClusterSpec::paper_cluster());
-    let opts = RunOptions { max_steps: steps, confirm_reps: 10, passes: 2, ..Default::default() };
+    let opts = RunOptions {
+        max_steps: steps,
+        confirm_reps: 10,
+        passes: 2,
+        ..Default::default()
+    };
     let mut t = Table::new("Ablation: acquisition function", &["mean_tps"]);
     for (label, acq) in [
         ("ei (paper)", Acquisition::ExpectedImprovement { xi: 0.01 }),
@@ -101,7 +109,12 @@ pub fn acquisitions(steps: usize) -> Table {
 /// Ablation 3: surrogate kernels.
 pub fn kernels(steps: usize) -> Table {
     let objective = cell_objective(ClusterSpec::paper_cluster());
-    let opts = RunOptions { max_steps: steps, confirm_reps: 10, passes: 2, ..Default::default() };
+    let opts = RunOptions {
+        max_steps: steps,
+        confirm_reps: 10,
+        passes: 2,
+        ..Default::default()
+    };
     let mut t = Table::new("Ablation: surrogate kernel", &["mean_tps"]);
     for (label, kernel) in [
         ("matern52 (spearmint)", KernelChoice::Matern52),
@@ -119,14 +132,25 @@ pub fn kernels(steps: usize) -> Table {
 /// Ablation 4: hyperparameter marginalization (integrated EI).
 pub fn marginalization(steps: usize) -> Table {
     let objective = cell_objective(ClusterSpec::paper_cluster());
-    let opts = RunOptions { max_steps: steps, confirm_reps: 10, passes: 2, ..Default::default() };
+    let opts = RunOptions {
+        max_steps: steps,
+        confirm_reps: 10,
+        passes: 2,
+        ..Default::default()
+    };
     let mut t = Table::new(
         "Ablation: hyperparameter treatment in the acquisition",
         &["mean_tps"],
     );
     for (label, marg) in [
         ("point estimate", None),
-        ("slice-sampled (5)", Some(Marginalize { n_samples: 5, burn_in: 2 })),
+        (
+            "slice-sampled (5)",
+            Some(Marginalize {
+                n_samples: 5,
+                burn_in: 2,
+            }),
+        ),
     ] {
         let mean = run_bo(&objective, &opts, |seed| BoConfig {
             marginalize: marg,
@@ -146,12 +170,19 @@ pub fn contention_exponent(steps: usize) -> Table {
         "Ablation: contention exponent (pla vs bo on the contended cell)",
         &["pla_tps", "bo_tps", "bo_gain"],
     );
-    for (label, exponent) in [("linear (paper formula)", 1.0), ("super-linear (ours)", 1.25)] {
+    for (label, exponent) in [
+        ("linear (paper formula)", 1.0),
+        ("super-linear (ours)", 1.25),
+    ] {
         let mut cluster = ClusterSpec::paper_cluster();
         cluster.contention_exponent = exponent;
         let objective = cell_objective(cluster);
-        let opts =
-            RunOptions { max_steps: steps, confirm_reps: 10, passes: 2, ..Default::default() };
+        let opts = RunOptions {
+            max_steps: steps,
+            confirm_reps: 10,
+            passes: 2,
+            ..Default::default()
+        };
         let pla = run_experiment(|_s| Strategy::pla(), &objective, &opts).mean();
         let bo = run_bo(&objective, &opts, bo_config);
         t.push(label, vec![pla, bo, bo / pla.max(1e-9)]);

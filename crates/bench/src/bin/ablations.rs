@@ -5,10 +5,16 @@ fn main() {
     let scale = Scale::from_env();
     let steps = scale.steps().min(40);
     for (name, table) in [
-        ("ablation_averaging", ablations::measurement_averaging(steps)),
+        (
+            "ablation_averaging",
+            ablations::measurement_averaging(steps),
+        ),
         ("ablation_acquisition", ablations::acquisitions(steps)),
         ("ablation_kernel", ablations::kernels(steps)),
-        ("ablation_marginalization", ablations::marginalization(steps.min(25))),
+        (
+            "ablation_marginalization",
+            ablations::marginalization(steps.min(25)),
+        ),
         ("ablation_contention", ablations::contention_exponent(steps)),
     ] {
         print!("{}", table.render());

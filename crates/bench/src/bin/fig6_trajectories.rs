@@ -10,5 +10,8 @@ fn main() {
         table.write_csv(&path).expect("write CSV");
         eprintln!("wrote {}", path.display());
     }
-    println!("\n## shape checks vs the paper\n{}", mtm_bench::figures::fig6::shape_report(&tables));
+    println!(
+        "\n## shape checks vs the paper\n{}",
+        mtm_bench::figures::fig6::shape_report(&tables)
+    );
 }

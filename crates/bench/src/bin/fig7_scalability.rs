@@ -5,7 +5,10 @@ fn main() {
     let g = grid::run_or_load(scale);
     let table = mtm_bench::figures::fig7::run(&g);
     print!("{}", table.render());
-    println!("\n## shape checks vs the paper\n{}", mtm_bench::figures::fig7::shape_report(&g));
+    println!(
+        "\n## shape checks vs the paper\n{}",
+        mtm_bench::figures::fig7::shape_report(&g)
+    );
     let path = mtm_bench::results_dir().join("fig7.csv");
     table.write_csv(&path).expect("write CSV");
     eprintln!("wrote {}", path.display());

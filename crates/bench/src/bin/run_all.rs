@@ -10,7 +10,8 @@ fn main() {
 
     let t2 = figures::table2::run(30);
     print!("{}", t2.render());
-    t2.write_csv(&results_dir().join("table2.csv")).expect("csv");
+    t2.write_csv(&results_dir().join("table2.csv"))
+        .expect("csv");
     println!();
 
     print!("{}", figures::table3::run());
@@ -35,7 +36,8 @@ fn main() {
 
     let f6 = figures::fig6::run(&g);
     for (i, t) in f6.iter().enumerate() {
-        t.write_csv(&results_dir().join(format!("fig6_cond{i}.csv"))).expect("csv");
+        t.write_csv(&results_dir().join(format!("fig6_cond{i}.csv")))
+            .expect("csv");
     }
     println!("{}", figures::fig6::shape_report(&f6));
 
@@ -44,11 +46,15 @@ fn main() {
     println!("{}", figures::fig7::shape_report(&g));
     f7.write_csv(&results_dir().join("fig7.csv")).expect("csv");
 
-    let r8 = figures::fig8::run(&scale.run_options(0x51D0), &scale.run_options_extended(0x51D0));
+    let r8 = figures::fig8::run(
+        &scale.run_options(0x51D0),
+        &scale.run_options_extended(0x51D0),
+    );
     let f8a = figures::fig8::throughput_table(&r8);
     print!("{}", f8a.render());
     println!("{}", figures::fig8::significance_report(&r8));
-    f8a.write_csv(&results_dir().join("fig8a.csv")).expect("csv");
+    f8a.write_csv(&results_dir().join("fig8a.csv"))
+        .expect("csv");
     figures::fig8::convergence_table(&r8)
         .write_csv(&results_dir().join("fig8b.csv"))
         .expect("csv");

@@ -15,7 +15,10 @@ use mtm_topogen::{make_condition, sundog_topology, Condition, SizeClass};
 /// Produce the Fig. 3 table: topology → avg MB/s per worker.
 pub fn run(steps: usize) -> Table {
     let cluster = ClusterSpec::paper_cluster();
-    let balanced = Condition { time_imbalance: 0.0, contention: 0.0 };
+    let balanced = Condition {
+        time_imbalance: 0.0,
+        contention: 0.0,
+    };
     let mut table = Table::new(
         "Fig. 3: average network load per worker (MB/s); NIC limit 128 MB/s",
         &["mb_per_s"],
@@ -48,7 +51,12 @@ fn tuned_network(
 ) -> f64 {
     let objective = Objective::new(topo.clone(), cluster.clone()).with_base(base);
     let mut pla = Strategy::pla();
-    let opts = RunOptions { max_steps: steps, confirm_reps: 1, passes: 1, ..Default::default() };
+    let opts = RunOptions {
+        max_steps: steps,
+        confirm_reps: 1,
+        passes: 1,
+        ..Default::default()
+    };
     let pass = run_pass(&mut pla, &objective, &opts);
     objective.inspect(&pass.best_config).avg_worker_net_mbps
 }

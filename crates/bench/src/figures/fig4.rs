@@ -18,7 +18,11 @@ pub fn run(grid: &Grid) -> Table {
                 if let Some(cell) = grid.cell(size, &condition, strategy) {
                     let (mean, min, max) = bar_stats(&cell.result);
                     table.push(
-                        &format!("{} | {} | {strategy}", condition_name(&condition), size.label()),
+                        &format!(
+                            "{} | {} | {strategy}",
+                            condition_name(&condition),
+                            size.label()
+                        ),
                         vec![mean, min, max],
                     );
                 }
@@ -33,11 +37,22 @@ pub fn run(grid: &Grid) -> Table {
 pub fn shape_report(grid: &Grid) -> String {
     let mut out = String::new();
     let mean = |size, cond: &Condition, s: &str| {
-        grid.cell(size, cond, s).map(|c| c.result.mean()).unwrap_or(0.0)
+        grid.cell(size, cond, s)
+            .map(|c| c.result.mean())
+            .unwrap_or(0.0)
     };
-    let tl = Condition { time_imbalance: 0.0, contention: 0.0 };
-    let tr = Condition { time_imbalance: 0.0, contention: 0.25 };
-    let br = Condition { time_imbalance: 1.0, contention: 0.25 };
+    let tl = Condition {
+        time_imbalance: 0.0,
+        contention: 0.0,
+    };
+    let tr = Condition {
+        time_imbalance: 0.0,
+        contention: 0.25,
+    };
+    let br = Condition {
+        time_imbalance: 1.0,
+        contention: 0.25,
+    };
 
     // 1. Homogeneous: linear strategies hold their own on medium/large.
     for size in [SizeClass::Medium, SizeClass::Large] {
@@ -46,7 +61,11 @@ pub fn shape_report(grid: &Grid) -> String {
         out.push_str(&format!(
             "TL {}: linear {linear:.0} vs bo {bo:.0} -> {}\n",
             size.label(),
-            if linear >= bo * 0.95 { "OK (bo finds no better)" } else { "DEVIATES" }
+            if linear >= bo * 0.95 {
+                "OK (bo finds no better)"
+            } else {
+                "DEVIATES"
+            }
         ));
     }
     // 2. Contention: BO beats pla on medium/large.
@@ -56,7 +75,11 @@ pub fn shape_report(grid: &Grid) -> String {
         out.push_str(&format!(
             "TR {}: bo {bo:.0} vs pla {pla:.0} -> {}\n",
             size.label(),
-            if bo > pla { "OK (BO helps substantially)" } else { "DEVIATES" }
+            if bo > pla {
+                "OK (BO helps substantially)"
+            } else {
+                "DEVIATES"
+            }
         ));
     }
     // 3. Hardest cell: plain bo best on small.
@@ -68,7 +91,11 @@ pub fn shape_report(grid: &Grid) -> String {
             .fold(0.0_f64, f64::max);
         out.push_str(&format!(
             "BR small: bo {bo:.0} vs best-other {others:.0} -> {}\n",
-            if bo >= others { "OK (uninformed BO wins)" } else { "DEVIATES" }
+            if bo >= others {
+                "OK (uninformed BO wins)"
+            } else {
+                "DEVIATES"
+            }
         ));
     }
     // 4. bo180 >= bo everywhere.

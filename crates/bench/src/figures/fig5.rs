@@ -21,7 +21,11 @@ pub fn run(grid: &Grid) -> Table {
                 if let Some(cell) = grid.cell(size, &condition, strategy) {
                     let (min, avg, max) = cell.result.convergence_steps();
                     table.push(
-                        &format!("{} | {} | {strategy}", condition_name(&condition), size.label()),
+                        &format!(
+                            "{} | {} | {strategy}",
+                            condition_name(&condition),
+                            size.label()
+                        ),
                         vec![min as f64, avg, max as f64],
                     );
                 }

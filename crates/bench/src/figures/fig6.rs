@@ -16,8 +16,13 @@ pub fn run(grid: &Grid) -> Vec<Table> {
         let mut series: Vec<(SizeClass, Vec<f64>)> = Vec::new();
         for size in SizeClass::all() {
             if let Some(cell) = grid.cell(size, &condition, "bo180") {
-                let traj: Vec<f64> =
-                    cell.result.winner().steps.iter().map(|s| s.throughput).collect();
+                let traj: Vec<f64> = cell
+                    .result
+                    .winner()
+                    .steps
+                    .iter()
+                    .map(|s| s.throughput)
+                    .collect();
                 if traj.len() >= 2 {
                     let x: Vec<f64> = (0..traj.len()).map(|i| i as f64).collect();
                     series.push((size, loess.fit(&x, &traj)));
@@ -25,7 +30,10 @@ pub fn run(grid: &Grid) -> Vec<Table> {
             }
         }
         let mut table = Table::new(
-            &format!("Fig. 6 ({}): LOESS(0.75) of bo trajectories", condition_name(&condition)),
+            &format!(
+                "Fig. 6 ({}): LOESS(0.75) of bo trajectories",
+                condition_name(&condition)
+            ),
             &["small", "medium", "large"],
         );
         let len = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
@@ -64,7 +72,11 @@ pub fn shape_report(tables: &[Table]) -> String {
         out.push_str(&format!(
             "{}: small trajectory {first:.0} -> late avg {late:.0} ({})\n",
             t.title,
-            if late >= first { "improving" } else { "flat/declining" }
+            if late >= first {
+                "improving"
+            } else {
+                "flat/declining"
+            }
         ));
     }
     out
@@ -83,7 +95,10 @@ mod tests {
         for t in &tables {
             assert!(!t.rows.is_empty());
             // Smoothed values are finite for at least one size.
-            assert!(t.rows.iter().any(|r| r.values.iter().any(|v| v.is_finite())));
+            assert!(t
+                .rows
+                .iter()
+                .any(|r| r.values.iter().any(|v| v.is_finite())));
         }
         let report = super::shape_report(&tables);
         assert!(report.contains("trajectory"));

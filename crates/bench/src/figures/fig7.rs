@@ -37,7 +37,11 @@ pub fn run(grid: &Grid) -> Table {
                     let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
                     let max = times.iter().cloned().fold(0.0_f64, f64::max);
                     table.push(
-                        &format!("{} | {} | {strategy}", condition_name(&condition), size.label()),
+                        &format!(
+                            "{} | {} | {strategy}",
+                            condition_name(&condition),
+                            size.label()
+                        ),
                         vec![avg, min.min(max), max],
                     );
                 }

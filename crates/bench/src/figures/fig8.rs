@@ -13,7 +13,7 @@ use mtm_core::report::{bar_stats, Table};
 use mtm_core::{run_experiment, ExperimentResult, Objective, ParamSet, RunOptions, Strategy};
 use mtm_stats::welch_t_test;
 use mtm_stormsim::{ClusterSpec, StormConfig};
-use mtm_topogen::{sundog_topology, sundog::SUNDOG_NODES};
+use mtm_topogen::{sundog::SUNDOG_NODES, sundog_topology};
 use serde::{Deserialize, Serialize};
 
 /// All Fig. 8 experiment outcomes.
@@ -168,7 +168,11 @@ pub fn significance_report(r: &SundogResults) -> String {
                 "{a_label} vs {b_label}: t = {:.3}, p = {:.4} -> {}\n",
                 t.t,
                 t.p_value,
-                if t.significant_at(0.05) { "significant" } else { "not significant" }
+                if t.significant_at(0.05) {
+                    "significant"
+                } else {
+                    "not significant"
+                }
             )),
             None => out.push_str(&format!("{a_label} vs {b_label}: degenerate samples\n")),
         }
@@ -178,7 +182,12 @@ pub fn significance_report(r: &SundogResults) -> String {
     test("pla.h", &r.pla_h, "bo180.h", &r.bo180_h);
     // Paper: bs-bp-cc is indistinguishable from h-bs-bp (60 and 180).
     test("bo.bs_bp_cc", &r.bo_bs_bp_cc, "bo.h_bs_bp", &r.bo_h_bs_bp);
-    test("bo.bs_bp_cc", &r.bo_bs_bp_cc, "bo180.h_bs_bp", &r.bo180_h_bs_bp);
+    test(
+        "bo.bs_bp_cc",
+        &r.bo_bs_bp_cc,
+        "bo180.h_bs_bp",
+        &r.bo180_h_bs_bp,
+    );
     // The headline gain.
     let gain = r.bo_h_bs_bp.mean() / r.pla_h.mean().max(1e-9);
     out.push_str(&format!(
@@ -202,8 +211,16 @@ mod tests {
 
     #[test]
     fn smoke_fig8_pipeline() {
-        let opts60 = RunOptions { max_steps: 8, confirm_reps: 4, passes: 1, ..Default::default() };
-        let opts180 = RunOptions { max_steps: 12, ..opts60.clone() };
+        let opts60 = RunOptions {
+            max_steps: 8,
+            confirm_reps: 4,
+            passes: 1,
+            ..Default::default()
+        };
+        let opts180 = RunOptions {
+            max_steps: 12,
+            ..opts60.clone()
+        };
         let r = run(&opts60, &opts180);
         let t = throughput_table(&r);
         assert_eq!(t.rows.len(), 6);

@@ -20,17 +20,29 @@ pub fn run() -> String {
         (
             "Worker Threads",
             "Number of threads per worker",
-            range_of(&ParamSet::BatchConcurrency { fixed_hint: 11 }, &topo, "worker_threads"),
+            range_of(
+                &ParamSet::BatchConcurrency { fixed_hint: 11 },
+                &topo,
+                "worker_threads",
+            ),
         ),
         (
             "Receiver Threads",
             "Number of receiver threads per worker",
-            range_of(&ParamSet::BatchConcurrency { fixed_hint: 11 }, &topo, "receiver_threads"),
+            range_of(
+                &ParamSet::BatchConcurrency { fixed_hint: 11 },
+                &topo,
+                "receiver_threads",
+            ),
         ),
         (
             "Ackers",
             "Number of acker tasks",
-            range_of(&ParamSet::BatchConcurrency { fixed_hint: 11 }, &topo, "ackers"),
+            range_of(
+                &ParamSet::BatchConcurrency { fixed_hint: 11 },
+                &topo,
+                "ackers",
+            ),
         ),
         (
             "Batch Parallelism",
@@ -45,7 +57,11 @@ pub fn run() -> String {
         (
             "Parallelism Hints",
             "Number of task instances to create for operators",
-            format!("{} per-node ints in {}", topo.n_nodes(), range_of(&ParamSet::Hints, &topo, "h0")),
+            format!(
+                "{} per-node ints in {}",
+                topo.n_nodes(),
+                range_of(&ParamSet::Hints, &topo, "h0")
+            ),
         ),
     ];
     for (name, desc, range) in rows {

@@ -6,7 +6,10 @@ use mtm_topogen::literature::{max_surveyed_operators, ENTERPRISE_UPPER_BOUND, LI
 pub fn run() -> String {
     let mut out = String::new();
     out.push_str("# Table III: number of operators of topologies in literature\n");
-    out.push_str(&format!("{:<6} {:<58} {}\n", "Year", "Description", "# of Ops"));
+    out.push_str(&format!(
+        "{:<6} {:<58} {}\n",
+        "Year", "Description", "# of Ops"
+    ));
     for row in LITERATURE {
         out.push_str(&format!(
             "{:<6} {:<58} {}\n",

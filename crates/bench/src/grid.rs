@@ -49,9 +49,9 @@ pub struct Grid {
 impl Grid {
     /// Look up a cell.
     pub fn cell(&self, size: SizeClass, condition: &Condition, strategy: &str) -> Option<&Cell> {
-        self.cells.iter().find(|c| {
-            c.size == size && c.condition == *condition && c.strategy == strategy
-        })
+        self.cells
+            .iter()
+            .find(|c| c.size == size && c.condition == *condition && c.strategy == strategy)
     }
 }
 
@@ -121,7 +121,12 @@ pub fn run(scale: Scale) -> Grid {
                     result.mean(),
                     t0.elapsed().as_secs_f64(),
                 );
-                cells.push(Cell { size, condition, strategy: name.to_string(), result });
+                cells.push(Cell {
+                    size,
+                    condition,
+                    strategy: name.to_string(),
+                    result,
+                });
             }
         }
     }
@@ -147,7 +152,10 @@ mod tests {
         let c = grid
             .cell(
                 SizeClass::Small,
-                &Condition { time_imbalance: 0.0, contention: 0.0 },
+                &Condition {
+                    time_imbalance: 0.0,
+                    contention: 0.0,
+                },
                 "pla",
             )
             .unwrap();

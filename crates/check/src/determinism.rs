@@ -1,0 +1,126 @@
+//! The nondeterminism detector.
+//!
+//! A stream-processing tuning loop is only trustworthy if the simulator is
+//! a pure function of `(topology, config, seed)` — any hidden global state
+//! (time, iteration order over hash maps, uninitialized memory) corrupts
+//! the GP's training set silently. This module runs a probe command twice
+//! and diffs its stdout **bit for bit**: the simulator-world analogue of a
+//! race detector. The probe (`src/bin/determinism_probe.rs` in the root
+//! crate) prints full metrics from the flow simulator, the per-tuple
+//! simulator, and a short BO loop, all under fixed seeds.
+
+use std::process::Command;
+
+/// Result of comparing two runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffOutcome {
+    /// Bit-for-bit identical output.
+    pub identical: bool,
+    /// First differing line: `(1-based line, run A line, run B line)`.
+    pub first_divergence: Option<(usize, String, String)>,
+    /// Total lines compared (max of the two runs).
+    pub lines: usize,
+}
+
+/// Compare two captured outputs bit for bit, reporting the first
+/// divergence line for diagnostics.
+pub fn diff_bitwise(a: &str, b: &str) -> DiffOutcome {
+    if a == b {
+        return DiffOutcome {
+            identical: true,
+            first_divergence: None,
+            lines: a.lines().count(),
+        };
+    }
+    let la: Vec<&str> = a.lines().collect();
+    let lb: Vec<&str> = b.lines().collect();
+    let lines = la.len().max(lb.len());
+    for i in 0..lines {
+        let x = la.get(i).copied().unwrap_or("<missing>");
+        let y = lb.get(i).copied().unwrap_or("<missing>");
+        if x != y {
+            return DiffOutcome {
+                identical: false,
+                first_divergence: Some((i + 1, x.to_string(), y.to_string())),
+                lines,
+            };
+        }
+    }
+    // Same lines but different bytes (e.g. trailing newline / CR): still a
+    // failure, pointed at the end.
+    DiffOutcome {
+        identical: false,
+        first_divergence: Some((lines, "<byte-level difference>".into(), String::new())),
+        lines,
+    }
+}
+
+/// Run `program args...` and capture stdout; non-zero exit or spawn
+/// failure is an error with the command's stderr attached.
+pub fn run_capture(program: &str, args: &[&str]) -> Result<String, String> {
+    let output = Command::new(program)
+        .args(args)
+        .output()
+        .map_err(|e| format!("spawn {program}: {e}"))?;
+    if !output.status.success() {
+        return Err(format!(
+            "{program} {} exited with {}: {}",
+            args.join(" "),
+            output.status,
+            String::from_utf8_lossy(&output.stderr)
+        ));
+    }
+    String::from_utf8(output.stdout).map_err(|e| format!("non-UTF8 output: {e}"))
+}
+
+/// Run the probe command twice and diff.
+pub fn run_twice_and_diff(program: &str, args: &[&str]) -> Result<DiffOutcome, String> {
+    let first = run_capture(program, args)?;
+    let second = run_capture(program, args)?;
+    Ok(diff_bitwise(&first, &second))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_outputs_pass() {
+        let out = diff_bitwise("a\nb\n", "a\nb\n");
+        assert!(out.identical);
+        assert_eq!(out.lines, 2);
+    }
+
+    #[test]
+    fn divergence_is_located() {
+        let out = diff_bitwise("a\nb\nc\n", "a\nX\nc\n");
+        assert!(!out.identical);
+        let (line, x, y) = out.first_divergence.expect("divergence");
+        assert_eq!((line, x.as_str(), y.as_str()), (2, "b", "X"));
+    }
+
+    #[test]
+    fn length_mismatch_is_a_divergence() {
+        let out = diff_bitwise("a\n", "a\nb\n");
+        assert!(!out.identical);
+        assert_eq!(out.first_divergence.expect("divergence").0, 2);
+    }
+
+    #[test]
+    fn trailing_byte_difference_is_caught() {
+        let out = diff_bitwise("a\nb", "a\nb\n");
+        assert!(!out.identical);
+    }
+
+    #[test]
+    fn run_capture_reports_stdout() {
+        // `true` and `echo` exist on any CI runner this repo targets.
+        let out = run_capture("echo", &["deterministic"]).expect("echo runs");
+        assert_eq!(out.trim(), "deterministic");
+    }
+
+    #[test]
+    fn run_capture_fails_on_bad_exit() {
+        assert!(run_capture("false", &[]).is_err());
+    }
+}

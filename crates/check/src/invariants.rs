@@ -1,0 +1,173 @@
+//! Runtime invariant guards for the numeric and simulation kernels.
+//!
+//! These are the checks that are too expensive (or too noisy) to run
+//! unconditionally but catch exactly the silent corruption the optimizer
+//! cannot recover from: NaN/inf leaking into a kernel matrix or an EI
+//! score, an asymmetric or indefinite matrix reaching Cholesky, and a
+//! simulator clock stepping backwards. The numeric crates re-export this
+//! module behind their `strict-invariants` feature and call the guards at
+//! ~10 hot call sites; enable with e.g.
+//! `cargo test -p mtm-gp --features strict-invariants`.
+//!
+//! All guards take the matrix as an `(n, get)` pair rather than a concrete
+//! type so this crate stays dependency-free.
+
+/// Assert every value in `values` is finite (no NaN, no ±inf).
+///
+/// # Panics
+///
+/// Panics with `tag` and the offending index/value on the first
+/// non-finite entry.
+pub fn assert_finite(tag: &str, values: &[f64]) {
+    for (i, &v) in values.iter().enumerate() {
+        assert!(
+            v.is_finite(),
+            "strict-invariants: {tag}: non-finite value {v} at index {i}"
+        );
+    }
+}
+
+/// Assert a single scalar is finite.
+///
+/// # Panics
+///
+/// Panics with `tag` if `value` is NaN or ±inf.
+pub fn assert_finite_val(tag: &str, value: f64) {
+    assert!(
+        value.is_finite(),
+        "strict-invariants: {tag}: non-finite value {value}"
+    );
+}
+
+/// Assert the `n`×`n` matrix read through `get` is symmetric to a
+/// scale-relative tolerance.
+///
+/// # Panics
+///
+/// Panics with `tag` and the first offending `(i, j)` pair.
+pub fn check_symmetric(tag: &str, n: usize, get: &dyn Fn(usize, usize) -> f64) {
+    let mut scale = 0.0f64;
+    for i in 0..n {
+        scale = scale.max(get(i, i).abs());
+    }
+    let tol = 1e-9 * scale.max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let a = get(i, j);
+            let b = get(j, i);
+            assert!(
+                (a - b).abs() <= tol,
+                "strict-invariants: {tag}: asymmetric at ({i},{j}): {a} vs {b}"
+            );
+        }
+    }
+}
+
+/// Spot-check positive semi-definiteness of the `n`×`n` matrix read
+/// through `get`: evaluates `v^T A v` for a few deterministic pseudo-random
+/// probe vectors. Cheaper than a factorization (`O(k n^2)`) and catches
+/// grossly indefinite matrices before they reach Cholesky.
+///
+/// # Panics
+///
+/// Panics with `tag` if any probe produces a quadratic form below
+/// `-tol * scale`.
+pub fn check_psd_spot(tag: &str, n: usize, get: &dyn Fn(usize, usize) -> f64) {
+    if n == 0 {
+        return;
+    }
+    let mut scale = 0.0f64;
+    for i in 0..n {
+        scale = scale.max(get(i, i).abs());
+    }
+    let tol = 1e-8 * scale.max(1.0);
+    // Deterministic xorshift probes: the guard must never introduce
+    // nondeterminism into the code it is guarding.
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    for probe in 0..3u32 {
+        let v: Vec<f64> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+            })
+            .collect();
+        let mut quad = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                quad += v[i] * get(i, j) * v[j];
+            }
+        }
+        assert!(
+            quad >= -tol,
+            "strict-invariants: {tag}: probe {probe} gives v^T A v = {quad} < 0 — not PSD"
+        );
+    }
+}
+
+/// Assert simulation time never moves backwards: `next >= prev`, both
+/// finite.
+///
+/// # Panics
+///
+/// Panics with `tag` if `next < prev` or either timestamp is non-finite.
+pub fn check_monotonic_time(tag: &str, prev: f64, next: f64) {
+    assert!(
+        prev.is_finite() && next.is_finite(),
+        "strict-invariants: {tag}: non-finite timestamp ({prev} -> {next})"
+    );
+    assert!(
+        next >= prev,
+        "strict-invariants: {tag}: time moved backwards: {next} < {prev}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_passes_and_nan_trips() {
+        assert_finite("ok", &[1.0, -2.0, 0.0]);
+        assert_finite_val("ok", 3.5);
+        let caught = std::panic::catch_unwind(|| assert_finite("bad", &[1.0, f64::NAN]));
+        assert!(caught.is_err());
+        let caught = std::panic::catch_unwind(|| assert_finite_val("bad", f64::INFINITY));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn symmetric_check() {
+        let a = [[2.0, 0.5], [0.5, 3.0]];
+        check_symmetric("sym", 2, &|i, j| a[i][j]);
+        let b = [[2.0, 0.5], [0.4, 3.0]];
+        let caught = std::panic::catch_unwind(|| check_symmetric("asym", 2, &|i, j| b[i][j]));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn psd_spot_check() {
+        // Identity is PSD.
+        check_psd_spot("id", 4, &|i, j| if i == j { 1.0 } else { 0.0 });
+        // diag(1, -5) is indefinite and the probes must find it.
+        let caught = std::panic::catch_unwind(|| {
+            check_psd_spot("indef", 2, &|i, j| match (i, j) {
+                (0, 0) => 1.0,
+                (1, 1) => -5.0,
+                _ => 0.0,
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn monotonic_time_check() {
+        check_monotonic_time("clock", 1.0, 1.0);
+        check_monotonic_time("clock", 1.0, 2.0);
+        let caught = std::panic::catch_unwind(|| check_monotonic_time("clock", 2.0, 1.0));
+        assert!(caught.is_err());
+        let caught = std::panic::catch_unwind(|| check_monotonic_time("clock", 0.0, f64::NAN));
+        assert!(caught.is_err());
+    }
+}

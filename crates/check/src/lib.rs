@@ -1,0 +1,24 @@
+//! Correctness tooling for the mtm workspace.
+//!
+//! Three passes, exposed through the `mtm-check` binary
+//! (`cargo run -p mtm-check -- <subcommand>`):
+//!
+//! * [`lint`] — a self-contained source-level scanner enforcing
+//!   repo-specific rules: panic sites in library code are ratcheted (the
+//!   count recorded in `check/ratchet.toml` can only go down), float
+//!   `==`/`!=` is banned in the numeric kernels unless annotated,
+//!   `unsafe` requires a `// SAFETY:` comment, and panicking `pub fn`s in
+//!   `linalg`/`gp` must carry a `# Panics` doc section.
+//! * [`invariants`] — runtime guard functions (finite, symmetric, PSD,
+//!   monotonic time) that `linalg`/`gp`/`stormsim`/`bayesopt` re-export
+//!   and call behind their `strict-invariants` feature.
+//! * [`determinism`] — run-twice-and-diff support: the simulators and a
+//!   short BO loop must produce bit-identical output under a fixed seed.
+//!
+//! The library deliberately has no dependencies (std only) so the numeric
+//! crates can depend on it without cycles or bloat.
+
+pub mod determinism;
+pub mod invariants;
+pub mod lint;
+pub mod ratchet;

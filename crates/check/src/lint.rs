@@ -1,0 +1,869 @@
+//! Source-level lint pass.
+//!
+//! A lightweight line/token scanner (no external parser) enforcing the
+//! repo-specific rules described in DESIGN.md "Correctness tooling":
+//!
+//! 1. **panic-site** — `.unwrap()` / `.expect(` / `panic!` in library code
+//!    outside `#[cfg(test)]`. Existing sites are grandfathered through the
+//!    per-crate counts in `check/ratchet.toml`; the count can only go down.
+//! 2. **float-cmp** — `==` / `!=` with a float operand in the numeric
+//!    kernels (`linalg`/`gp`/`stats`). Exact comparisons that are correct
+//!    by design (sparse-skip on `0.0`, boundary sentinels) are annotated
+//!    with `// lint:allow(float_cmp) <reason>` on the same line or on
+//!    their own line directly above.
+//! 3. **unsafe-no-safety** — any `unsafe` token without a `// SAFETY:`
+//!    comment on the same or one of the three preceding lines.
+//! 4. **missing-panics-doc** — a `pub fn` in `linalg`/`gp` whose body can
+//!    panic (`unwrap`/`expect`/`panic!`/`assert!` family, excluding
+//!    `debug_assert`) must document it with a `# Panics` doc section.
+//!
+//! The scanner strips comments and string/char literals first, then walks
+//! lines with a brace-depth tracker to skip `#[cfg(test)]` regions and
+//! statements gated on the `strict-invariants` feature (those *are* the
+//! assertion layer). It is a heuristic, not a parser — rule scoping keeps
+//! the false-positive rate at zero for this codebase, and the fixtures
+//! under `crates/check/tests/fixtures/` pin the behavior.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Which lint rule a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `.unwrap()` / `.expect(` / `panic!` outside tests (ratcheted).
+    PanicSite,
+    /// Float `==` / `!=` in a numeric kernel without an allow annotation.
+    FloatCmp,
+    /// `unsafe` without a `// SAFETY:` comment.
+    UnsafeNoSafety,
+    /// Panicking `pub fn` without a `# Panics` doc section.
+    MissingPanicsDoc,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Rule::PanicSite => "panic-site",
+            Rule::FloatCmp => "float-cmp",
+            Rule::UnsafeNoSafety => "unsafe-no-safety",
+            Rule::MissingPanicsDoc => "missing-panics-doc",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// Which rule families apply to a file (derived from its path).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleScope {
+    /// Count panic sites (all library code).
+    pub panic_sites: bool,
+    /// Ban float comparisons (linalg/gp/stats).
+    pub float_cmp: bool,
+    /// Require `# Panics` docs on panicking pub fns (linalg/gp).
+    pub panics_doc: bool,
+}
+
+impl RuleScope {
+    /// Every rule on — what the fixtures use.
+    pub fn all() -> RuleScope {
+        RuleScope {
+            panic_sites: true,
+            float_cmp: true,
+            panics_doc: true,
+        }
+    }
+
+    /// Scope for a workspace-relative path.
+    pub fn for_path(rel: &str) -> RuleScope {
+        let float = ["crates/linalg/src", "crates/gp/src", "crates/stats/src"]
+            .iter()
+            .any(|p| rel.starts_with(p));
+        let panics_doc = ["crates/linalg/src", "crates/gp/src"]
+            .iter()
+            .any(|p| rel.starts_with(p));
+        RuleScope {
+            panic_sites: true,
+            float_cmp: float,
+            panics_doc,
+        }
+    }
+}
+
+/// A source line after literal stripping: executable code and comment text
+/// separated.
+#[derive(Debug, Default, Clone)]
+struct LineInfo {
+    /// Code with string/char literal *contents* and comments removed.
+    code: String,
+    /// Comment text on the line (line + block comments, without `//`).
+    comment: String,
+}
+
+/// Strip comments and literal contents, preserving line structure.
+fn strip(source: &str) -> Vec<LineInfo> {
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+    }
+    let mut lines = Vec::new();
+    let mut cur = LineInfo::default();
+    let mut mode = Mode::Code;
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied().unwrap_or('\0');
+        if c == '\n' {
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if c == '/' && next == '/' {
+                    mode = Mode::LineComment;
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    mode = Mode::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                } else if c == 'r' && (next == '"' || next == '#') && !prev_is_ident(&cur.code) {
+                    // Raw string r"..." / r#"..."#.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        cur.code.push('"');
+                        mode = Mode::RawStr(hashes);
+                        i = j + 1;
+                    } else {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal vs lifetime: a literal closes within a
+                    // couple of characters.
+                    if next == '\\' {
+                        let mut j = i + 2;
+                        // Skip the escape payload up to the closing quote.
+                        while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                            j += 1;
+                        }
+                        cur.code.push_str("'c'");
+                        i = j + 1;
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        cur.code.push_str("'c'");
+                        i += 3;
+                    } else {
+                        cur.code.push(c); // lifetime
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if c == '*' && next == '/' {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if chars.get(i + 1 + k as usize) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        cur.code.push('"');
+                        mode = Mode::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines.push(cur);
+    lines
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Per-line flags computed by the region tracker.
+#[derive(Debug, Clone, Copy, Default)]
+struct LineFlags {
+    /// Inside a `#[cfg(test)]` item.
+    in_test: bool,
+    /// Part of a statement gated on `#[cfg(feature = "strict-invariants")]`.
+    strict_gated: bool,
+}
+
+/// Walk lines tracking brace depth, `#[cfg(test)]` regions and
+/// strict-invariants-gated statements.
+fn classify_lines(lines: &[LineInfo]) -> Vec<LineFlags> {
+    let mut flags = vec![LineFlags::default(); lines.len()];
+    let mut depth: i32 = 0;
+    // Depth at which each active #[cfg(test)] region opened.
+    let mut test_close_depth: Option<i32> = None;
+    let mut cfg_test_pending = false;
+    let mut strict_pending = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        let in_test = test_close_depth.is_some();
+        if code.contains("#[cfg(test)]") {
+            cfg_test_pending = true;
+        }
+        if code.contains("#[cfg(feature = \"strict-invariants\")]")
+            || code.contains("#[cfg(feature=\"strict-invariants\")]")
+        {
+            strict_pending = true;
+        }
+        flags[idx] = LineFlags {
+            in_test,
+            strict_gated: strict_pending,
+        };
+        // A gated statement ends at `;` (call) or when its block closes;
+        // multi-line gated statements keep the flag until then.
+        if strict_pending && (code.trim_end().ends_with(';') || code.trim_end().ends_with('}')) {
+            strict_pending = false;
+        }
+        let mut line_opens_test = false;
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if cfg_test_pending && test_close_depth.is_none() {
+                        test_close_depth = Some(depth);
+                        cfg_test_pending = false;
+                        line_opens_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_close_depth == Some(depth) {
+                        test_close_depth = None;
+                    }
+                }
+                ';' => {
+                    // `#[cfg(test)] mod foo;` gates an out-of-line module.
+                    if cfg_test_pending && depth == 0 && code.contains("mod ") {
+                        cfg_test_pending = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if line_opens_test {
+            flags[idx].in_test = true;
+        }
+    }
+    flags
+}
+
+/// True if `code` contains a panic site (`.unwrap()`, `.expect(`,
+/// `panic!`).
+fn has_panic_site(code: &str) -> bool {
+    code.contains(".unwrap()") || code.contains(".expect(") || contains_macro(code, "panic")
+}
+
+/// True if `code` contains an assertion or panic that can fire in release
+/// builds (used by the `# Panics` doc rule; `debug_assert*` excluded).
+fn can_panic(code: &str) -> bool {
+    has_panic_site(code)
+        || contains_macro(code, "assert")
+        || contains_macro(code, "assert_eq")
+        || contains_macro(code, "assert_ne")
+        || contains_macro(code, "unreachable")
+}
+
+/// Word-boundary `name!` match: `assert` must not match `debug_assert!`.
+fn contains_macro(code: &str, name: &str) -> bool {
+    let needle = format!("{name}!");
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(&needle) {
+        let at = from + pos;
+        let prev_ok = at == 0 || {
+            let p = bytes[at - 1] as char;
+            !(p.is_alphanumeric() || p == '_')
+        };
+        if prev_ok {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+/// Does either operand of a `==`/`!=` at `op` look like a float?
+fn float_operand(code: &str, op: usize, op_len: usize) -> bool {
+    let stop = |c: char| ",;(){}&|".contains(c);
+    let left: String = code[..op]
+        .chars()
+        .rev()
+        .take_while(|&c| !stop(c) && c != '=')
+        .collect();
+    let left: String = left.chars().rev().collect();
+    let right: String = code[op + op_len..]
+        .chars()
+        .take_while(|&c| !stop(c))
+        .collect();
+    has_float_token(&left) || has_float_token(&right)
+}
+
+fn has_float_token(s: &str) -> bool {
+    if s.contains("f64::") || s.contains("f32::") || s.contains("as f64") || s.contains("as f32") {
+        return true;
+    }
+    // A digit immediately followed by `.` and not another ident char: a
+    // float literal like `0.0`, `1.`, `2.5e-3`.
+    let b = s.as_bytes();
+    for i in 0..b.len().saturating_sub(1) {
+        if b[i].is_ascii_digit() && b[i + 1] == b'.' {
+            // Exclude method calls on ints like `3.max(x)` — require the
+            // char after the dot to be a digit, `e`, or end-of-token.
+            let after = b.get(i + 2).copied();
+            if after.is_none_or(|c| c.is_ascii_digit() || c == b'e' || c == b' ' || c == b')') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Find `==`/`!=` comparison operators in `code` (excluding `<=`, `>=`,
+/// `=>`, `===`-like runs). Returns `(byte_index, len)` pairs.
+fn comparison_ops(code: &str) -> Vec<(usize, usize)> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < b.len() {
+        let pair = &b[i..i + 2];
+        if pair == b"==" {
+            let prev = if i == 0 { b' ' } else { b[i - 1] };
+            let next = b.get(i + 2).copied().unwrap_or(b' ');
+            if !matches!(prev, b'<' | b'>' | b'!' | b'=' | b'+' | b'-' | b'*' | b'/')
+                && next != b'='
+            {
+                out.push((i, 2));
+            }
+            i += 2;
+        } else if pair == b"!=" {
+            let next = b.get(i + 2).copied().unwrap_or(b' ');
+            if next != b'=' {
+                out.push((i, 2));
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Scan one file's source. `rel` is the workspace-relative path used in
+/// reports.
+pub fn scan_source(rel: &str, source: &str, scope: &RuleScope) -> Vec<Violation> {
+    let lines = strip(source);
+    let flags = classify_lines(&lines);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let excerpt = |idx: usize| {
+        raw_lines
+            .get(idx)
+            .map_or(String::new(), |l| l.trim().to_string())
+    };
+    let mut out = Vec::new();
+
+    for (idx, line) in lines.iter().enumerate() {
+        if flags[idx].in_test || flags[idx].strict_gated {
+            continue;
+        }
+        let code = line.code.as_str();
+        if scope.panic_sites && has_panic_site(code) {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: Rule::PanicSite,
+                excerpt: excerpt(idx),
+            });
+        }
+        // The allow annotation may sit on the comparison line itself or on
+        // its own line directly above (where rustfmt leaves it alone).
+        let float_allowed = line.comment.contains("lint:allow(float_cmp)")
+            || (idx > 0 && lines[idx - 1].comment.contains("lint:allow(float_cmp)"));
+        if scope.float_cmp && !float_allowed {
+            let hit = comparison_ops(code)
+                .into_iter()
+                .any(|(at, len)| float_operand(code, at, len));
+            if hit {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: Rule::FloatCmp,
+                    excerpt: excerpt(idx),
+                });
+            }
+        }
+        if contains_word(code, "unsafe") {
+            let documented = (idx.saturating_sub(3)..=idx)
+                .any(|j| lines[j].comment.trim_start().starts_with("SAFETY:"));
+            if !documented {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: Rule::UnsafeNoSafety,
+                    excerpt: excerpt(idx),
+                });
+            }
+        }
+    }
+
+    if scope.panics_doc {
+        out.extend(missing_panics_docs(rel, &lines, &flags, &excerpt));
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+fn contains_word(code: &str, word: &str) -> bool {
+    let b = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let at = from + pos;
+        let prev_ok = at == 0 || {
+            let p = b[at - 1] as char;
+            !(p.is_alphanumeric() || p == '_')
+        };
+        let end = at + word.len();
+        let next_ok = end >= b.len() || {
+            let n = b[end] as char;
+            !(n.is_alphanumeric() || n == '_')
+        };
+        if prev_ok && next_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// The `# Panics` doc rule: find each `pub fn`, collect its preceding doc
+/// comment and its body, and flag panicking bodies without the section.
+fn missing_panics_docs(
+    rel: &str,
+    lines: &[LineInfo],
+    flags: &[LineFlags],
+    excerpt: &dyn Fn(usize) -> String,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut doc: String = String::new();
+    let mut idx = 0;
+    while idx < lines.len() {
+        let line = &lines[idx];
+        let code = line.code.trim();
+        if flags[idx].in_test {
+            doc.clear();
+            idx += 1;
+            continue;
+        }
+        // Doc comments arrive as comments whose text starts with '/'
+        // (the third slash of `///`).
+        if code.is_empty() && line.comment.starts_with('/') {
+            doc.push_str(&line.comment);
+            doc.push('\n');
+            idx += 1;
+            continue;
+        }
+        if code.is_empty() || code.starts_with("#[") {
+            // Blank lines and attributes don't break the doc block.
+            idx += 1;
+            continue;
+        }
+        if find_pub_fn(code).is_some() {
+            // Find the body: the first '{' at or after this line.
+            let (body_start, mut depth) = match find_body_open(lines, idx) {
+                Some(v) => v,
+                None => {
+                    doc.clear();
+                    idx += 1;
+                    continue;
+                }
+            };
+            let mut body_can_panic = false;
+            let mut j = body_start;
+            loop {
+                if j >= lines.len() {
+                    break;
+                }
+                let l = &lines[j];
+                let mut line_done = false;
+                for (ci, c) in l.code.char_indices() {
+                    if j == body_start && ci < body_open_col(lines, body_start) {
+                        continue;
+                    }
+                    match c {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                line_done = true;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if !flags[j].strict_gated && !flags[j].in_test && can_panic(&l.code) {
+                    body_can_panic = true;
+                }
+                if line_done {
+                    break;
+                }
+                j += 1;
+            }
+            if body_can_panic && !doc.contains("# Panics") {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: Rule::MissingPanicsDoc,
+                    excerpt: excerpt(idx),
+                });
+            }
+            doc.clear();
+            idx = j + 1;
+            continue;
+        }
+        doc.clear();
+        idx += 1;
+    }
+    out
+}
+
+/// Column of the first `{` on the body-opening line (0 when the whole line
+/// belongs to the body).
+fn body_open_col(lines: &[LineInfo], line_idx: usize) -> usize {
+    lines[line_idx].code.find('{').unwrap_or(0)
+}
+
+/// Locate the line holding the opening `{` of the fn starting at
+/// `fn_line`. Returns `(line_index, initial_depth=0)`; depth counting
+/// starts at that `{`.
+fn find_body_open(lines: &[LineInfo], fn_line: usize) -> Option<(usize, i32)> {
+    for (j, line) in lines.iter().enumerate().skip(fn_line).take(20) {
+        if line.code.contains(';')
+            && !line.code.contains('{')
+            && line.code.contains("fn ")
+            && j == fn_line
+        {
+            // Trait method declaration without a body.
+            return None;
+        }
+        if line.code.contains('{') {
+            return Some((j, 0));
+        }
+    }
+    None
+}
+
+/// Does `code` start a public function item? Returns the column.
+fn find_pub_fn(code: &str) -> Option<usize> {
+    for pat in [
+        "pub fn ",
+        "pub const fn ",
+        "pub unsafe fn ",
+        "pub(crate) fn ",
+    ] {
+        if let Some(at) = code.find(pat) {
+            // `pub(crate)` is not part of the public API; skip it.
+            if pat == "pub(crate) fn " {
+                return None;
+            }
+            return Some(at);
+        }
+    }
+    None
+}
+
+/// Scan result for a whole tree: violations plus per-unit panic-site
+/// counts (the ratchet input).
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// All violations found (panic sites included).
+    pub violations: Vec<Violation>,
+}
+
+impl WorkspaceReport {
+    /// Violations that fail the build outright (everything except
+    /// ratcheted panic sites).
+    pub fn hard_failures(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| v.rule != Rule::PanicSite)
+    }
+
+    /// Per-unit panic-site counts, keyed like `check/ratchet.toml`
+    /// (`crates/<name>` or `src` for the root crate).
+    pub fn panic_counts(&self) -> std::collections::BTreeMap<String, usize> {
+        let mut map = std::collections::BTreeMap::new();
+        for v in &self.violations {
+            if v.rule == Rule::PanicSite {
+                *map.entry(ratchet_unit(&v.file)).or_insert(0) += 1;
+            }
+        }
+        map
+    }
+}
+
+/// Map a workspace-relative file to its ratchet unit.
+pub fn ratchet_unit(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts.first() == Some(&"crates") && parts.len() >= 2 {
+        format!("crates/{}", parts[1])
+    } else {
+        "src".to_string()
+    }
+}
+
+/// Scan the workspace's library code rooted at `root`: `crates/*/src/**`
+/// and the root `src/**`. Vendored `third_party/` stand-ins and test trees
+/// are out of scope.
+pub fn scan_workspace(root: &Path) -> Result<WorkspaceReport, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries =
+        fs::read_dir(&crates_dir).map_err(|e| format!("read {}: {e}", crates_dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    files.sort();
+
+    let mut report = WorkspaceReport::default();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .map_err(|e| e.to_string())?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source =
+            fs::read_to_string(file).map_err(|e| format!("read {}: {e}", file.display()))?;
+        let scope = RuleScope::for_path(&rel);
+        report.violations.extend(scan_source(&rel, &source, &scope));
+    }
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<Violation> {
+        scan_source("test.rs", src, &RuleScope::all())
+    }
+
+    #[test]
+    fn panic_sites_flagged_outside_tests_only() {
+        let src = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+#[cfg(test)]
+mod tests {
+    fn g(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}
+"#;
+        let v = scan(src);
+        let sites: Vec<_> = v.iter().filter(|v| v.rule == Rule::PanicSite).collect();
+        assert_eq!(sites.len(), 1, "{v:?}");
+        assert_eq!(sites[0].line, 3);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_count() {
+        let src = r#"
+pub fn f() -> &'static str {
+    // .unwrap() in a comment
+    ".unwrap() in a string"
+}
+"#;
+        assert!(scan(src).iter().all(|v| v.rule != Rule::PanicSite));
+    }
+
+    #[test]
+    fn float_cmp_heuristics() {
+        let flagged = "fn f(x: f64) -> bool { x == 0.5 }";
+        assert!(scan(flagged).iter().any(|v| v.rule == Rule::FloatCmp));
+        let int_ok = "fn f(x: usize) -> bool { x == 5 }";
+        assert!(scan(int_ok).iter().all(|v| v.rule != Rule::FloatCmp));
+        let le_ok = "fn f(x: f64) -> bool { x <= 0.5 }";
+        assert!(scan(le_ok).iter().all(|v| v.rule != Rule::FloatCmp));
+        let allowed = "fn f(x: f64) -> bool { x == 0.0 } // lint:allow(float_cmp) sentinel";
+        assert!(scan(allowed).iter().all(|v| v.rule != Rule::FloatCmp));
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f() { unsafe { core(); } }";
+        assert!(scan(bad).iter().any(|v| v.rule == Rule::UnsafeNoSafety));
+        let good = "// SAFETY: checked above\nfn f() { unsafe { core(); } }";
+        assert!(scan(good).iter().all(|v| v.rule != Rule::UnsafeNoSafety));
+    }
+
+    #[test]
+    fn panics_doc_required_for_panicking_pub_fn() {
+        let bad = r#"
+/// Does a thing.
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+"#;
+        assert!(scan(bad).iter().any(|v| v.rule == Rule::MissingPanicsDoc));
+        let good = r#"
+/// Does a thing.
+///
+/// # Panics
+///
+/// Panics when `x` is `None`.
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+"#;
+        assert!(scan(good).iter().all(|v| v.rule != Rule::MissingPanicsDoc));
+        let non_panicking = r#"
+/// Does a thing.
+pub fn f(x: Option<u32>) -> Option<u32> {
+    x.map(|v| v + 1)
+}
+"#;
+        assert!(scan(non_panicking)
+            .iter()
+            .all(|v| v.rule != Rule::MissingPanicsDoc));
+    }
+
+    #[test]
+    fn debug_assert_is_not_a_panic_for_docs() {
+        let src = r#"
+/// Docs.
+pub fn f(x: usize) {
+    debug_assert!(x > 0);
+}
+"#;
+        assert!(scan(src).iter().all(|v| v.rule != Rule::MissingPanicsDoc));
+    }
+
+    #[test]
+    fn strict_invariant_guards_are_exempt() {
+        let src = "
+/// Docs.
+pub fn f(xs: &[f64]) {
+    #[cfg(feature = \"strict-invariants\")]
+    crate::invariants::assert_finite(\"f\", xs);
+    let _ = xs;
+}
+";
+        let v = scan(src);
+        assert!(v.iter().all(|v| v.rule != Rule::MissingPanicsDoc), "{v:?}");
+        assert!(v.iter().all(|v| v.rule != Rule::PanicSite), "{v:?}");
+    }
+
+    #[test]
+    fn ratchet_units() {
+        assert_eq!(ratchet_unit("crates/gp/src/gp.rs"), "crates/gp");
+        assert_eq!(ratchet_unit("src/bin/mtm-tune.rs"), "src");
+    }
+}

@@ -1,0 +1,225 @@
+//! The `mtm-check` command-line tool.
+//!
+//! ```text
+//! cargo run -p mtm-check -- lint [--update-ratchet]
+//! cargo run -p mtm-check -- invariants
+//! cargo run -p mtm-check -- determinism
+//! cargo run -p mtm-check -- all
+//! ```
+//!
+//! Exit code 0 means the pass(es) succeeded; 1 means violations or a
+//! nondeterministic run; 2 means the tool itself could not run.
+
+use std::env;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+use mtm_check::determinism;
+use mtm_check::lint;
+use mtm_check::ratchet::Ratchet;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    let cmd = it.next().unwrap_or("");
+    let rest: Vec<&str> = it.collect();
+    let root = match workspace_root() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mtm-check: cannot locate workspace root: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let ok = match cmd {
+        "lint" => run_lint(&root, rest.contains(&"--update-ratchet")),
+        "invariants" => run_invariants(),
+        "determinism" => run_determinism(),
+        "all" => {
+            let lint_ok = run_lint(&root, false);
+            let inv_ok = run_invariants();
+            let det_ok = run_determinism();
+            lint_ok && inv_ok && det_ok
+        }
+        _ => {
+            eprintln!(
+                "usage: mtm-check <lint [--update-ratchet] | invariants | determinism | all>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Find the workspace root: walk up from the current directory to the
+/// first `Cargo.toml` containing a `[workspace]` table.
+fn workspace_root() -> Result<PathBuf, String> {
+    let mut dir = env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml above the current directory".into());
+        }
+    }
+}
+
+fn run_lint(root: &Path, update_ratchet: bool) -> bool {
+    println!(
+        "mtm-check lint: scanning library sources under {}",
+        root.display()
+    );
+    let report = match lint::scan_workspace(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mtm-check lint: {e}");
+            return false;
+        }
+    };
+
+    let mut ok = true;
+    let hard: Vec<_> = report.hard_failures().collect();
+    for v in &hard {
+        println!("  {v}");
+    }
+    if !hard.is_empty() {
+        println!("mtm-check lint: {} rule violation(s)", hard.len());
+        ok = false;
+    }
+
+    let counts = report.panic_counts();
+    let ratchet_path = root.join("check/ratchet.toml");
+    if update_ratchet {
+        let rendered = Ratchet::render(&counts);
+        if let Some(parent) = ratchet_path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        if let Err(e) = fs::write(&ratchet_path, rendered) {
+            eprintln!("mtm-check lint: write {}: {e}", ratchet_path.display());
+            return false;
+        }
+        println!("mtm-check lint: wrote {}", ratchet_path.display());
+        return ok;
+    }
+    let recorded = match fs::read_to_string(&ratchet_path) {
+        Ok(text) => match Ratchet::parse(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("mtm-check lint: {e}");
+                return false;
+            }
+        },
+        Err(e) => {
+            eprintln!(
+                "mtm-check lint: read {}: {e} (run with --update-ratchet to create it)",
+                ratchet_path.display()
+            );
+            return false;
+        }
+    };
+    let (failures, tighten) = recorded.compare(&counts);
+    for f in &failures {
+        println!("  ratchet: {f}");
+    }
+    for t in &tighten {
+        println!("  ratchet (tightenable): {t}");
+    }
+    if !failures.is_empty() {
+        println!(
+            "mtm-check lint: panic-site ratchet violated — remove the new \
+             sites or justify lowering elsewhere"
+        );
+        ok = false;
+    }
+    if ok {
+        let total: usize = counts.values().sum();
+        println!(
+            "mtm-check lint: OK ({total} grandfathered panic sites within ratchet, \
+             0 rule violations)"
+        );
+    }
+    ok
+}
+
+/// Run each guarded crate's test suite with `strict-invariants` enabled,
+/// so every inserted guard actually executes against real workloads.
+fn run_invariants() -> bool {
+    let crates = ["mtm-linalg", "mtm-gp", "mtm-stormsim", "mtm-bayesopt"];
+    let mut ok = true;
+    for krate in crates {
+        println!("mtm-check invariants: cargo test -p {krate} --features strict-invariants");
+        let status = Command::new("cargo")
+            .args(["test", "-q", "-p", krate, "--features", "strict-invariants"])
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("mtm-check invariants: {krate} failed with {s}");
+                ok = false;
+            }
+            Err(e) => {
+                eprintln!("mtm-check invariants: cargo: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        println!("mtm-check invariants: OK (all guarded test suites green)");
+    }
+    ok
+}
+
+/// Build the probe once, then run it twice and require bit-identical
+/// stdout.
+fn run_determinism() -> bool {
+    println!("mtm-check determinism: building probe");
+    let build = Command::new("cargo")
+        .args(["build", "-q", "-p", "mtm", "--bin", "determinism_probe"])
+        .status();
+    match build {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("mtm-check determinism: probe build failed with {s}");
+            return false;
+        }
+        Err(e) => {
+            eprintln!("mtm-check determinism: cargo: {e}");
+            return false;
+        }
+    }
+    println!("mtm-check determinism: running probe twice (flow sim, tuple sim, 10-step BO)");
+    let outcome = determinism::run_twice_and_diff(
+        "cargo",
+        &["run", "-q", "-p", "mtm", "--bin", "determinism_probe"],
+    );
+    match outcome {
+        Ok(diff) if diff.identical => {
+            println!(
+                "mtm-check determinism: OK ({} lines of metrics bit-identical across runs)",
+                diff.lines
+            );
+            true
+        }
+        Ok(diff) => {
+            if let Some((line, a, b)) = diff.first_divergence {
+                eprintln!("mtm-check determinism: NONDETERMINISM at output line {line}:");
+                eprintln!("  run A: {a}");
+                eprintln!("  run B: {b}");
+            }
+            false
+        }
+        Err(e) => {
+            eprintln!("mtm-check determinism: {e}");
+            false
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The panic-site ratchet.
+//!
+//! `check/ratchet.toml` records the number of `.unwrap()` / `.expect(` /
+//! `panic!` sites in each crate's library code. `mtm-check lint` fails
+//! when any count *rises* above its recorded value; falling counts are
+//! reported so the file can be tightened with
+//! `cargo run -p mtm-check -- lint --update-ratchet`. The file is parsed
+//! with a purpose-built reader (the workspace has no TOML dependency) —
+//! it understands exactly the subset the writer emits.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Parsed ratchet state: per-unit panic-site ceilings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ratchet {
+    /// Unit (`crates/<name>` or `src`) → maximum allowed panic sites.
+    pub counts: BTreeMap<String, usize>,
+}
+
+impl Ratchet {
+    /// Parse the `check/ratchet.toml` format: a `[panic_sites]` table of
+    /// `"unit" = count` entries. Comments and blank lines are ignored.
+    pub fn parse(text: &str) -> Result<Ratchet, String> {
+        let mut counts = BTreeMap::new();
+        let mut in_table = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_table = line == "[panic_sites]";
+                continue;
+            }
+            if !in_table {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("ratchet.toml:{}: expected `key = count`", lineno + 1))?;
+            let key = key.trim().trim_matches('"').to_string();
+            let value: usize = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("ratchet.toml:{}: bad count: {e}", lineno + 1))?;
+            counts.insert(key, value);
+        }
+        Ok(Ratchet { counts })
+    }
+
+    /// Render the canonical file contents for `counts`.
+    pub fn render(counts: &BTreeMap<String, usize>) -> String {
+        let mut out = String::from(
+            "# Panic-site ratchet: per-crate counts of `.unwrap()` / `.expect(` /\n\
+             # `panic!` in library code outside `#[cfg(test)]`. `mtm-check lint`\n\
+             # fails if any count rises; regenerate after *reducing* sites with:\n\
+             #\n\
+             #     cargo run -p mtm-check -- lint --update-ratchet\n\
+             \n\
+             [panic_sites]\n",
+        );
+        for (unit, count) in counts {
+            let _ = writeln!(out, "\"{unit}\" = {count}");
+        }
+        out
+    }
+
+    /// Compare current counts against the recorded ceilings. Returns
+    /// `(failures, tightenable)`: units whose count rose (including units
+    /// absent from the file), and units whose count fell.
+    pub fn compare(&self, current: &BTreeMap<String, usize>) -> (Vec<String>, Vec<String>) {
+        let mut failures = Vec::new();
+        let mut tighten = Vec::new();
+        for (unit, &count) in current {
+            match self.counts.get(unit) {
+                Some(&ceiling) if count > ceiling => failures.push(format!(
+                    "{unit}: {count} panic sites, ratchet allows {ceiling}"
+                )),
+                Some(&ceiling) if count < ceiling => tighten.push(format!(
+                    "{unit}: {count} panic sites, ratchet still at {ceiling}"
+                )),
+                Some(_) => {}
+                None => failures.push(format!(
+                    "{unit}: {count} panic sites, not present in check/ratchet.toml"
+                )),
+            }
+        }
+        for unit in self.counts.keys() {
+            if !current.contains_key(unit) && self.counts[unit] > 0 {
+                tighten.push(format!(
+                    "{unit}: 0 panic sites, ratchet still at {}",
+                    self.counts[unit]
+                ));
+            }
+        }
+        (failures, tighten)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, usize)]) -> BTreeMap<String, usize> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn round_trips() {
+        let c = counts(&[("crates/gp", 3), ("src", 1)]);
+        let rendered = Ratchet::render(&c);
+        let parsed = Ratchet::parse(&rendered).expect("parse");
+        assert_eq!(parsed.counts, c);
+    }
+
+    #[test]
+    fn increase_is_a_failure() {
+        let ratchet = Ratchet {
+            counts: counts(&[("crates/gp", 2)]),
+        };
+        let (failures, _) = ratchet.compare(&counts(&[("crates/gp", 3)]));
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("allows 2"), "{failures:?}");
+    }
+
+    #[test]
+    fn unknown_unit_is_a_failure() {
+        let ratchet = Ratchet::default();
+        let (failures, _) = ratchet.compare(&counts(&[("crates/new", 1)]));
+        assert_eq!(failures.len(), 1);
+    }
+
+    #[test]
+    fn decrease_only_suggests_tightening() {
+        let ratchet = Ratchet {
+            counts: counts(&[("crates/gp", 5)]),
+        };
+        let (failures, tighten) = ratchet.compare(&counts(&[("crates/gp", 3)]));
+        assert!(failures.is_empty());
+        assert_eq!(tighten.len(), 1);
+    }
+
+    #[test]
+    fn equal_counts_pass_silently() {
+        let ratchet = Ratchet {
+            counts: counts(&[("crates/gp", 5)]),
+        };
+        let (failures, tighten) = ratchet.compare(&counts(&[("crates/gp", 5)]));
+        assert!(failures.is_empty() && tighten.is_empty());
+    }
+}

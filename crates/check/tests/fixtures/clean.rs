@@ -1,0 +1,31 @@
+//! A fixture with no violations: every rule must stay silent here.
+
+/// Doubles the input.
+pub fn double(x: f64) -> f64 {
+    x * 2.0
+}
+
+/// Near-equality the right way: tolerance, not `==`.
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-12
+}
+
+/// Error handling without panics.
+pub fn checked_div(a: f64, b: f64) -> Option<f64> {
+    if b.abs() < f64::MIN_POSITIVE {
+        None
+    } else {
+        Some(a / b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_doubles() {
+        // Tests may unwrap() and compare floats exactly.
+        assert_eq!(Some(4.0).unwrap(), double(2.0));
+    }
+}

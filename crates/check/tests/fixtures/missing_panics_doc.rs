@@ -1,0 +1,22 @@
+//! Planted violation: a panicking `pub fn` without a `# Panics` section.
+
+/// Returns the first element.
+pub fn head(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "head of empty slice");
+    xs[0]
+}
+
+/// Returns the first element.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn documented_head(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "head of empty slice");
+    xs[0]
+}
+
+/// Total of the slice — cannot panic, needs no section.
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}

@@ -1,0 +1,25 @@
+//! Planted violation: panic sites in library code outside `#[cfg(test)]`.
+
+pub fn takes_the_shortcut(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn blames_the_caller(x: Result<u32, String>) -> u32 {
+    x.expect("caller promised this was Ok")
+}
+
+pub fn gives_up(x: u32) -> u32 {
+    if x > 100 {
+        panic!("x too big: {x}");
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside tests, unwrap is fine and must NOT be counted.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

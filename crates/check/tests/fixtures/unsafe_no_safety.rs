@@ -1,0 +1,10 @@
+//! Planted violation: `unsafe` without a `// SAFETY:` comment.
+
+pub fn reads_raw(ptr: *const u32) -> u32 {
+    unsafe { *ptr }
+}
+
+pub fn documented_read(ptr: *const u32) -> u32 {
+    // SAFETY: caller guarantees `ptr` is valid and aligned — not flagged.
+    unsafe { *ptr }
+}

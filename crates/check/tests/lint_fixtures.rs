@@ -1,0 +1,60 @@
+//! The lint pass self-test: every planted fixture violation must be
+//! flagged, and the clean fixture must stay silent.
+
+use mtm_check::lint::{scan_source, Rule, RuleScope};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn rule_lines(src: &str, rule: Rule) -> Vec<usize> {
+    scan_source("fixture.rs", src, &RuleScope::all())
+        .into_iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| v.line)
+        .collect()
+}
+
+#[test]
+fn panic_site_fixture_is_flagged() {
+    let src = fixture("panic_site.rs");
+    let lines = rule_lines(&src, Rule::PanicSite);
+    // unwrap, expect and panic! each flagged once; the unwrap inside
+    // #[cfg(test)] is not.
+    assert_eq!(lines.len(), 3, "flagged lines: {lines:?}");
+}
+
+#[test]
+fn float_eq_fixture_is_flagged() {
+    let src = fixture("float_eq.rs");
+    let lines = rule_lines(&src, Rule::FloatCmp);
+    // `== 0.0` and `!= 1.0e-9` flagged; the annotated sentinel and the
+    // integer compare are not.
+    assert_eq!(lines.len(), 2, "flagged lines: {lines:?}");
+}
+
+#[test]
+fn unsafe_fixture_is_flagged() {
+    let src = fixture("unsafe_no_safety.rs");
+    let lines = rule_lines(&src, Rule::UnsafeNoSafety);
+    // The undocumented unsafe block is flagged; the SAFETY-commented one
+    // is not.
+    assert_eq!(lines.len(), 1, "flagged lines: {lines:?}");
+}
+
+#[test]
+fn missing_panics_doc_fixture_is_flagged() {
+    let src = fixture("missing_panics_doc.rs");
+    let lines = rule_lines(&src, Rule::MissingPanicsDoc);
+    // `head` lacks the section; `documented_head` has it; `total` cannot
+    // panic.
+    assert_eq!(lines.len(), 1, "flagged lines: {lines:?}");
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let src = fixture("clean.rs");
+    let violations = scan_source("clean.rs", &src, &RuleScope::all());
+    assert!(violations.is_empty(), "unexpected: {violations:?}");
+}

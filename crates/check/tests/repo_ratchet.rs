@@ -1,0 +1,60 @@
+//! The repo-level gate, wired into `cargo test`: the workspace's own
+//! library code must pass every hard lint rule, and the panic-site count
+//! must not exceed the ceilings recorded in `check/ratchet.toml`.
+
+use std::path::PathBuf;
+
+use mtm_check::lint;
+use mtm_check::ratchet::Ratchet;
+
+fn workspace_root() -> PathBuf {
+    // crates/check -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_no_hard_lint_violations() {
+    let report = lint::scan_workspace(&workspace_root()).expect("scan workspace");
+    let hard: Vec<String> = report.hard_failures().map(|v| v.to_string()).collect();
+    assert!(hard.is_empty(), "lint violations:\n{}", hard.join("\n"));
+}
+
+#[test]
+fn panic_sites_do_not_exceed_ratchet() {
+    let root = workspace_root();
+    let report = lint::scan_workspace(&root).expect("scan workspace");
+    let text = std::fs::read_to_string(root.join("check/ratchet.toml"))
+        .expect("check/ratchet.toml exists — regenerate with `cargo run -p mtm-check -- lint --update-ratchet`");
+    let ratchet = Ratchet::parse(&text).expect("ratchet parses");
+    let (failures, _tighten) = ratchet.compare(&report.panic_counts());
+    assert!(
+        failures.is_empty(),
+        "panic-site ratchet violated (the count can only go down):\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn ratchet_rejects_synthetic_increase() {
+    // Simulate a PR adding one panic site to every unit: the recorded file
+    // must reject each of them.
+    let root = workspace_root();
+    let report = lint::scan_workspace(&root).expect("scan workspace");
+    let text = std::fs::read_to_string(root.join("check/ratchet.toml")).expect("ratchet file");
+    let ratchet = Ratchet::parse(&text).expect("ratchet parses");
+    let mut inflated = report.panic_counts();
+    for count in inflated.values_mut() {
+        *count += 1;
+    }
+    inflated.entry("crates/brand-new".to_string()).or_insert(1);
+    let (failures, _) = ratchet.compare(&inflated);
+    assert!(
+        failures.len() >= inflated.len().min(1),
+        "an increase in any unit must fail the ratchet: {failures:?}"
+    );
+    assert!(failures.iter().any(|f| f.contains("crates/brand-new")));
+}

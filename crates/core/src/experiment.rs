@@ -118,8 +118,16 @@ impl ExperimentResult {
 
     /// Min and max confirmed throughput (the paper's error bars).
     pub fn min_max(&self) -> (f64, f64) {
-        let min = self.confirmation.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = self.confirmation.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = self
+            .confirmation
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let max = self
+            .confirmation
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         if self.confirmation.is_empty() {
             (0.0, 0.0)
         } else {
@@ -175,7 +183,11 @@ pub fn run_pass(strategy: &mut Strategy, objective: &Objective, opts: &RunOption
             .sum::<f64>()
             / reps as f64;
         strategy.observe(throughput);
-        steps.push(StepRecord { step, throughput, optimizer_time_s });
+        steps.push(StepRecord {
+            step,
+            throughput,
+            optimizer_time_s,
+        });
 
         if throughput > best_throughput {
             best_throughput = throughput;
@@ -214,7 +226,10 @@ pub fn run_experiment(
         .map(|p| {
             let seed = opts.seed.wrapping_add(1 + p as u64);
             let mut strategy = make_strategy(seed);
-            let pass_opts = RunOptions { seed, ..opts.clone() };
+            let pass_opts = RunOptions {
+                seed,
+                ..opts.clone()
+            };
             run_pass(&mut strategy, objective, &pass_opts)
         })
         .collect();
@@ -264,14 +279,22 @@ mod tests {
     fn small_objective() -> Objective {
         let topo = make_condition(
             SizeClass::Small,
-            &Condition { time_imbalance: 0.0, contention: 0.0 },
+            &Condition {
+                time_imbalance: 0.0,
+                contention: 0.0,
+            },
             7,
         );
         Objective::new(topo, ClusterSpec::paper_cluster())
     }
 
     fn quick_opts() -> RunOptions {
-        RunOptions { max_steps: 10, confirm_reps: 4, passes: 2, ..Default::default() }
+        RunOptions {
+            max_steps: 10,
+            confirm_reps: 4,
+            passes: 2,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -298,11 +321,7 @@ mod tests {
     #[test]
     fn experiment_keeps_better_pass_and_confirms() {
         let obj = small_objective();
-        let result = run_experiment(
-            |_seed| Strategy::pla(),
-            &obj,
-            &quick_opts(),
-        );
+        let result = run_experiment(|_seed| Strategy::pla(), &obj, &quick_opts());
         assert_eq!(result.passes.len(), 2);
         assert_eq!(result.confirmation.len(), 4);
         assert!(result.mean() > 0.0);
@@ -320,7 +339,10 @@ mod tests {
         // every step; pla must stop after `zero_stop` runs.
         let topo = make_condition(
             SizeClass::Small,
-            &Condition { time_imbalance: 0.0, contention: 0.0 },
+            &Condition {
+                time_imbalance: 0.0,
+                contention: 0.0,
+            },
             7,
         );
         let mut base = mtm_stormsim::StormConfig::baseline(topo.n_nodes());
@@ -329,7 +351,14 @@ mod tests {
             .with_base(base)
             .with_noise(MeasurementNoise::none());
         let mut s = Strategy::pla();
-        let pass = run_pass(&mut s, &obj, &RunOptions { max_steps: 60, ..Default::default() });
+        let pass = run_pass(
+            &mut s,
+            &obj,
+            &RunOptions {
+                max_steps: 60,
+                ..Default::default()
+            },
+        );
         assert_eq!(pass.steps.len(), 3, "stopped after three zero runs");
         assert_eq!(pass.best_throughput, 0.0);
     }

@@ -45,7 +45,9 @@ pub mod report;
 pub mod strategy;
 pub mod weights;
 
-pub use experiment::{run_experiment, run_pass, ExperimentResult, PassResult, RunOptions, StepRecord};
+pub use experiment::{
+    run_experiment, run_pass, ExperimentResult, PassResult, RunOptions, StepRecord,
+};
 pub use objective::Objective;
 pub use paramsets::ParamSet;
 pub use strategy::Strategy;

@@ -37,7 +37,13 @@ impl Objective {
     /// measurement noise, starting from the baseline configuration.
     pub fn new(topo: Topology, cluster: ClusterSpec) -> Self {
         let base = StormConfig::baseline(topo.n_nodes());
-        Objective { topo, cluster, base, window_s: 120.0, noise: MeasurementNoise::default() }
+        Objective {
+            topo,
+            cluster,
+            base,
+            window_s: 120.0,
+            noise: MeasurementNoise::default(),
+        }
     }
 
     /// Override the base configuration (everything a strategy doesn't
@@ -132,9 +138,15 @@ mod tests {
 
     #[test]
     fn builders_apply() {
-        let obj = objective().with_window(30.0).with_noise(MeasurementNoise::none());
+        let obj = objective()
+            .with_window(30.0)
+            .with_noise(MeasurementNoise::none());
         assert_eq!(obj.window(), 30.0);
         let c = obj.base_config().clone();
-        assert_eq!(obj.measure(&c, 1), obj.measure(&c, 99), "no noise configured");
+        assert_eq!(
+            obj.measure(&c, 1),
+            obj.measure(&c, 99),
+            "no noise configured"
+        );
     }
 }

@@ -96,13 +96,11 @@ impl ParamSet {
         let mut config = base.clone();
         match self {
             ParamSet::Hints => {
-                config.parallelism_hints =
-                    (0..n).map(|v| values[v].as_int() as u32).collect();
+                config.parallelism_hints = (0..n).map(|v| values[v].as_int() as u32).collect();
                 config.max_tasks = values[n].as_int() as u32;
             }
             ParamSet::HintsBatch => {
-                config.parallelism_hints =
-                    (0..n).map(|v| values[v].as_int() as u32).collect();
+                config.parallelism_hints = (0..n).map(|v| values[v].as_int() as u32).collect();
                 config.max_tasks = values[n].as_int() as u32;
                 config.batch_size = values[n + 1].as_int() as u32;
                 config.batch_parallelism = values[n + 2].as_int() as u32;
@@ -116,8 +114,7 @@ impl ParamSet {
                 config.ackers = values[4].as_int() as u32;
             }
             ParamSet::InformedMultiplier { weights } => {
-                config.parallelism_hints =
-                    hints_from_weights(weights, values[0].as_float());
+                config.parallelism_hints = hints_from_weights(weights, values[0].as_float());
                 config.max_tasks = values[1].as_int() as u32;
             }
         }
@@ -159,7 +156,10 @@ mod tests {
         let c = set.to_config(&t, &base, &vals);
         assert_eq!(c.parallelism_hints, vec![5, 7, 9]);
         assert_eq!(c.max_tasks, 100);
-        assert_eq!(c.batch_size, base.batch_size, "untouched params come from base");
+        assert_eq!(
+            c.batch_size, base.batch_size,
+            "untouched params come from base"
+        );
     }
 
     #[test]
@@ -204,7 +204,9 @@ mod tests {
     #[test]
     fn informed_multiplier_scales_weights() {
         let t = topo3();
-        let set = ParamSet::InformedMultiplier { weights: vec![1.0, 1.0, 1.0] };
+        let set = ParamSet::InformedMultiplier {
+            weights: vec![1.0, 1.0, 1.0],
+        };
         let space = set.space(&t);
         assert_eq!(space.dim(), 2);
         let vals = vec![Value::Float(4.0), Value::Int(50)];
@@ -220,7 +222,9 @@ mod tests {
             ParamSet::Hints,
             ParamSet::HintsBatch,
             ParamSet::BatchConcurrency { fixed_hint: 3 },
-            ParamSet::InformedMultiplier { weights: vec![1.0, 2.0, 3.0] },
+            ParamSet::InformedMultiplier {
+                weights: vec![1.0, 2.0, 3.0],
+            },
         ] {
             let space = set.space(&t);
             for _ in 0..50 {

@@ -40,8 +40,15 @@ impl Table {
 
     /// Append a row.
     pub fn push(&mut self, label: &str, values: Vec<f64>) {
-        assert_eq!(values.len(), self.columns.len(), "row width must match header");
-        self.rows.push(Row { label: label.to_string(), values });
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match header"
+        );
+        self.rows.push(Row {
+            label: label.to_string(),
+            values,
+        });
     }
 
     /// Render as aligned text.

@@ -44,7 +44,9 @@ impl Strategy {
 
     /// The informed `ipla` baseline for `topo`.
     pub fn ipla(topo: &Topology) -> Strategy {
-        Strategy::Ipla { weights: normalized_weights(topo) }
+        Strategy::Ipla {
+            weights: normalized_weights(topo),
+        }
     }
 
     /// Bayesian Optimization over `set`.
@@ -53,7 +55,11 @@ impl Strategy {
         // Scale the fit effort down a little for very wide spaces (the
         // large topology tunes >100 hints); Fig. 7 measures this cost.
         let wide = space.dim() > 40;
-        let fit = if wide { FitOptions::fast() } else { FitOptions::default() };
+        let fit = if wide {
+            FitOptions::fast()
+        } else {
+            FitOptions::default()
+        };
         let config = BoConfig {
             seed,
             fit,
@@ -66,7 +72,11 @@ impl Strategy {
             refit_every: if wide { 3 } else { 1 },
             ..Default::default()
         };
-        Strategy::Bo { opt: BayesOpt::new(space, config), set, pending: None }
+        Strategy::Bo {
+            opt: BayesOpt::new(space, config),
+            set,
+            pending: None,
+        }
     }
 
     /// Bayesian Optimization with a caller-supplied optimizer
@@ -74,7 +84,11 @@ impl Strategy {
     /// functions, kernels, or hyperparameter marginalization).
     pub fn bo_with(topo: &Topology, set: ParamSet, config: BoConfig) -> Strategy {
         let space = set.space(topo);
-        Strategy::Bo { opt: BayesOpt::new(space, config), set, pending: None }
+        Strategy::Bo {
+            opt: BayesOpt::new(space, config),
+            set,
+            pending: None,
+        }
     }
 
     /// Informed Bayesian Optimization: BO over a single multiplier for
@@ -104,7 +118,12 @@ impl Strategy {
 
     /// Propose the configuration to evaluate at step `step` (0-based).
     /// Returns `None` when the strategy has exhausted its schedule.
-    pub fn propose(&mut self, topo: &Topology, base: &StormConfig, step: usize) -> Option<StormConfig> {
+    pub fn propose(
+        &mut self,
+        topo: &Topology,
+        base: &StormConfig,
+        step: usize,
+    ) -> Option<StormConfig> {
         match self {
             Strategy::Pla => {
                 let hint = step as i64 + 1;
@@ -125,7 +144,10 @@ impl Strategy {
                 Some(c)
             }
             Strategy::Bo { opt, set, pending } => {
-                assert!(pending.is_none(), "observe() must be called between proposals");
+                assert!(
+                    pending.is_none(),
+                    "observe() must be called between proposals"
+                );
                 let cand = opt.propose();
                 let config = set.to_config(topo, base, &cand.values);
                 *pending = Some(cand);
@@ -201,7 +223,10 @@ mod tests {
         assert_eq!(s.name(), "ibo");
         let c = s.propose(&t, &base, 0).unwrap();
         // All weights are 1 in this topology, so hints are uniform.
-        assert!(c.parallelism_hints.iter().all(|&h| h == c.parallelism_hints[0]));
+        assert!(c
+            .parallelism_hints
+            .iter()
+            .all(|&h| h == c.parallelism_hints[0]));
         s.observe(5.0);
     }
 

@@ -52,7 +52,11 @@ pub fn normalized_weights(topo: &Topology) -> Vec<f64> {
 pub fn hints_from_weights(weights: &[f64], multiplier: f64) -> Vec<u32> {
     weights
         .iter()
-        .map(|&w| ((w * multiplier).round() as i64).max(1).min(u32::MAX as i64) as u32)
+        .map(|&w| {
+            ((w * multiplier).round() as i64)
+                .max(1)
+                .min(u32::MAX as i64) as u32
+        })
         .collect()
 }
 

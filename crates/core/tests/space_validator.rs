@@ -1,0 +1,89 @@
+//! Property test closing the space ↔ validator gap: **every** configuration
+//! the optimizer can propose must pass `StormConfig::validate` on **every**
+//! preset topology. A sampled point that fails validation would be measured
+//! as zero throughput for a structural (not performance) reason, silently
+//! poisoning the GP's training set.
+
+use mtm_bayesopt::space::ParamSpace;
+use mtm_core::ParamSet;
+use mtm_stormsim::{StormConfig, Topology};
+use mtm_topogen::{make_condition, sundog_topology, Condition, SizeClass};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The preset topologies the experiments run on: the paper's Sundog
+/// topology plus the three synthetic size classes.
+fn preset_topologies() -> Vec<Topology> {
+    let condition = Condition {
+        time_imbalance: 0.5,
+        contention: 0.25,
+    };
+    vec![
+        sundog_topology(),
+        make_condition(SizeClass::Small, &condition, 0x2015),
+        make_condition(SizeClass::Medium, &condition, 0x2015),
+        make_condition(SizeClass::Large, &condition, 0x2015),
+    ]
+}
+
+/// Every tuned surface for `topo`.
+fn paramsets(topo: &Topology) -> Vec<ParamSet> {
+    vec![
+        ParamSet::Hints,
+        ParamSet::HintsBatch,
+        ParamSet::BatchConcurrency { fixed_hint: 11 },
+        ParamSet::InformedMultiplier {
+            weights: vec![1.5; topo.n_nodes()],
+        },
+    ]
+}
+
+fn assert_valid_samples(topo: &Topology, set: &ParamSet, space: &ParamSpace, seed: u64) {
+    let base = StormConfig::baseline(topo.n_nodes());
+    let mut rng = StdRng::seed_from_u64(seed);
+    for draw in 0..8 {
+        let values = space.sample(&mut rng);
+        let config = set.to_config(topo, &base, &values);
+        let verdict = config.validate(topo);
+        assert!(
+            verdict.is_ok(),
+            "sampled config invalid on {}-node topology, set {:?}, seed {seed}, draw {draw}: \
+             {:?}\nvalues: {values:?}",
+            topo.n_nodes(),
+            set.label(),
+            verdict,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any seed, any preset topology, any tuned surface: sampled points
+    /// decode into configurations the simulator will accept.
+    #[test]
+    fn every_sampled_config_validates(seed in any::<u64>()) {
+        for topo in preset_topologies() {
+            for set in paramsets(&topo) {
+                let space = set.space(&topo);
+                assert_valid_samples(&topo, &set, &space, seed);
+            }
+        }
+    }
+
+    /// The acker sentinel survives decoding: surfaces that do not tune
+    /// ackers keep the baseline's 0 ("one per worker"), which validates.
+    #[test]
+    fn untuned_ackers_keep_the_sentinel(seed in any::<u64>()) {
+        let topo = sundog_topology();
+        let base = StormConfig::baseline(topo.n_nodes());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for set in [ParamSet::Hints, ParamSet::HintsBatch] {
+            let space = set.space(&topo);
+            let config = set.to_config(&topo, &base, &space.sample(&mut rng));
+            prop_assert_eq!(config.ackers, 0);
+            prop_assert!(config.validate(&topo).is_ok());
+        }
+    }
+}

@@ -73,7 +73,12 @@ impl<K: Kernel> GpRegression<K> {
     ///
     /// Fails on empty data, ragged inputs, a dimension mismatch with the
     /// kernel, or a kernel matrix that cannot be made positive definite.
-    pub fn fit(kernel: K, xs: Vec<Vec<f64>>, ys: Vec<f64>, noise_var: f64) -> Result<Self, GpError> {
+    pub fn fit(
+        kernel: K,
+        xs: Vec<Vec<f64>>,
+        ys: Vec<f64>,
+        noise_var: f64,
+    ) -> Result<Self, GpError> {
         if xs.is_empty() {
             return Err(GpError::BadInput("no observations".into()));
         }
@@ -98,7 +103,7 @@ impl<K: Kernel> GpRegression<K> {
             ys,
             mean,
             log_noise_var: noise_var.ln(),
-            chol: Cholesky::factor(&Mat::identity(1)).expect("identity factors"),
+            chol: Cholesky::factor(&Mat::identity(1))?,
             alpha: Vec::new(),
         };
         gp.refit()?;
@@ -111,6 +116,10 @@ impl<K: Kernel> GpRegression<K> {
         let n = self.xs.len();
         let mut k = Mat::from_fn(n, n, |i, j| self.kernel.eval(&self.xs[i], &self.xs[j]));
         k.add_diag(self.log_noise_var.exp());
+        #[cfg(feature = "strict-invariants")]
+        mtm_linalg::invariants::assert_finite("GP kernel matrix", k.as_slice());
+        #[cfg(feature = "strict-invariants")]
+        mtm_linalg::invariants::check_psd_spot("GP kernel matrix", n, &|i, j| k[(i, j)]);
         self.chol = Cholesky::factor(&k)?;
         self.mean = self.ys.iter().sum::<f64>() / n as f64;
         let centered: Vec<f64> = self.ys.iter().map(|y| y - self.mean).collect();
@@ -148,7 +157,12 @@ impl<K: Kernel> GpRegression<K> {
         let mean = self.mean + mtm_linalg::vector::dot(&kstar, &self.alpha);
         let w = self.chol.whiten(&kstar);
         let var = self.kernel.diag() - mtm_linalg::vector::dot(&w, &w);
-        Prediction { mean, var: var.max(0.0) }
+        #[cfg(feature = "strict-invariants")]
+        mtm_linalg::invariants::assert_finite("GP posterior (mean, var)", &[mean, var]);
+        Prediction {
+            mean,
+            var: var.max(0.0),
+        }
     }
 
     /// Predictions at many inputs.
@@ -195,6 +209,8 @@ impl<K: Kernel> GpRegression<K> {
             .map(|i| self.alpha[i] * self.alpha[i] - kinv[(i, i)])
             .sum();
         grad[n_kp] = 0.5 * sn2 * tr_m;
+        #[cfg(feature = "strict-invariants")]
+        mtm_linalg::invariants::assert_finite("LML gradient", &grad);
         (lml, grad)
     }
 
@@ -279,20 +295,32 @@ mod tests {
     #[test]
     fn interpolates_training_points_at_low_noise() {
         let (xs, ys) = toy_data();
-        let gp = GpRegression::fit(SquaredExpArd::new(1, 1.0, 0.3), xs.clone(), ys.clone(), 1e-8)
-            .unwrap();
+        let gp = GpRegression::fit(
+            SquaredExpArd::new(1, 1.0, 0.3),
+            xs.clone(),
+            ys.clone(),
+            1e-8,
+        )
+        .unwrap();
         for (x, y) in xs.iter().zip(&ys) {
             let p = gp.predict(x);
-            assert!((p.mean - y).abs() < 1e-3, "should interpolate: {} vs {y}", p.mean);
-            assert!(p.var < 1e-4, "training variance should be tiny, got {}", p.var);
+            assert!(
+                (p.mean - y).abs() < 1e-3,
+                "should interpolate: {} vs {y}",
+                p.mean
+            );
+            assert!(
+                p.var < 1e-4,
+                "training variance should be tiny, got {}",
+                p.var
+            );
         }
     }
 
     #[test]
     fn variance_grows_away_from_data() {
         let (xs, ys) = toy_data();
-        let gp =
-            GpRegression::fit(Matern52Ard::new(1, 1.0, 0.3), xs, ys, 1e-6).unwrap();
+        let gp = GpRegression::fit(Matern52Ard::new(1, 1.0, 0.3), xs, ys, 1e-6).unwrap();
         let near = gp.predict(&[0.5]);
         let far = gp.predict(&[5.0]);
         assert!(far.var > near.var * 10.0);
@@ -305,9 +333,7 @@ mod tests {
         let k = SquaredExpArd::new(2, 1.0, 1.0);
         assert!(GpRegression::fit(k.clone(), vec![], vec![], 0.1).is_err());
         assert!(GpRegression::fit(k.clone(), vec![vec![1.0]], vec![1.0], 0.1).is_err());
-        assert!(
-            GpRegression::fit(k.clone(), vec![vec![1.0, 2.0]], vec![1.0, 2.0], 0.1).is_err()
-        );
+        assert!(GpRegression::fit(k.clone(), vec![vec![1.0, 2.0]], vec![1.0, 2.0], 0.1).is_err());
         assert!(GpRegression::fit(k, vec![vec![1.0, 2.0]], vec![1.0], 0.0).is_err());
     }
 
@@ -320,13 +346,7 @@ mod tests {
         // Incremental: fit on nine, add the tenth. The incremental path
         // keeps the old constant mean, so compare against a batch fit that
         // uses the same mean by refitting after the add.
-        let mut inc = GpRegression::fit(
-            k,
-            xs[..9].to_vec(),
-            ys[..9].to_vec(),
-            1e-4,
-        )
-        .unwrap();
+        let mut inc = GpRegression::fit(k, xs[..9].to_vec(), ys[..9].to_vec(), 1e-4).unwrap();
         inc.add_observation(xs[9].clone(), ys[9]).unwrap();
         inc.refit().unwrap();
         for x in &[[0.33], [0.77], [1.5]] {
@@ -340,8 +360,7 @@ mod tests {
     #[test]
     fn lml_gradient_matches_finite_differences() {
         let (xs, ys) = toy_data();
-        let mut gp =
-            GpRegression::fit(Matern52Ard::new(1, 1.0, 0.5), xs, ys, 1e-2).unwrap();
+        let mut gp = GpRegression::fit(Matern52Ard::new(1, 1.0, 0.5), xs, ys, 1e-2).unwrap();
         let p0 = gp.hyperparameters();
         let (_, grad) = gp.lml_with_grad();
         let h = 1e-6;
@@ -367,11 +386,13 @@ mod tests {
     fn optimizing_hyperparameters_improves_lml() {
         let (xs, ys) = toy_data();
         // Start from deliberately bad hyperparameters.
-        let mut gp =
-            GpRegression::fit(SquaredExpArd::new(1, 100.0, 10.0), xs, ys, 1.0).unwrap();
+        let mut gp = GpRegression::fit(SquaredExpArd::new(1, 100.0, 10.0), xs, ys, 1.0).unwrap();
         let before = gp.log_marginal_likelihood();
         let after = gp.optimize_hyperparameters(&FitOptions::thorough());
-        assert!(after > before + 1.0, "LML should improve: {before} -> {after}");
+        assert!(
+            after > before + 1.0,
+            "LML should improve: {before} -> {after}"
+        );
         // And the fit should now interpolate reasonably.
         let p = gp.predict(&[0.5]);
         let target = (1.5_f64).sin() + 2.0;

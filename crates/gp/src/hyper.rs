@@ -48,12 +48,20 @@ impl Default for FitOptions {
 impl FitOptions {
     /// A cheaper configuration for inner loops and tests.
     pub fn fast() -> Self {
-        FitOptions { restarts: 1, max_iters: 50, ..Default::default() }
+        FitOptions {
+            restarts: 1,
+            max_iters: 50,
+            ..Default::default()
+        }
     }
 
     /// A thorough configuration for final fits.
     pub fn thorough() -> Self {
-        FitOptions { restarts: 4, max_iters: 160, ..Default::default() }
+        FitOptions {
+            restarts: 4,
+            max_iters: 160,
+            ..Default::default()
+        }
     }
 }
 
@@ -69,8 +77,22 @@ pub fn optimize<K: Kernel>(gp: &mut GpRegression<K>, opts: &FitOptions) -> f64 {
     for restart in 0..=opts.restarts {
         let init: Vec<f64> = if restart == 0 {
             start.clone()
+        } else if restart == 1 {
+            // First restart is always unit scale with optimistic (small)
+            // noise: a canonical start that doesn't depend on the RNG
+            // stream, so a badly-scaled incoming point can never strand
+            // the whole fit. Noise starts low because a large initial
+            // noise floor pulls Adam into the "everything is noise"
+            // basin before the signal parameters can adapt; from below,
+            // the noise gradient recovers quickly if the data really is
+            // noisy.
+            let mut p = vec![0.0; start.len()];
+            if let Some(last) = p.last_mut() {
+                *last = -6.0;
+            }
+            p
         } else {
-            // Restart around unit scale (log-param 0) rather than around
+            // Remaining restarts around unit scale rather than around
             // the incoming point: a bad starting point would otherwise
             // anchor every restart inside the same bad basin.
             start.iter().map(|_| rng.random_range(-3.0..3.0)).collect()
@@ -169,8 +191,7 @@ mod tests {
     #[test]
     fn fit_recovers_sensible_noise() {
         let (xs, ys) = noisy_quadratic();
-        let mut gp =
-            GpRegression::fit(SquaredExpArd::new(1, 1.0, 1.0), xs, ys, 0.5).unwrap();
+        let mut gp = GpRegression::fit(SquaredExpArd::new(1, 1.0, 1.0), xs, ys, 0.5).unwrap();
         gp.optimize_hyperparameters(&FitOptions::default());
         // Noise of 0.5 is far too big for +-0.02 jitter; the fit should
         // shrink it by orders of magnitude.
@@ -183,12 +204,19 @@ mod tests {
         let mut gp1 =
             GpRegression::fit(SquaredExpArd::new(1, 1.0, 1.0), xs.clone(), ys.clone(), 0.1)
                 .unwrap();
-        let one = gp1.optimize_hyperparameters(&FitOptions { restarts: 0, ..Default::default() });
-        let mut gp4 =
-            GpRegression::fit(SquaredExpArd::new(1, 1.0, 1.0), xs, ys, 0.1).unwrap();
-        let four =
-            gp4.optimize_hyperparameters(&FitOptions { restarts: 3, ..Default::default() });
-        assert!(four >= one - 1e-6, "more restarts can't do worse: {four} vs {one}");
+        let one = gp1.optimize_hyperparameters(&FitOptions {
+            restarts: 0,
+            ..Default::default()
+        });
+        let mut gp4 = GpRegression::fit(SquaredExpArd::new(1, 1.0, 1.0), xs, ys, 0.1).unwrap();
+        let four = gp4.optimize_hyperparameters(&FitOptions {
+            restarts: 3,
+            ..Default::default()
+        });
+        assert!(
+            four >= one - 1e-6,
+            "more restarts can't do worse: {four} vs {one}"
+        );
     }
 
     #[test]
@@ -198,9 +226,11 @@ mod tests {
         let n_params = 3; // signal + 1 lengthscale + noise
         let mut priors = IndependentPriors::flat(n_params);
         priors.set(2, Prior::log_normal((0.3_f64).ln(), 0.01));
-        let opts = FitOptions { priors: Some(priors), ..Default::default() };
-        let mut gp =
-            GpRegression::fit(SquaredExpArd::new(1, 1.0, 1.0), xs, ys, 0.3).unwrap();
+        let opts = FitOptions {
+            priors: Some(priors),
+            ..Default::default()
+        };
+        let mut gp = GpRegression::fit(SquaredExpArd::new(1, 1.0, 1.0), xs, ys, 0.3).unwrap();
         gp.optimize_hyperparameters(&opts);
         // MAP fit should keep the noise near 0.3 despite the likelihood
         // preferring something tiny.

@@ -49,6 +49,10 @@ pub struct SquaredExpArd {
 impl SquaredExpArd {
     /// Create with uniform `lengthscale` across `dim` inputs and signal
     /// variance `signal_var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero or either scale parameter is not positive.
     pub fn new(dim: usize, signal_var: f64, lengthscale: f64) -> Self {
         assert!(dim > 0 && signal_var > 0.0 && lengthscale > 0.0);
         SquaredExpArd {
@@ -137,6 +141,10 @@ pub struct Matern52Ard {
 
 impl Matern52Ard {
     /// Create with uniform `lengthscale` across `dim` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero or either scale parameter is not positive.
     pub fn new(dim: usize, signal_var: f64, lengthscale: f64) -> Self {
         assert!(dim > 0 && signal_var > 0.0 && lengthscale > 0.0);
         Matern52Ard {

@@ -39,3 +39,8 @@ pub mod slice;
 pub use gp::{GpRegression, Prediction};
 pub use hyper::FitOptions;
 pub use kernel::{Kernel, Matern52Ard, SquaredExpArd};
+
+// Runtime invariant guards, available to callers when the
+// `strict-invariants` feature is on.
+#[cfg(feature = "strict-invariants")]
+pub use mtm_check::invariants;

@@ -25,6 +25,10 @@ pub enum Prior {
 
 impl Prior {
     /// Log-normal convenience constructor (`mu`, `sigma` in log space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not positive.
     pub fn log_normal(mu: f64, sigma: f64) -> Self {
         assert!(sigma > 0.0);
         Prior::LogNormal { mu, sigma }
@@ -66,7 +70,9 @@ pub struct IndependentPriors {
 impl IndependentPriors {
     /// All-flat priors over `n` parameters.
     pub fn flat(n: usize) -> Self {
-        IndependentPriors { priors: vec![Prior::Flat; n] }
+        IndependentPriors {
+            priors: vec![Prior::Flat; n],
+        }
     }
 
     /// The default weakly-informative priors Spearmint-style BO uses:
@@ -101,7 +107,11 @@ impl IndependentPriors {
     /// Panics (debug) on length mismatch.
     pub fn log_density(&self, p: &[f64]) -> f64 {
         debug_assert_eq!(p.len(), self.priors.len());
-        self.priors.iter().zip(p).map(|(pr, &v)| pr.log_density(v)).sum()
+        self.priors
+            .iter()
+            .zip(p)
+            .map(|(pr, &v)| pr.log_density(v))
+            .sum()
     }
 
     /// Accumulate the prior gradient into `grad`.

@@ -159,8 +159,7 @@ mod tests {
     fn hyperposterior_sampling_stays_finite_and_plausible() {
         let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 11.0]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| (4.0 * x[0]).cos()).collect();
-        let mut gp =
-            GpRegression::fit(SquaredExpArd::new(1, 1.0, 0.5), xs, ys, 1e-2).unwrap();
+        let mut gp = GpRegression::fit(SquaredExpArd::new(1, 1.0, 0.5), xs, ys, 1e-2).unwrap();
         let priors = IndependentPriors::weakly_informative(3);
         let mut rng = StdRng::seed_from_u64(1);
         let samples = sample_hyperposterior(&mut gp, &priors, 8, 4, &mut rng);

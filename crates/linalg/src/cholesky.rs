@@ -32,7 +32,13 @@ impl Cholesky {
             return Err(LinalgError::NonFinite);
         }
         let n = a.rows();
-        let mean_diag = if n == 0 { 0.0 } else { a.trace().abs() / n as f64 };
+        #[cfg(feature = "strict-invariants")]
+        crate::invariants::check_symmetric("Cholesky::factor input", n, &|i, j| a[(i, j)]);
+        let mean_diag = if n == 0 {
+            0.0
+        } else {
+            a.trace().abs() / n as f64
+        };
         let scale = if mean_diag > 0.0 { mean_diag } else { 1.0 };
         let mut max_tried = 0.0;
         for &step in JITTER_STEPS {
@@ -42,7 +48,9 @@ impl Cholesky {
                 return Ok(Cholesky { l, jitter });
             }
         }
-        Err(LinalgError::NotPositiveDefinite { max_jitter: max_tried })
+        Err(LinalgError::NotPositiveDefinite {
+            max_jitter: max_tried,
+        })
     }
 
     /// Factor without any jitter escalation; fails fast when indefinite.
@@ -53,6 +61,10 @@ impl Cholesky {
         if !a.all_finite() {
             return Err(LinalgError::NonFinite);
         }
+        #[cfg(feature = "strict-invariants")]
+        crate::invariants::check_symmetric("Cholesky::factor_exact input", a.rows(), &|i, j| {
+            a[(i, j)]
+        });
         try_factor(a, 0.0)
             .map(|l| Cholesky { l, jitter: 0.0 })
             .ok_or(LinalgError::NotPositiveDefinite { max_jitter: 0.0 })
@@ -149,7 +161,9 @@ impl Cholesky {
         let l12 = self.whiten(b);
         let schur = c - crate::blas::dot(&l12, &l12);
         if schur <= 0.0 || !schur.is_finite() {
-            return Err(LinalgError::NotPositiveDefinite { max_jitter: self.jitter });
+            return Err(LinalgError::NotPositiveDefinite {
+                max_jitter: self.jitter,
+            });
         }
         let mut grown = Mat::zeros(n + 1, n + 1);
         for i in 0..n {

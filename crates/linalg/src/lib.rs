@@ -29,16 +29,21 @@
 //! assert!(r0.abs() < 1e-12 && r1.abs() < 1e-12);
 //! ```
 
+pub mod blas;
 mod cholesky;
 mod error;
 mod matrix;
-pub mod blas;
 pub mod triangular;
 pub mod vector;
 
 pub use cholesky::Cholesky;
 pub use error::LinalgError;
 pub use matrix::Mat;
+
+// Runtime invariant guards, available to callers when the
+// `strict-invariants` feature is on.
+#[cfg(feature = "strict-invariants")]
+pub use mtm_check::invariants;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, LinalgError>;

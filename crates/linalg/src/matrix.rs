@@ -21,12 +21,20 @@ pub struct Mat {
 impl Mat {
     /// Create a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Mat { rows, cols, data: vec![value; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Create the `n x n` identity matrix.
@@ -61,7 +69,11 @@ impl Mat {
             assert_eq!(row.len(), c, "all rows must have the same length");
             data.extend_from_slice(row);
         }
-        Mat { rows: r, cols: c, data }
+        Mat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build a matrix from a flat row-major vector.
@@ -69,7 +81,11 @@ impl Mat {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "flat data length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "flat data length must equal rows*cols"
+        );
         Mat { rows, cols, data }
     }
 
@@ -85,7 +101,11 @@ impl Mat {
 
     /// Build a column vector (`n x 1`) from a slice.
     pub fn col_vec(v: &[f64]) -> Self {
-        Mat { rows: v.len(), cols: 1, data: v.to_vec() }
+        Mat {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -144,6 +164,10 @@ impl Mat {
     }
 
     /// Copy column `j` into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert!(j < self.cols, "column index out of bounds");
         (0..self.rows).map(|i| self[(i, j)]).collect()
@@ -222,7 +246,9 @@ impl Mat {
     /// asymmetries that accumulate when building kernel matrices.
     pub fn symmetrize(&mut self) -> Result<()> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         for i in 0..self.rows {
             for j in (i + 1)..self.cols {
@@ -266,7 +292,10 @@ impl Index<(usize, usize)> for Mat {
 
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -274,7 +303,10 @@ impl Index<(usize, usize)> for Mat {
 impl IndexMut<(usize, usize)> for Mat {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }

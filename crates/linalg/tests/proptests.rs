@@ -6,14 +6,16 @@ use mtm_linalg::{blas, triangular, Cholesky, Mat};
 
 /// Random well-conditioned SPD matrix: `B Bᵀ + n·I`.
 fn arb_spd(max_n: usize) -> impl Strategy<Value = Mat> {
-    (2usize..max_n, prop::collection::vec(-1.0f64..1.0, max_n * max_n)).prop_map(
-        |(n, data)| {
+    (
+        2usize..max_n,
+        prop::collection::vec(-1.0f64..1.0, max_n * max_n),
+    )
+        .prop_map(|(n, data)| {
             let b = Mat::from_fn(n, n, |i, j| data[i * n + j]);
             let mut g = blas::syrk(&b);
             g.add_diag(n as f64);
             g
-        },
-    )
+        })
 }
 
 proptest! {

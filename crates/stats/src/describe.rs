@@ -41,7 +41,15 @@ impl Summary {
         let var = if n > 1 { m2 / (n as f64 - 1.0) } else { 0.0 };
         let std = var.sqrt();
         let sem = if n > 0 { std / (n as f64).sqrt() } else { 0.0 };
-        Summary { n, mean: if n > 0 { mean } else { 0.0 }, var, std, sem, min, max }
+        Summary {
+            n,
+            mean: if n > 0 { mean } else { 0.0 },
+            var,
+            std,
+            sem,
+            min,
+            max,
+        }
     }
 
     /// Coefficient of variation (std / mean); `None` when mean is ~0.
@@ -112,8 +120,7 @@ mod tests {
         let xs: Vec<f64> = (0..1000).map(|i| 1e9 + (i % 7) as f64).collect();
         let s = Summary::of(&xs);
         let m = mean(&xs);
-        let two_pass =
-            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() as f64 - 1.0);
+        let two_pass = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() as f64 - 1.0);
         // At a 1e9 offset each centered term carries ~1 ulp(1e9) ≈ 1e-7 of
         // absolute error, so only ~1e-6 relative agreement is achievable.
         assert!((s.var - two_pass).abs() / two_pass < 1e-6);

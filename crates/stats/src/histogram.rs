@@ -20,14 +20,23 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "need at least one bin");
         assert!(hi > lo, "hi must exceed lo");
-        Histogram { lo, hi, counts: vec![0; bins], total: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
     }
 
     /// Build a histogram sized to the data with `bins` bins.
     pub fn of(xs: &[f64], bins: usize) -> Self {
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let (lo, hi) = if lo.is_finite() && hi > lo { (lo, hi) } else { (0.0, 1.0) };
+        let (lo, hi) = if lo.is_finite() && hi > lo {
+            (lo, hi)
+        } else {
+            (0.0, 1.0)
+        };
         let mut h = Histogram::new(lo, hi + (hi - lo) * 1e-9, bins);
         for &x in xs {
             h.add(x);
@@ -66,7 +75,12 @@ impl Histogram {
         let mut out = String::new();
         for (i, &c) in self.counts.iter().enumerate() {
             let bar = "#".repeat((c as usize * width) / max as usize);
-            out.push_str(&format!("{:>10.3} | {:<width$} {}\n", self.bin_center(i), bar, c));
+            out.push_str(&format!(
+                "{:>10.3} | {:<width$} {}\n",
+                self.bin_center(i),
+                bar,
+                c
+            ));
         }
         out
     }

@@ -38,13 +38,23 @@ pub fn linfit(x: &[f64], y: &[f64]) -> Option<LinFit> {
         sxy += dx * dy;
         syy += dy * dy;
     }
+    // lint:allow(float_cmp) exact degenerate-variance guard
     if sxx == 0.0 {
         return None;
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    Some(LinFit { intercept, slope, r_squared })
+    // lint:allow(float_cmp) exact degenerate-variance guard
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LinFit {
+        intercept,
+        slope,
+        r_squared,
+    })
 }
 
 /// Fit `y = c * x^b` by regressing `ln y` on `ln x`. All inputs must be

@@ -29,7 +29,10 @@ pub struct Loess {
 impl Default for Loess {
     fn default() -> Self {
         // Span 0.75 is both R's default and what the paper reports.
-        Loess { span: 0.75, degree: LoessDegree::Linear }
+        Loess {
+            span: 0.75,
+            degree: LoessDegree::Linear,
+        }
     }
 }
 
@@ -39,8 +42,14 @@ impl Loess {
     /// # Panics
     /// Panics if `span` is not in `(0, 1]`.
     pub fn new(span: f64) -> Self {
-        assert!(span > 0.0 && span <= 1.0, "span must be in (0, 1], got {span}");
-        Loess { span, degree: LoessDegree::Linear }
+        assert!(
+            span > 0.0 && span <= 1.0,
+            "span must be in (0, 1], got {span}"
+        );
+        Loess {
+            span,
+            degree: LoessDegree::Linear,
+        }
     }
 
     /// Smooth `(x, y)` and evaluate the fit at each `x` (the usual use).
@@ -64,7 +73,10 @@ impl Loess {
         let xs: Vec<f64> = order.iter().map(|&i| x[i]).collect();
         let ys: Vec<f64> = order.iter().map(|&i| y[i]).collect();
 
-        query.iter().map(|&x0| self.smooth_point(&xs, &ys, q, x0)).collect()
+        query
+            .iter()
+            .map(|&x0| self.smooth_point(&xs, &ys, q, x0))
+            .collect()
     }
 
     /// One local weighted fit around `x0` over the `q` nearest points of the
@@ -219,7 +231,9 @@ mod tests {
         // y = x plus deterministic "noise"; the smoother must reduce the
         // mean squared deviation from the trend.
         let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
-        let noise: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 5.0 } else { -5.0 }).collect();
+        let noise: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 5.0 } else { -5.0 })
+            .collect();
         let y: Vec<f64> = x.iter().zip(&noise).map(|(v, n)| v + n).collect();
         let smooth = Loess::default().fit(&x, &y);
         let mse_raw: f64 = y.iter().zip(&x).map(|(a, b)| (a - b) * (a - b)).sum();

@@ -42,6 +42,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
     let va_n = sa.var / sa.n as f64;
     let vb_n = sb.var / sb.n as f64;
     let denom = (va_n + vb_n).sqrt();
+    // lint:allow(float_cmp) exact degenerate-variance guard
     if denom == 0.0 {
         return None;
     }
@@ -50,7 +51,12 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
     let df = (va_n + vb_n).powi(2)
         / (va_n * va_n / (sa.n as f64 - 1.0) + vb_n * vb_n / (sb.n as f64 - 1.0));
     let p_value = t_sf_two_sided(t, df).clamp(0.0, 1.0);
-    Some(TTestResult { t, df, p_value, mean_diff: sa.mean - sb.mean })
+    Some(TTestResult {
+        t,
+        df,
+        p_value,
+        mean_diff: sa.mean - sb.mean,
+    })
 }
 
 #[cfg(test)]
@@ -81,12 +87,11 @@ mod tests {
         // R: t.test(x, y) on the two samples below gives
         // t = -2.70778, df = 26.953, p = 0.011616.
         let x = [
-            27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0,
-            21.7, 21.4,
+            27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7,
+            21.4,
         ];
         let y = [
-            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9,
-            30.5,
+            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5,
         ];
         let r = welch_t_test(&x, &y).unwrap();
         assert!((r.t - (-2.70778)).abs() < 1e-4, "t = {}", r.t);

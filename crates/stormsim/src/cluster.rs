@@ -145,8 +145,14 @@ mod tests {
         let c = ClusterSpec::paper_cluster();
         let at_cores = c.machine_capacity(4);
         let oversub = c.machine_capacity(16);
-        assert!(oversub < at_cores, "16 threads on 4 cores must lose capacity");
-        assert!(oversub > at_cores * 0.7, "penalty should be gentle, not a cliff");
+        assert!(
+            oversub < at_cores,
+            "16 threads on 4 cores must lose capacity"
+        );
+        assert!(
+            oversub > at_cores * 0.7,
+            "penalty should be gentle, not a cliff"
+        );
         // Monotonically decreasing beyond the core count.
         assert!(c.machine_capacity(8) > c.machine_capacity(32));
     }

@@ -59,7 +59,11 @@ impl StormConfig {
             topo.n_nodes(),
             "one parallelism hint per topology node"
         );
-        let hints: Vec<u64> = self.parallelism_hints.iter().map(|&h| h.max(1) as u64).collect();
+        let hints: Vec<u64> = self
+            .parallelism_hints
+            .iter()
+            .map(|&h| h.max(1) as u64)
+            .collect();
         let total: u64 = hints.iter().sum();
         let cap = self.max_tasks.max(topo.n_nodes() as u32) as u64;
         if total <= cap {
@@ -119,6 +123,16 @@ impl StormConfig {
         }
         if self.max_tasks == 0 {
             return Err("max_tasks must be >= 1".into());
+        }
+        // ackers == 0 is valid: it is the documented "one per worker"
+        // sentinel (see `effective_ackers`), and what `baseline()` uses.
+        // Positive counts are bounded by the task cap like any other task
+        // type.
+        if self.ackers != 0 && self.ackers > self.max_tasks {
+            return Err(format!(
+                "{} ackers exceed max_tasks {}",
+                self.ackers, self.max_tasks
+            ));
         }
         Ok(())
     }
@@ -196,8 +210,43 @@ mod tests {
     fn effective_ackers_defaults_to_workers() {
         let c = StormConfig::baseline(1);
         assert_eq!(c.effective_ackers(80), 80);
-        let c = StormConfig { ackers: 5, ..StormConfig::baseline(1) };
+        let c = StormConfig {
+            ackers: 5,
+            ..StormConfig::baseline(1)
+        };
         assert_eq!(c.effective_ackers(80), 5);
+    }
+
+    #[test]
+    fn baseline_acker_sentinel_passes_validation() {
+        // `baseline()` ships ackers = 0 — the documented "one per worker"
+        // Storm default. The sentinel must validate and must resolve to
+        // one acker per worker, while positive counts pass through.
+        let t = chain(3);
+        let c = StormConfig::baseline(3);
+        assert_eq!(c.ackers, 0, "baseline uses the sentinel");
+        assert!(c.validate(&t).is_ok(), "{:?}", c.validate(&t));
+        assert_eq!(c.effective_ackers(12), 12);
+        let explicit = StormConfig {
+            ackers: 7,
+            ..StormConfig::baseline(3)
+        };
+        assert!(explicit.validate(&t).is_ok());
+        assert_eq!(explicit.effective_ackers(12), 7);
+    }
+
+    #[test]
+    fn absurd_acker_counts_are_rejected() {
+        let t = chain(3);
+        let c = StormConfig {
+            ackers: 5_000,
+            max_tasks: 4_000,
+            ..StormConfig::baseline(3)
+        };
+        assert!(
+            c.validate(&t).is_err(),
+            "ackers beyond max_tasks must fail validation"
+        );
     }
 
     #[test]
@@ -205,8 +254,23 @@ mod tests {
         let t = chain(2);
         let good = StormConfig::baseline(2);
         assert!(good.validate(&t).is_ok());
-        assert!(StormConfig { worker_threads: 0, ..good.clone() }.validate(&t).is_err());
-        assert!(StormConfig { batch_size: 0, ..good.clone() }.validate(&t).is_err());
-        assert!(StormConfig { parallelism_hints: vec![1], ..good }.validate(&t).is_err());
+        assert!(StormConfig {
+            worker_threads: 0,
+            ..good.clone()
+        }
+        .validate(&t)
+        .is_err());
+        assert!(StormConfig {
+            batch_size: 0,
+            ..good.clone()
+        }
+        .validate(&t)
+        .is_err());
+        assert!(StormConfig {
+            parallelism_hints: vec![1],
+            ..good
+        }
+        .validate(&t)
+        .is_err());
     }
 }

@@ -49,7 +49,13 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Empty queue at time 0.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: 0.0, popped: 0, pushed: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+            popped: 0,
+            pushed: 0,
+        }
     }
 
     /// Current simulation time: the timestamp of the last popped event.
@@ -69,7 +75,13 @@ impl<E> EventQueue<E> {
             "cannot schedule in the past: {time} < now {}",
             self.now
         );
-        self.heap.push(Entry { time, seq: self.seq, event });
+        #[cfg(feature = "strict-invariants")]
+        crate::invariants::check_monotonic_time("EventQueue::schedule", self.now, time);
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
         self.pushed += 1;
     }
@@ -83,6 +95,8 @@ impl<E> EventQueue<E> {
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(f64, E)> {
         let entry = self.heap.pop()?;
+        #[cfg(feature = "strict-invariants")]
+        crate::invariants::check_monotonic_time("EventQueue::pop", self.now, entry.time);
         debug_assert!(entry.time >= self.now, "time must be monotone");
         self.now = entry.time;
         self.popped += 1;

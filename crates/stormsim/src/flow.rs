@@ -64,7 +64,13 @@ pub fn analyze(topo: &Topology) -> FlowAnalysis {
         .sum();
     let sink_flow = topo.sinks().iter().map(|&s| node_flow[s]).sum();
 
-    FlowAnalysis { node_flow, edge_flow, total_processing, bytes_per_unit, sink_flow }
+    FlowAnalysis {
+        node_flow,
+        edge_flow,
+        total_processing,
+        bytes_per_unit,
+        sink_flow,
+    }
 }
 
 #[cfg(test)]

@@ -47,12 +47,28 @@ pub fn simulate_flow(
         return SimResult::failed(window_s, 0, 0);
     }
     let tasks = config.normalized_tasks(topo);
-    let ackers = config.effective_ackers(tasks.iter().map(|&t| t as usize).sum::<usize>().min(cluster.machines));
+    let ackers = config.effective_ackers(
+        tasks
+            .iter()
+            .map(|&t| t as usize)
+            .sum::<usize>()
+            .min(cluster.machines),
+    );
     let placement = place_even(topo, &tasks, ackers, cluster);
     let flows = flow::analyze(topo);
 
     let model = ConstraintModel::build(topo, config, cluster, &tasks, placement, flows);
-    model.solve(window_s)
+    let result = model.solve(window_s);
+    #[cfg(feature = "strict-invariants")]
+    crate::invariants::assert_finite(
+        "flow-sim metrics (throughput, net, cpu)",
+        &[
+            result.throughput_tps,
+            result.avg_worker_net_mbps,
+            result.cpu_utilization,
+        ],
+    );
+    result
 }
 
 /// Intermediate per-configuration constraint data.
@@ -156,8 +172,7 @@ impl<'a> ConstraintModel<'a> {
                 }
             })
             .collect();
-        let ack_coef =
-            self.flows.total_processing * cl.acker_cost_units / ackers as f64;
+        let ack_coef = self.flows.total_processing * cl.acker_cost_units / ackers as f64;
         let mut machine_demand = vec![0.0; workers];
         for (tid, task) in self.placement.tasks.iter().enumerate() {
             machine_demand[self.placement.task_worker[tid]] += coef[task.node];
@@ -176,8 +191,7 @@ impl<'a> ConstraintModel<'a> {
                 + self.placement.ackers_per_worker[m] as u32;
             let cap = cl.machine_capacity(threads);
             let spin = cl.task_spin_units
-                * (self.placement.tasks_per_worker[m] + self.placement.ackers_per_worker[m])
-                    as f64;
+                * (self.placement.tasks_per_worker[m] + self.placement.ackers_per_worker[m]) as f64;
             total_capacity += cap;
             spin_total += spin;
             if spin >= cap {
@@ -190,12 +204,15 @@ impl<'a> ConstraintModel<'a> {
             // Executor work is additionally limited by the worker's
             // thread pool: at most min(worker_threads, tasks) bolt/spout
             // tuples in service at once, one core each.
-            let exec_demand: f64 = machine_demand[m]
-                - self.placement.ackers_per_worker[m] as f64 * ack_coef;
+            let exec_demand: f64 =
+                machine_demand[m] - self.placement.ackers_per_worker[m] as f64 * ack_coef;
             if exec_demand > 0.0 {
                 let exec_threads = (self.placement.tasks_per_worker[m] as u32)
                     .min(self.config.worker_threads) as f64;
-                consider(exec_threads * cl.unit_rate / exec_demand, Bottleneck::ClusterCpu);
+                consider(
+                    exec_threads * cl.unit_rate / exec_demand,
+                    Bottleneck::ClusterCpu,
+                );
             }
         }
         if failed {
@@ -217,8 +234,7 @@ impl<'a> ConstraintModel<'a> {
         let inbound_per_worker = edge_tuples_per_unit * remote / workers as f64;
         if inbound_per_worker > 0.0 {
             consider(
-                self.config.receiver_threads as f64 * cl.receiver_tuple_rate
-                    / inbound_per_worker,
+                self.config.receiver_threads as f64 * cl.receiver_tuple_rate / inbound_per_worker,
                 Bottleneck::Receivers,
             );
         }
@@ -238,8 +254,8 @@ impl<'a> ConstraintModel<'a> {
         // coordinated tasks (topology tasks and ackers alike).
         let s = self.config.batch_size as f64;
         let b = self.config.batch_parallelism as f64;
-        let t_commit = cl.batch_overhead_s
-            + cl.batch_coord_per_task_s * (total_tasks + ackers) as f64;
+        let t_commit =
+            cl.batch_overhead_s + cl.batch_coord_per_task_s * (total_tasks + ackers) as f64;
         let r_commit = s / t_commit;
         let mut r = r_proc.min(r_commit);
         if r_commit < r_proc {

@@ -47,3 +47,8 @@ pub use flow_sim::simulate_flow;
 pub use metrics::SimResult;
 pub use topology::{Grouping, NodeId, NodeKind, RoutePolicy, Topology, TopologyBuilder};
 pub use tuple_sim::{simulate_tuples, TupleSimOptions};
+
+// Runtime invariant guards, available to callers when the
+// `strict-invariants` feature is on.
+#[cfg(feature = "strict-invariants")]
+pub use mtm_check::invariants;

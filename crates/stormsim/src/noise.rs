@@ -56,9 +56,7 @@ impl MeasurementNoise {
         if self.sigma == 0.0 && self.interference_prob == 0.0 {
             return value;
         }
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ run_id.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        let mut rng = StdRng::seed_from_u64(self.seed ^ run_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         // Box–Muller standard normal.
         let u1: f64 = rng.random::<f64>().max(1e-12);
         let u2: f64 = rng.random();

@@ -71,7 +71,10 @@ pub fn place_even(
             }
             remaining[node] -= 1;
             let id = tasks.len();
-            tasks.push(TaskRef { node, instance: instance[node] });
+            tasks.push(TaskRef {
+                node,
+                instance: instance[node],
+            });
             instance[node] += 1;
             node_tasks[node].push(id);
             task_worker.push(next_worker);
@@ -185,8 +188,10 @@ mod tests {
         let topo = three_node();
         let cl = ClusterSpec::tiny();
         let p = place_even(&topo, &[3, 1, 1], 0, &cl);
-        let instances: Vec<u32> =
-            p.node_tasks[0].iter().map(|&id| p.tasks[id].instance).collect();
+        let instances: Vec<u32> = p.node_tasks[0]
+            .iter()
+            .map(|&id| p.tasks[id].instance)
+            .collect();
         assert_eq!(instances, vec![0, 1, 2]);
     }
 }

@@ -146,7 +146,11 @@ pub struct TopologyBuilder {
 impl TopologyBuilder {
     /// Start a topology with the given name.
     pub fn new(name: &str) -> Self {
-        TopologyBuilder { name: name.into(), nodes: Vec::new(), edges: Vec::new() }
+        TopologyBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Add a spout with per-tuple emission cost `time_complexity`.
@@ -236,10 +240,14 @@ impl Topology {
         }
         // Node specs.
         for (id, node) in nodes.iter().enumerate() {
-            if node.time_complexity.is_nan() || node.time_complexity < 0.0 || !node.time_complexity.is_finite() {
+            if node.time_complexity.is_nan()
+                || node.time_complexity < 0.0
+                || !node.time_complexity.is_finite()
+            {
                 return Err(TopologyError::BadSpec(id, "time_complexity"));
             }
-            if node.selectivity.is_nan() || node.selectivity < 0.0 || !node.selectivity.is_finite() {
+            if node.selectivity.is_nan() || node.selectivity < 0.0 || !node.selectivity.is_finite()
+            {
                 return Err(TopologyError::BadSpec(id, "selectivity"));
             }
         }
@@ -281,7 +289,14 @@ impl Topology {
         if topo_order.len() != n {
             return Err(TopologyError::Cyclic);
         }
-        Ok(Topology { name, nodes, edges, out_edges, in_edges, topo_order })
+        Ok(Topology {
+            name,
+            nodes,
+            edges,
+            out_edges,
+            in_edges,
+            topo_order,
+        })
     }
 
     /// Topology name.
@@ -336,17 +351,23 @@ impl Topology {
 
     /// Ids of all spouts.
     pub fn spouts(&self) -> Vec<NodeId> {
-        (0..self.n_nodes()).filter(|&i| self.nodes[i].kind == NodeKind::Spout).collect()
+        (0..self.n_nodes())
+            .filter(|&i| self.nodes[i].kind == NodeKind::Spout)
+            .collect()
     }
 
     /// Ids of all source nodes (in-degree 0; includes spouts).
     pub fn sources(&self) -> Vec<NodeId> {
-        (0..self.n_nodes()).filter(|&i| self.in_edges[i].is_empty()).collect()
+        (0..self.n_nodes())
+            .filter(|&i| self.in_edges[i].is_empty())
+            .collect()
     }
 
     /// Ids of all sinks (out-degree 0).
     pub fn sinks(&self) -> Vec<NodeId> {
-        (0..self.n_nodes()).filter(|&i| self.out_edges[i].is_empty()).collect()
+        (0..self.n_nodes())
+            .filter(|&i| self.out_edges[i].is_empty())
+            .collect()
     }
 
     /// Average out-degree across all nodes (Table II's AOD column).
@@ -436,7 +457,9 @@ mod tests {
     fn topo_order_respects_edges() {
         let t = diamond();
         let order = t.topo_order();
-        let pos: Vec<usize> = (0..4).map(|i| order.iter().position(|&x| x == i).unwrap()).collect();
+        let pos: Vec<usize> = (0..4)
+            .map(|i| order.iter().position(|&x| x == i).unwrap())
+            .collect();
         for e in t.edges() {
             assert!(pos[e.from] < pos[e.to], "edge {} -> {}", e.from, e.to);
         }
@@ -497,7 +520,10 @@ mod tests {
         let s = tb.spout("s", f64::NAN);
         let a = tb.bolt("a", 1.0);
         tb.connect(s, a);
-        assert!(matches!(tb.build(), Err(TopologyError::BadSpec(0, "time_complexity"))));
+        assert!(matches!(
+            tb.build(),
+            Err(TopologyError::BadSpec(0, "time_complexity"))
+        ));
     }
 
     #[test]

@@ -35,7 +35,11 @@ pub struct TupleSimOptions {
 
 impl Default for TupleSimOptions {
     fn default() -> Self {
-        TupleSimOptions { window_s: 120.0, max_events: 50_000_000, network_delay_s: 0.000_5 }
+        TupleSimOptions {
+            window_s: 120.0,
+            max_events: 50_000_000,
+            network_delay_s: 0.000_5,
+        }
     }
 }
 
@@ -98,7 +102,17 @@ pub fn simulate_tuples(
 
     let mut sim = Sim::new(topo, config, cluster, &placement, opts);
     sim.run();
-    sim.result()
+    let result = sim.result();
+    #[cfg(feature = "strict-invariants")]
+    crate::invariants::assert_finite(
+        "tuple-sim metrics (throughput, net, cpu)",
+        &[
+            result.throughput_tps,
+            result.avg_worker_net_mbps,
+            result.cpu_utilization,
+        ],
+    );
+    result
 }
 
 struct Sim<'a> {
@@ -161,8 +175,7 @@ impl<'a> Sim<'a> {
 
         let workers = (0..placement.workers)
             .map(|m| {
-                let threads = (placement.tasks_per_worker[m] as u32)
-                    .min(config.worker_threads)
+                let threads = (placement.tasks_per_worker[m] as u32).min(config.worker_threads)
                     + config.receiver_threads
                     + placement.ackers_per_worker[m] as u32;
                 let capacity = cluster.machine_capacity(threads);
@@ -171,8 +184,9 @@ impl<'a> Sim<'a> {
                 let avail = (capacity - spin).max(1e-9);
                 // How much slower a single thread runs than the 1-unit/ms
                 // ideal, once capacity is shared across concurrent slots.
-                let concurrency =
-                    (placement.tasks_per_worker[m] as u32).min(config.worker_threads).max(1);
+                let concurrency = (placement.tasks_per_worker[m] as u32)
+                    .min(config.worker_threads)
+                    .max(1);
                 let per_thread = (avail / concurrency as f64).min(cluster.unit_rate);
                 WorkerState {
                     free_slots: config.worker_threads.max(1),
@@ -264,8 +278,7 @@ impl<'a> Sim<'a> {
         self.workers[w].free_slots -= 1;
         let batch = *self.tasks[task].queue.front().expect("non-empty queue");
         self.tasks[task].running = true;
-        let service =
-            self.service_units(task) / self.cluster.unit_rate * self.workers[w].slowdown;
+        let service = self.service_units(task) / self.cluster.unit_rate * self.workers[w].slowdown;
         self.queue.schedule_in(service, Ev::Finish { task, batch });
     }
 
@@ -472,7 +485,11 @@ mod tests {
     }
 
     fn fast_opts() -> TupleSimOptions {
-        TupleSimOptions { window_s: 20.0, max_events: 5_000_000, network_delay_s: 0.000_5 }
+        TupleSimOptions {
+            window_s: 20.0,
+            max_events: 5_000_000,
+            network_delay_s: 0.000_5,
+        }
     }
 
     fn small_config() -> StormConfig {
@@ -489,10 +506,7 @@ mod tests {
         let r = simulate_tuples(&topo, &small_config(), &ClusterSpec::tiny(), &fast_opts());
         assert!(r.committed_batches > 0, "batches must commit: {r:?}");
         assert!(
-            (r.throughput_tps
-                - r.committed_batches as f64 * 200.0 / r.duration_s)
-                .abs()
-                < 1e-9
+            (r.throughput_tps - r.committed_batches as f64 * 200.0 / r.duration_s).abs() < 1e-9
         );
     }
 
@@ -533,12 +547,7 @@ mod tests {
         tb.selectivity(a, 3.0);
         let topo = tb.build().unwrap();
         let r = simulate_tuples(&topo, &small_config(), &ClusterSpec::tiny(), &fast_opts());
-        let amp = simulate_tuples(
-            &topo,
-            &small_config(),
-            &ClusterSpec::tiny(),
-            &fast_opts(),
-        );
+        let amp = simulate_tuples(&topo, &small_config(), &ClusterSpec::tiny(), &fast_opts());
         // The sink sees 3x the tuples the fan sees; the run must still
         // commit and throughput stays finite.
         assert!(r.committed_batches > 0 && amp.throughput_tps.is_finite());
@@ -548,7 +557,10 @@ mod tests {
     fn network_bytes_are_counted_for_remote_hops() {
         let topo = small_chain();
         let r = simulate_tuples(&topo, &small_config(), &ClusterSpec::tiny(), &fast_opts());
-        assert!(r.avg_worker_net_mbps > 0.0, "cross-worker edges must move bytes");
+        assert!(
+            r.avg_worker_net_mbps > 0.0,
+            "cross-worker edges must move bytes"
+        );
     }
 
     #[test]
@@ -556,7 +568,11 @@ mod tests {
         let topo = small_chain();
         let mut c = small_config();
         c.batch_size = 2_000_000; // cannot drain in the window
-        let opts = TupleSimOptions { window_s: 2.0, max_events: 200_000, network_delay_s: 0.0 };
+        let opts = TupleSimOptions {
+            window_s: 2.0,
+            max_events: 200_000,
+            network_delay_s: 0.0,
+        };
         let r = simulate_tuples(&topo, &c, &ClusterSpec::tiny(), &opts);
         assert_eq!(r.committed_batches, 0);
     }

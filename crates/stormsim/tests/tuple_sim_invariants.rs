@@ -21,7 +21,11 @@ fn small_topology(fanout: bool) -> Topology {
 }
 
 fn opts(window: f64) -> TupleSimOptions {
-    TupleSimOptions { window_s: window, max_events: 10_000_000, network_delay_s: 0.0002 }
+    TupleSimOptions {
+        window_s: window,
+        max_events: 10_000_000,
+        network_delay_s: 0.0002,
+    }
 }
 
 proptest! {
@@ -91,8 +95,7 @@ fn global_grouping_routes_everything_to_one_task() {
     let cluster = ClusterSpec::tiny();
 
     let global = simulate_tuples(&build(Grouping::Global), &config, &cluster, &opts(15.0));
-    let shuffle =
-        simulate_tuples(&build(Grouping::Shuffle), &config, &cluster, &opts(15.0));
+    let shuffle = simulate_tuples(&build(Grouping::Shuffle), &config, &cluster, &opts(15.0));
     let keyed_one = simulate_tuples(
         &build(Grouping::Fields { key_cardinality: 1 }),
         &config,
@@ -145,7 +148,14 @@ fn event_cap_aborts_runaway_configurations() {
     let mut config = StormConfig::uniform_hints(4, 2);
     config.batch_size = 100_000;
     config.batch_parallelism = 16;
-    let tight = TupleSimOptions { window_s: 60.0, max_events: 10_000, network_delay_s: 0.0 };
+    let tight = TupleSimOptions {
+        window_s: 60.0,
+        max_events: 10_000,
+        network_delay_s: 0.0,
+    };
     let r = simulate_tuples(&topo, &config, &ClusterSpec::tiny(), &tight);
-    assert_eq!(r.throughput_tps, 0.0, "aborted runs report zero, not garbage");
+    assert_eq!(
+        r.throughput_tps, 0.0,
+        "aborted runs report zero, not garbage"
+    );
 }

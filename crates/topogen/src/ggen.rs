@@ -28,17 +28,32 @@ pub struct GgenParams {
 impl GgenParams {
     /// Table II "Small": 10 vertices, 4 layers, p = 0.40.
     pub fn small(seed: u64) -> Self {
-        GgenParams { vertices: 10, layers: 4, p: 0.40, seed }
+        GgenParams {
+            vertices: 10,
+            layers: 4,
+            p: 0.40,
+            seed,
+        }
     }
 
     /// Table II "Medium": 50 vertices, 5 layers, p = 0.08.
     pub fn medium(seed: u64) -> Self {
-        GgenParams { vertices: 50, layers: 5, p: 0.08, seed }
+        GgenParams {
+            vertices: 50,
+            layers: 5,
+            p: 0.08,
+            seed,
+        }
     }
 
     /// Table II "Large": 100 vertices, 10 layers, p = 0.04.
     pub fn large(seed: u64) -> Self {
-        GgenParams { vertices: 100, layers: 10, p: 0.04, seed }
+        GgenParams {
+            vertices: 100,
+            layers: 10,
+            p: 0.04,
+            seed,
+        }
     }
 }
 
@@ -50,7 +65,10 @@ impl GgenParams {
 /// Panics if `vertices < layers` or `p` is outside `[0, 1]`.
 pub fn generate_layer_by_layer(params: &GgenParams) -> Topology {
     assert!(params.layers >= 2, "need at least two layers");
-    assert!(params.vertices >= params.layers, "need at least one vertex per layer");
+    assert!(
+        params.vertices >= params.layers,
+        "need at least one vertex per layer"
+    );
     assert!((0.0..=1.0).contains(&params.p), "p must be a probability");
     let mut rng = StdRng::seed_from_u64(params.seed);
 
@@ -102,16 +120,14 @@ pub fn generate_layer_by_layer(params: &GgenParams) -> Topology {
         }
         if layer_of[v] == 0 {
             // A spout: wire it to a random vertex of a later layer.
-            let candidates: Vec<usize> =
-                (0..n).filter(|&w| layer_of[w] > 0).collect();
+            let candidates: Vec<usize> = (0..n).filter(|&w| layer_of[w] > 0).collect();
             let w = candidates[rng.random_range(0..candidates.len())];
             tb.connect(ids[v], ids[w]);
             connected[v] = true;
             connected[w] = true;
         } else {
             // A bolt: wire a random earlier-layer vertex to it.
-            let candidates: Vec<usize> =
-                (0..n).filter(|&w| layer_of[w] < layer_of[v]).collect();
+            let candidates: Vec<usize> = (0..n).filter(|&w| layer_of[w] < layer_of[v]).collect();
             let w = candidates[rng.random_range(0..candidates.len())];
             tb.connect(ids[w], ids[v]);
             connected[v] = true;
@@ -119,7 +135,8 @@ pub fn generate_layer_by_layer(params: &GgenParams) -> Topology {
         }
     }
 
-    tb.build().expect("generated graph is a valid topology by construction")
+    tb.build()
+        .expect("generated graph is a valid topology by construction")
 }
 
 #[cfg(test)]

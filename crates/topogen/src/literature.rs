@@ -1,10 +1,13 @@
 //! Table III: number of operators of topologies in the literature — the
 //! survey the paper used to pick its 10/50/100-vertex benchmark sizes.
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// One surveyed topology from Table III.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialize-only: the rows are a static table (`&'static str`
+/// descriptions), never read back from JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct LiteratureTopology {
     /// Publication year.
     pub year: u32,
@@ -55,7 +58,9 @@ mod tests {
     fn table_iii_contents() {
         assert_eq!(LITERATURE.len(), 4);
         assert_eq!(max_surveyed_operators(), 60);
-        assert!(LITERATURE.iter().all(|t| t.operators <= ENTERPRISE_UPPER_BOUND));
+        assert!(LITERATURE
+            .iter()
+            .all(|t| t.operators <= ENTERPRISE_UPPER_BOUND));
         // Benchmark sizes bracket the survey: most topologies < 60 ops,
         // enterprise up to 100 — hence small/medium/large = 10/50/100.
         assert!(LITERATURE.iter().filter(|t| t.operators < 60).count() >= 3);

@@ -88,7 +88,10 @@ mod tests {
             .map(|v| t.node(v).time_complexity)
             .collect();
         let mean = costs.iter().sum::<f64>() / costs.len() as f64;
-        assert!((mean - 20.0).abs() < 4.0, "mean cost should stay near 20, got {mean}");
+        assert!(
+            (mean - 20.0).abs() < 4.0,
+            "mean cost should stay near 20, got {mean}"
+        );
         assert!(costs.iter().cloned().fold(f64::NEG_INFINITY, f64::max) > 25.0);
         assert!(costs.iter().cloned().fold(f64::INFINITY, f64::min) < 15.0);
         assert!(costs.iter().all(|&c| (0.1..=40.0).contains(&c)));
@@ -97,8 +100,11 @@ mod tests {
     #[test]
     fn spouts_are_untouched() {
         let mut t = generate_layer_by_layer(&GgenParams::small(3));
-        let spout_costs: Vec<f64> =
-            t.spouts().iter().map(|&s| t.node(s).time_complexity).collect();
+        let spout_costs: Vec<f64> = t
+            .spouts()
+            .iter()
+            .map(|&s| t.node(s).time_complexity)
+            .collect();
         apply_time_imbalance(&mut t, 20.0, 1.0, 1);
         for (i, &s) in t.spouts().iter().enumerate() {
             assert_eq!(t.node(s).time_complexity, spout_costs[i]);

@@ -57,10 +57,22 @@ impl Condition {
     /// bottom-left, bottom-right).
     pub fn grid() -> [Condition; 4] {
         [
-            Condition { time_imbalance: 0.0, contention: 0.0 },
-            Condition { time_imbalance: 0.0, contention: 0.25 },
-            Condition { time_imbalance: 1.0, contention: 0.0 },
-            Condition { time_imbalance: 1.0, contention: 0.25 },
+            Condition {
+                time_imbalance: 0.0,
+                contention: 0.0,
+            },
+            Condition {
+                time_imbalance: 0.0,
+                contention: 0.25,
+            },
+            Condition {
+                time_imbalance: 1.0,
+                contention: 0.0,
+            },
+            Condition {
+                time_imbalance: 1.0,
+                contention: 0.25,
+            },
         ]
     }
 }

@@ -40,7 +40,12 @@ impl TopologyStats {
     pub fn table_row(&self, label: &str) -> String {
         format!(
             "{:<8} {:>4} {:>4} {:>3} {:>4} {:>4} {:>6.2}",
-            label, self.vertices, self.edges, self.layers, self.sources, self.sinks,
+            label,
+            self.vertices,
+            self.edges,
+            self.layers,
+            self.sources,
+            self.sinks,
             self.avg_out_degree
         )
     }

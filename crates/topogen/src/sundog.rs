@@ -41,10 +41,14 @@ pub fn sundog_topology() -> Topology {
     let pps1 = tb.bolt("PPS1", 0.005);
     let pps2 = tb.bolt("PPS2", 0.005);
     let pps3 = tb.bolt("PPS3", 0.005);
-    let cnts: Vec<_> = (1..=5).map(|i| tb.bolt(&format!("CNT{i}"), 0.0015)).collect();
+    let cnts: Vec<_> = (1..=5)
+        .map(|i| tb.bolt(&format!("CNT{i}"), 0.0015))
+        .collect();
 
     // Phase 2: feature computation.
-    let fcs: Vec<_> = (1..=7).map(|i| tb.bolt(&format!("FC{i}"), 0.0015)).collect();
+    let fcs: Vec<_> = (1..=7)
+        .map(|i| tb.bolt(&format!("FC{i}"), 0.0015))
+        .collect();
 
     // Phase 3: ranking.
     let m1 = tb.bolt("M1", 0.003);
@@ -76,7 +80,13 @@ pub fn sundog_topology() -> Topology {
     tb.tuple_bytes(pps3, 120);
     for &c in &cnts {
         // Counting is keyed by entity (field grouping in the real system).
-        tb.connect_grouped(pps3, c, Grouping::Fields { key_cardinality: 4096 });
+        tb.connect_grouped(
+            pps3,
+            c,
+            Grouping::Fields {
+                key_cardinality: 4096,
+            },
+        );
         // Counters aggregate: they emit one update per two inputs.
         tb.selectivity(c, 0.5);
         tb.route(c, RoutePolicy::Replicate);
@@ -102,14 +112,26 @@ pub fn sundog_topology() -> Topology {
     // Feature merge: three mergers, features split across them.
     for (i, &f) in fcs.iter().enumerate() {
         let m = [m1, m2, m3][i % 3];
-        tb.connect_grouped(f, m, Grouping::Fields { key_cardinality: 4096 });
+        tb.connect_grouped(
+            f,
+            m,
+            Grouping::Fields {
+                key_cardinality: 4096,
+            },
+        );
     }
     for &m in &[m1, m2, m3] {
         tb.tuple_bytes(m, 96);
         tb.connect(m, dkvs2);
     }
     tb.selectivity(dkvs2, 0.3);
-    tb.connect_grouped(dkvs2, r1, Grouping::Fields { key_cardinality: 4096 });
+    tb.connect_grouped(
+        dkvs2,
+        r1,
+        Grouping::Fields {
+            key_cardinality: 4096,
+        },
+    );
     tb.tuple_bytes(dkvs2, 96);
     tb.tuple_bytes(r1, 32);
 
@@ -130,7 +152,11 @@ mod tests {
         let sinks = t.sinks();
         assert_eq!(sinks.len(), 2, "DKVS1 and R1: {sinks:?}");
         // Three phases at least.
-        assert!(t.n_layers() >= 6, "deep pipeline, got {} layers", t.n_layers());
+        assert!(
+            t.n_layers() >= 6,
+            "deep pipeline, got {} layers",
+            t.n_layers()
+        );
     }
 
     /// The Fig. 8 calibration: with the hand-tuned batch settings the

@@ -7,8 +7,8 @@
 //! cargo run --release --example pause_resume
 //! ```
 
-use mtm::bayesopt::{BayesOpt, BoConfig, Snapshot};
 use mtm::bayesopt::space::{Param, ParamSpace};
+use mtm::bayesopt::{BayesOpt, BoConfig, Snapshot};
 
 fn objective(x: f64, y: f64) -> f64 {
     // A bumpy 2-D surface with its peak near (3, -1).
@@ -20,7 +20,13 @@ fn main() {
         Param::float("x", -5.0, 5.0),
         Param::float("y", -5.0, 5.0),
     ]);
-    let mut bo = BayesOpt::new(space, BoConfig { seed: 99, ..Default::default() });
+    let mut bo = BayesOpt::new(
+        space,
+        BoConfig {
+            seed: 99,
+            ..Default::default()
+        },
+    );
 
     // Run ten steps...
     for _ in 0..10 {

@@ -17,7 +17,9 @@ fn main() {
     let parse = tb.bolt("parse", 4.0);
     let enrich = tb.bolt("enrich", 20.0);
     let store = tb.bolt("store", 6.0);
-    tb.connect(source, parse).connect(parse, enrich).connect(enrich, store);
+    tb.connect(source, parse)
+        .connect(parse, enrich)
+        .connect(enrich, store);
     tb.contentious(store, true); // the store is a shared resource
     let topo = tb.build().expect("valid topology");
 
@@ -25,7 +27,11 @@ fn main() {
     let objective = Objective::new(topo, ClusterSpec::paper_cluster());
 
     // 3. Baseline: parallel linear ascent (same hint everywhere).
-    let opts = RunOptions { max_steps: 30, confirm_reps: 10, ..Default::default() };
+    let opts = RunOptions {
+        max_steps: 30,
+        confirm_reps: 10,
+        ..Default::default()
+    };
     let pla = mtm::core::run_experiment(|_s| Strategy::pla(), &objective, &opts);
 
     // 4. Bayesian Optimization over per-operator hints + max-tasks.

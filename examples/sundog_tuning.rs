@@ -20,7 +20,11 @@ fn main() {
     base.batch_parallelism = 5;
     let objective = Objective::new(topo, ClusterSpec::paper_cluster()).with_base(base);
 
-    let opts = RunOptions { max_steps: 40, confirm_reps: 15, ..Default::default() };
+    let opts = RunOptions {
+        max_steps: 40,
+        confirm_reps: 15,
+        ..Default::default()
+    };
 
     // Surface 1: parallelism hints only.
     let h_only = mtm::core::run_experiment(
@@ -51,7 +55,11 @@ fn main() {
     );
 
     println!("Sundog, 40 BO steps per surface:\n");
-    for (label, r) in [("h", &h_only), ("h bs bp", &h_bs_bp), ("bs bp cc", &bs_bp_cc)] {
+    for (label, r) in [
+        ("h", &h_only),
+        ("h bs bp", &h_bs_bp),
+        ("bs bp cc", &bs_bp_cc),
+    ] {
         println!("  {label:<9} {:>9.0} tuples/s (confirmed mean)", r.mean());
     }
 
@@ -68,7 +76,11 @@ fn main() {
         println!(
             "bs-bp-cc vs h-bs-bp: p = {:.3} -> {} at p=0.05 (paper: not significant)",
             t.p_value,
-            if t.significant_at(0.05) { "significant" } else { "not significant" }
+            if t.significant_at(0.05) {
+                "significant"
+            } else {
+                "not significant"
+            }
         );
     }
 }

@@ -11,7 +11,10 @@ use mtm::prelude::*;
 use mtm::topogen::{condition_name, make_condition, Condition, SizeClass, TopologyStats};
 
 fn main() {
-    let condition = Condition { time_imbalance: 0.0, contention: 0.25 };
+    let condition = Condition {
+        time_imbalance: 0.0,
+        contention: 0.25,
+    };
     let topo = make_condition(SizeClass::Medium, &condition, 0x2015);
 
     let stats = TopologyStats::of(&topo);
@@ -26,7 +29,11 @@ fn main() {
 
     let base = synthetic_base(&topo);
     let objective = Objective::new(topo, ClusterSpec::paper_cluster()).with_base(base);
-    let opts = RunOptions { max_steps: 40, confirm_reps: 10, ..Default::default() };
+    let opts = RunOptions {
+        max_steps: 40,
+        confirm_reps: 10,
+        ..Default::default()
+    };
 
     println!("strategy   mean tuples/s   min..max          steps-to-best");
     for name in ["pla", "ipla", "bo", "ibo"] {

@@ -8,9 +8,7 @@
 //! ```
 
 use mtm::stormsim::topology::TopologyBuilder;
-use mtm::stormsim::{
-    simulate_flow, simulate_tuples, ClusterSpec, StormConfig, TupleSimOptions,
-};
+use mtm::stormsim::{simulate_flow, simulate_tuples, ClusterSpec, StormConfig, TupleSimOptions};
 
 fn main() {
     // A small three-stage pipeline on a 4-machine cluster.
@@ -24,7 +22,10 @@ fn main() {
     let mut cluster = ClusterSpec::paper_cluster();
     cluster.machines = 4;
 
-    println!("{:<28} {:>12} {:>12} {:>8}", "configuration", "flow tps", "tuple tps", "ratio");
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}",
+        "configuration", "flow tps", "tuple tps", "ratio"
+    );
     for hint in [1u32, 2, 4, 8] {
         let mut config = StormConfig::uniform_hints(3, hint);
         config.batch_size = 400;

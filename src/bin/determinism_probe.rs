@@ -1,0 +1,88 @@
+//! Determinism probe for `mtm-check determinism`.
+//!
+//! Prints full metrics from fixed-seed runs of the flow simulator, the
+//! per-tuple simulator, and a short (10-step) BO loop to stdout. The
+//! checker runs this binary twice and diffs the output bit for bit — any
+//! hidden nondeterminism (hash-map iteration order, wall-clock leakage,
+//! uninitialized state) shows up as a diff. Wall-clock fields (e.g. the
+//! optimizer's `optimizer_time_s`) are deliberately *not* printed: they
+//! are the one sanctioned nondeterminism in the workspace.
+
+use mtm_core::objective::synthetic_base;
+use mtm_core::{run_pass, Objective, ParamSet, RunOptions, Strategy};
+use mtm_stormsim::noise::MeasurementNoise;
+use mtm_stormsim::{simulate_flow, simulate_tuples, ClusterSpec, StormConfig, TupleSimOptions};
+use mtm_topogen::{make_condition, sundog_topology, Condition, SizeClass};
+
+fn main() {
+    let cluster = ClusterSpec::paper_cluster();
+
+    // Flow simulator on the paper's Sundog topology and on a synthetic
+    // contended topology.
+    let sundog = sundog_topology();
+    let mut config = StormConfig::baseline(sundog.n_nodes());
+    config.parallelism_hints = (0..sundog.n_nodes() as u32).map(|v| 1 + v % 7).collect();
+    let flow = simulate_flow(&sundog, &config, &cluster, 120.0);
+    println!("flow/sundog {}", render(&flow));
+
+    let contended = make_condition(
+        SizeClass::Small,
+        &Condition {
+            time_imbalance: 0.5,
+            contention: 0.25,
+        },
+        0x2015,
+    );
+    let config_c = StormConfig::uniform_hints(contended.n_nodes(), 5);
+    let flow_c = simulate_flow(&contended, &config_c, &cluster, 120.0);
+    println!("flow/contended {}", render(&flow_c));
+
+    // Per-tuple discrete-event simulator (bounded event count keeps the
+    // probe fast while still exercising the full event loop).
+    let opts = TupleSimOptions {
+        window_s: 20.0,
+        max_events: 2_000_000,
+        ..Default::default()
+    };
+    let tuples = simulate_tuples(&contended, &config_c, &cluster, &opts);
+    println!("tuples/contended {}", render(&tuples));
+
+    // 10-step BO loop with measurement noise on (seeded), printing the
+    // full trajectory at full float precision.
+    let base = synthetic_base(&contended);
+    let objective = Objective::new(contended, ClusterSpec::paper_cluster())
+        .with_base(base)
+        .with_noise(MeasurementNoise::default());
+    let mut strategy = Strategy::bo(objective.topology(), ParamSet::Hints, 42);
+    let run_opts = RunOptions {
+        max_steps: 10,
+        confirm_reps: 1,
+        passes: 1,
+        seed: 7,
+        ..Default::default()
+    };
+    let pass = run_pass(&mut strategy, &objective, &run_opts);
+    for s in &pass.steps {
+        println!("bo/step {} {}", s.step, float_bits(s.throughput));
+    }
+    println!(
+        "bo/best step={} {}",
+        pass.best_step,
+        float_bits(pass.best_throughput)
+    );
+}
+
+/// Serialize a metrics struct to canonical JSON (object keys are sorted by
+/// the vendored serializer, floats print shortest-round-trip).
+fn render<T: serde::Serialize>(value: &T) -> String {
+    match serde_json::to_string(value) {
+        Ok(s) => s,
+        Err(e) => format!("<serialize error: {e}>"),
+    }
+}
+
+/// Decimal shortest representation plus raw bits — a decimal tie could in
+/// principle hide a 1-ulp difference, the bit pattern cannot.
+fn float_bits(x: f64) -> String {
+    format!("{x} bits={:016x}", x.to_bits())
+}

@@ -54,14 +54,36 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--strategy" => args.strategy = take("--strategy")?,
             "--surface" => args.surface = take("--surface")?,
-            "--steps" => args.steps = take("--steps")?.parse().map_err(|e| format!("--steps: {e}"))?,
-            "--passes" => args.passes = take("--passes")?.parse().map_err(|e| format!("--passes: {e}"))?,
-            "--machines" => {
-                args.machines = take("--machines")?.parse().map_err(|e| format!("--machines: {e}"))?
+            "--steps" => {
+                args.steps = take("--steps")?
+                    .parse()
+                    .map_err(|e| format!("--steps: {e}"))?
             }
-            "--seed" => args.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--window" => args.window = take("--window")?.parse().map_err(|e| format!("--window: {e}"))?,
-            "--reps" => args.reps = take("--reps")?.parse().map_err(|e| format!("--reps: {e}"))?,
+            "--passes" => {
+                args.passes = take("--passes")?
+                    .parse()
+                    .map_err(|e| format!("--passes: {e}"))?
+            }
+            "--machines" => {
+                args.machines = take("--machines")?
+                    .parse()
+                    .map_err(|e| format!("--machines: {e}"))?
+            }
+            "--seed" => {
+                args.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--window" => {
+                args.window = take("--window")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?
+            }
+            "--reps" => {
+                args.reps = take("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?
+            }
             "--help" | "-h" => return Err("help".into()),
             other if args.spec_path.is_empty() && !other.starts_with('-') => {
                 args.spec_path = other.to_string();
@@ -155,7 +177,12 @@ fn main() -> ExitCode {
         "\n{} over '{}', {} steps x {} pass(es):",
         result.strategy, args.surface, args.steps, args.passes
     );
-    println!("  confirmed throughput: {:.0} tuples/s ({:.0}..{:.0})", result.mean(), min, max);
+    println!(
+        "  confirmed throughput: {:.0} tuples/s ({:.0}..{:.0})",
+        result.mean(),
+        min,
+        max
+    );
     println!("  found at step {} of the winning pass", winner.best_step);
     println!("\nbest configuration:");
     let c = &winner.best_config;

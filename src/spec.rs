@@ -145,7 +145,11 @@ impl TopologySpec {
             tb.tuple_bytes(id, node.tuple_bytes);
             tb.route(
                 id,
-                if node.replicate { RoutePolicy::Replicate } else { RoutePolicy::Split },
+                if node.replicate {
+                    RoutePolicy::Replicate
+                } else {
+                    RoutePolicy::Split
+                },
             );
             ids.insert(node.name.clone(), id);
         }
@@ -194,7 +198,9 @@ mod tests {
         assert!(topo.node(2).contentious);
         assert!(matches!(
             topo.edges()[1].grouping,
-            Grouping::Fields { key_cardinality: 10000 }
+            Grouping::Fields {
+                key_cardinality: 10000
+            }
         ));
     }
 

@@ -9,14 +9,14 @@ use mtm_stormsim::{simulate_flow, ClusterSpec, StormConfig};
 use mtm_topogen::{generate_layer_by_layer, make_condition, Condition, GgenParams, SizeClass};
 
 fn arb_params() -> impl Strategy<Value = GgenParams> {
-    (6usize..40, 2usize..6, 0.05f64..0.6, any::<u64>()).prop_map(
-        |(vertices, layers, p, seed)| GgenParams {
+    (6usize..40, 2usize..6, 0.05f64..0.6, any::<u64>()).prop_map(|(vertices, layers, p, seed)| {
+        GgenParams {
             vertices: vertices.max(layers),
             layers,
             p,
             seed,
-        },
-    )
+        }
+    })
 }
 
 proptest! {

@@ -11,7 +11,10 @@ use rand::SeedableRng;
 fn contended_objective() -> Objective {
     let topo = make_condition(
         SizeClass::Small,
-        &Condition { time_imbalance: 0.0, contention: 0.25 },
+        &Condition {
+            time_imbalance: 0.0,
+            contention: 0.25,
+        },
         0x2015,
     );
     let base = synthetic_base(&topo);
@@ -25,7 +28,12 @@ fn bo_beats_random_search_on_a_contended_topology() {
 
     // BO over hints.
     let mut bo = Strategy::bo(objective.topology(), ParamSet::Hints, 11);
-    let opts = RunOptions { max_steps: budget, confirm_reps: 1, passes: 1, ..Default::default() };
+    let opts = RunOptions {
+        max_steps: budget,
+        confirm_reps: 1,
+        passes: 1,
+        ..Default::default()
+    };
     let bo_pass = run_pass(&mut bo, &objective, &opts);
 
     // Random search with the same budget over the same space.
@@ -50,7 +58,13 @@ fn bo_beats_random_search_on_a_contended_topology() {
 #[test]
 fn full_experiment_protocol_produces_consistent_records() {
     let objective = contended_objective();
-    let opts = RunOptions { max_steps: 12, confirm_reps: 6, passes: 2, seed: 5, ..Default::default() };
+    let opts = RunOptions {
+        max_steps: 12,
+        confirm_reps: 6,
+        passes: 2,
+        seed: 5,
+        ..Default::default()
+    };
     let result = run_experiment(
         |seed| Strategy::bo(objective.topology(), ParamSet::Hints, seed),
         &objective,
@@ -72,13 +86,22 @@ fn full_experiment_protocol_produces_consistent_records() {
         assert!((at - pass.best_throughput).abs() < 1e-9 || pass.best_throughput == 0.0);
     }
     // The winner really is the better pass.
-    assert!(result.passes.iter().all(|p| p.best_throughput <= result.winner().best_throughput));
+    assert!(result
+        .passes
+        .iter()
+        .all(|p| p.best_throughput <= result.winner().best_throughput));
 }
 
 #[test]
 fn experiments_are_reproducible_given_the_seed() {
     let objective = contended_objective();
-    let opts = RunOptions { max_steps: 8, confirm_reps: 3, passes: 1, seed: 77, ..Default::default() };
+    let opts = RunOptions {
+        max_steps: 8,
+        confirm_reps: 3,
+        passes: 1,
+        seed: 77,
+        ..Default::default()
+    };
     let a = run_experiment(
         |seed| Strategy::bo(objective.topology(), ParamSet::Hints, seed),
         &objective,
@@ -106,7 +129,13 @@ fn sundog_batch_surface_beats_hints_only_surface() {
     let objective = Objective::new(topo, ClusterSpec::paper_cluster())
         .with_base(base)
         .with_noise(MeasurementNoise::none());
-    let opts = RunOptions { max_steps: 25, confirm_reps: 2, passes: 1, seed: 3, ..Default::default() };
+    let opts = RunOptions {
+        max_steps: 25,
+        confirm_reps: 2,
+        passes: 1,
+        seed: 3,
+        ..Default::default()
+    };
 
     let h_only = run_experiment(
         |seed| Strategy::bo(objective.topology(), ParamSet::Hints, seed),

@@ -20,7 +20,10 @@ fn tables_render() {
 fn fig3_reports_unsaturated_network() {
     let t = figures::fig3::run(6);
     assert_eq!(t.rows.len(), 4);
-    assert!(t.rows.iter().all(|r| r.values[0] > 0.0 && r.values[0] < 128.0));
+    assert!(t
+        .rows
+        .iter()
+        .all(|r| r.values[0] > 0.0 && r.values[0] < 128.0));
 }
 
 #[test]

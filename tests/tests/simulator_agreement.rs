@@ -35,8 +35,11 @@ fn run_both(hint: u32) -> (f64, f64) {
     let cl = cluster();
     let cfg = config(hint);
     let flow = simulate_flow(&topo, &cfg, &cl, 60.0);
-    let opts =
-        TupleSimOptions { window_s: 60.0, max_events: 30_000_000, network_delay_s: 0.0005 };
+    let opts = TupleSimOptions {
+        window_s: 60.0,
+        max_events: 30_000_000,
+        network_delay_s: 0.0005,
+    };
     let tuple = simulate_tuples(&topo, &cfg, &cl, &opts);
     (flow.throughput_tps, tuple.throughput_tps)
 }
@@ -45,7 +48,10 @@ fn run_both(hint: u32) -> (f64, f64) {
 fn absolute_throughput_agrees_within_fidelity_gap() {
     for hint in [1u32, 2, 4] {
         let (flow, tuple) = run_both(hint);
-        assert!(flow > 0.0 && tuple > 0.0, "hint {hint}: both simulators must run");
+        assert!(
+            flow > 0.0 && tuple > 0.0,
+            "hint {hint}: both simulators must run"
+        );
         let ratio = flow / tuple;
         assert!(
             (0.5..=2.0).contains(&ratio),
@@ -66,8 +72,7 @@ fn both_simulators_rank_configurations_identically() {
         flows.push(flow);
         tuples.push(tuple);
     }
-    let rho = mtm_stats::corr::spearman(&flows, &tuples)
-        .expect("non-degenerate measurements");
+    let rho = mtm_stats::corr::spearman(&flows, &tuples).expect("non-degenerate measurements");
     assert!(
         (rho - 1.0).abs() < 1e-9,
         "simulators must agree on ordering: rho = {rho} ({flows:?} vs {tuples:?})"
@@ -88,16 +93,25 @@ fn both_simulators_agree_that_contention_hurts() {
     let mut cfg = StormConfig::uniform_hints(2, 6);
     cfg.batch_size = 200;
     cfg.batch_parallelism = 3;
-    let opts =
-        TupleSimOptions { window_s: 40.0, max_events: 20_000_000, network_delay_s: 0.0005 };
+    let opts = TupleSimOptions {
+        window_s: 40.0,
+        max_events: 20_000_000,
+        network_delay_s: 0.0005,
+    };
 
     let flow_clean = simulate_flow(&build(false), &cfg, &cl, 40.0).throughput_tps;
     let flow_cont = simulate_flow(&build(true), &cfg, &cl, 40.0).throughput_tps;
     let tuple_clean = simulate_tuples(&build(false), &cfg, &cl, &opts).throughput_tps;
     let tuple_cont = simulate_tuples(&build(true), &cfg, &cl, &opts).throughput_tps;
 
-    assert!(flow_cont < flow_clean, "flow model: contention must cost throughput");
-    assert!(tuple_cont < tuple_clean, "tuple model: contention must cost throughput");
+    assert!(
+        flow_cont < flow_clean,
+        "flow model: contention must cost throughput"
+    );
+    assert!(
+        tuple_cont < tuple_clean,
+        "tuple model: contention must cost throughput"
+    );
 }
 
 #[test]
@@ -106,8 +120,11 @@ fn network_accounting_is_consistent() {
     let cl = cluster();
     let cfg = config(4);
     let flow = simulate_flow(&topo, &cfg, &cl, 60.0);
-    let opts =
-        TupleSimOptions { window_s: 60.0, max_events: 30_000_000, network_delay_s: 0.0005 };
+    let opts = TupleSimOptions {
+        window_s: 60.0,
+        max_events: 30_000_000,
+        network_delay_s: 0.0005,
+    };
     let tuple = simulate_tuples(&topo, &cfg, &cl, &opts);
     assert!(flow.avg_worker_net_mbps > 0.0);
     assert!(tuple.avg_worker_net_mbps > 0.0);

@@ -1,0 +1,193 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Compiles the workspace's `harness = false` benches and runs each
+//! benchmark a small fixed number of iterations, printing mean wall-clock
+//! time. No warm-up control, outlier rejection, or statistics — this shim
+//! exists so `cargo bench` keeps working (and so benches stay compiling
+//! under `cargo test --benches`) without crates.io access.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized; accepted and ignored.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the measured closure; collects timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with a fresh input per iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // Probe once, then pick an iteration count targeting ~0.2 s.
+        let mut probe = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut probe);
+        let per_iter = probe.elapsed.max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(200).as_nanos() / per_iter.as_nanos()).clamp(1, 1000);
+        let mut b = Bencher {
+            iters: iters as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean = b.elapsed.as_secs_f64() / b.iters as f64;
+        println!(
+            "{}/{id}: {:>12.3} µs/iter ({} iters)",
+            self.name,
+            mean * 1e6,
+            b.iters
+        );
+    }
+
+    /// Benchmark `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.id, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark `f` with no input.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), &mut f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+
+    /// Accepted and ignored (upstream tunes sampling).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Benchmark `f` outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+        };
+        group.run_one(name, &mut f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,508 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the mtm test suites use:
+//! the [`proptest!`] macro with `pattern in strategy` bindings and an
+//! optional `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! range/tuple/`any`/`prop::collection::vec` strategies, `.prop_map`,
+//! [`prop_oneof!`], and the `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberate for an offline vendored shim:
+//! inputs are drawn from a fixed-seed [`rand::rngs::StdRng`] stream (so
+//! failures reproduce across runs without a regression file), and there
+//! is **no shrinking** — a failing case reports the drawn inputs via the
+//! assertion message (`prop_assert!` panics like `assert!`). Each test
+//! also honours the `PROPTEST_CASES` environment variable.
+
+use rand::rngs::StdRng;
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map the generated value through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Draw a dependent second stage from the first stage's value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discard generated values failing `pred` (retries up to 100 times,
+    /// then panics — keep filters loose).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(self))
+    }
+}
+
+/// Boxed, type-erased strategy (cloneable so `prop_oneof!` arms can be
+/// collected into one vector).
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn ErasedStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+trait ErasedStrategy<T> {
+    fn erased_generate(&self, rng: &mut StdRng) -> T;
+}
+
+impl<S: Strategy> ErasedStrategy<S::Value> for S {
+    fn erased_generate(&self, rng: &mut StdRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.erased_generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..100 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 100 candidates in a row: {}",
+            self.whence
+        );
+    }
+}
+
+/// Always produces a clone of the same value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Ranges are strategies.
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+// Tuples of strategies are strategies.
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+);
+
+/// Types with a canonical whole-domain strategy (proptest's `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draw uniformly from the type's whole domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arb_via_random {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.random()
+            }
+        }
+    )*};
+}
+
+arb_via_random!(bool, u32, u64, usize, i64, f64);
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut StdRng) -> u8 {
+        use rand::Rng;
+        rng.random_range(0..=u8::MAX)
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut StdRng) -> i32 {
+        use rand::Rng;
+        rng.random_range(i32::MIN as i64..=i32::MAX as i64) as i32
+    }
+}
+
+/// Strategy over a type's whole domain.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies (subset: `vec`).
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Length specification: an exact `usize` or a `Range<usize>`.
+    pub trait SizeRange {
+        /// Draw a length.
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+}
+
+/// The `prop` facade module (`prop::collection::vec`, ...).
+pub mod prop {
+    pub use super::collection;
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    //! Runtime plumbing used by the macros.
+
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Cases to run: `PROPTEST_CASES` env var overrides the block config.
+    pub fn cases(config: &super::ProptestConfig) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(config.cases)
+    }
+
+    /// Per-test deterministic seed: fixed base hashed with the test name,
+    /// so adding a test never perturbs another test's input stream.
+    pub fn seed_for(test_name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Define property tests: each `#[test] fn name(bindings) { body }` inside
+/// runs `cases` times with inputs drawn from the named strategies.
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@tests ($config) $($rest)*);
+    };
+    (@tests ($config:expr) ) => {};
+    // One test fn; `#[test]` itself rides along in the meta repetition.
+    (@tests ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let config: $crate::ProptestConfig = $config;
+            let n = $crate::__rt::cases(&config);
+            let mut rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                $crate::__rt::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for case in 0..n {
+                $(let $arg = ($strat).generate(&mut rng);)+
+                let run = || -> () { $body };
+                // Let the case index surface in panic messages via a
+                // wrapper panic note when the body itself panics.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {case}/{n} of `{}` failed (vendored runner: \
+                         inputs are deterministic per test name; no shrinking)",
+                        stringify!($name),
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::proptest!(@tests ($config) $($rest)*);
+    };
+    // No config header: everything is test fns.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@tests ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert inside a property test (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+/// Uniform choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// See [`prop_oneof!`].
+pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        let k = rng.random_range(0..self.0.len());
+        self.0[k].generate(rng)
+    }
+}
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, -5i64..5), x in 0.0f64..1.0) {
+            prop_assert!(a < 10);
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_lengths(xs in prop::collection::vec(0u32..100, 3..7)) {
+            prop_assert!((3..7).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn map_and_oneof(v in prop_oneof![
+            (0u32..5).prop_map(|x| x * 2).boxed(),
+            Just(99u32).boxed(),
+        ]) {
+            prop_assert!(v == 99 || v < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        use crate::Strategy;
+        let s = 0.0f64..1.0;
+        let mut r1 =
+            <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(crate::__rt::seed_for("a::b"));
+        let mut r2 =
+            <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(crate::__rt::seed_for("a::b"));
+        for _ in 0..32 {
+            assert_eq!(s.generate(&mut r1).to_bits(), s.generate(&mut r2).to_bits());
+        }
+    }
+}

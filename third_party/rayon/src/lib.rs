@@ -1,0 +1,102 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The workspace parallelizes two hot paths with rayon (`par_chunks_mut`
+//! over matmul output rows, `into_par_iter` over confirmation runs). With
+//! no crates.io access this shim keeps those call sites compiling by
+//! returning the *sequential* std iterators — same results, same API
+//! shape, no thread pool. Swap back to real rayon by flipping the
+//! workspace dependency; no call site changes.
+
+/// Parallel-iterator entry points, sequentially executed.
+pub mod prelude {
+    /// Mirror of `rayon::prelude::ParallelSliceMut` (subset).
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// Mirror of `rayon::prelude::ParallelSlice` (subset).
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Mirror of `rayon::prelude::IntoParallelIterator` (subset): the
+    /// "parallel" iterator is the type's ordinary [`IntoIterator`] one.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for `into_par_iter`.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// Mirror of `rayon::prelude::IntoParallelRefIterator` (subset).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element reference type.
+        type Iter: Iterator;
+
+        /// Sequential stand-in for `par_iter`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_covers_slice() {
+        let mut v = [0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn into_par_iter_matches_sequential() {
+        let got: Vec<u64> = (0..5u64).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(got, vec![0, 1, 4, 9, 16]);
+    }
+}

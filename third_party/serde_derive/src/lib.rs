@@ -1,0 +1,532 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde stand-in.
+//!
+//! Written against `proc_macro` directly (the environment has no
+//! `syn`/`quote`), so the parser is a small hand-rolled walk over the
+//! token stream. Supported shapes — exactly what the mtm workspace uses:
+//!
+//! * structs with named fields (any visibility), including
+//!   `#[serde(default)]` and `#[serde(default = "path")]` on fields;
+//! * enums with unit, tuple, and struct variants in serde's externally
+//!   tagged representation, including `#[serde(rename_all = "...")]`
+//!   (`lowercase`, `snake_case`, `camelCase`, `UPPERCASE`).
+//!
+//! Generics are intentionally unsupported; deriving on a generic type is
+//! a compile error rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field of a struct or struct variant.
+struct Field {
+    name: String,
+    /// `None` = required; `Some(None)` = `#[serde(default)]`;
+    /// `Some(Some(path))` = `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+/// Enum variant.
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    /// Number of tuple elements.
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        rename_all: Option<String>,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Collect `#[serde(...)]` key/value pairs from an attribute group's inner
+/// tokens; returns pairs like ("default", None) or ("default", Some("one")).
+fn parse_serde_attr(group: &proc_macro::Group) -> Vec<(String, Option<String>)> {
+    let mut out = Vec::new();
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    // Expect: Ident("serde") Group(Paren, inner)
+    if tokens.len() == 2 {
+        if let (TokenTree::Ident(id), TokenTree::Group(inner)) = (&tokens[0], &tokens[1]) {
+            if id.to_string() == "serde" && inner.delimiter() == Delimiter::Parenthesis {
+                let inner_tokens: Vec<TokenTree> = inner.stream().into_iter().collect();
+                let mut i = 0;
+                while i < inner_tokens.len() {
+                    if let TokenTree::Ident(key) = &inner_tokens[i] {
+                        let key = key.to_string();
+                        if i + 2 < inner_tokens.len()
+                            && matches!(&inner_tokens[i + 1], TokenTree::Punct(p) if p.as_char() == '=')
+                        {
+                            let val = match &inner_tokens[i + 2] {
+                                TokenTree::Literal(l) => {
+                                    l.to_string().trim_matches('"').to_string()
+                                }
+                                other => other.to_string(),
+                            };
+                            out.push((key, Some(val)));
+                            i += 3;
+                        } else {
+                            out.push((key, None));
+                            i += 1;
+                        }
+                    } else {
+                        i += 1; // skip commas
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Consume leading attributes (`# [ ... ]`) at `tokens[*i]`, returning any
+/// serde key/values found.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<(String, Option<String>)> {
+    let mut serde_kv = Vec::new();
+    while *i + 1 < tokens.len() {
+        let is_pound = matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_pound {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[*i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                serde_kv.extend(parse_serde_attr(g));
+                *i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    serde_kv
+}
+
+/// Parse the fields of a braced named-field body.
+fn parse_named_fields(body: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = skip_attrs(&tokens, &mut i);
+        // Optional visibility: `pub` or `pub(...)`.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive: expected field name, got {other}"),
+        };
+        i += 1;
+        assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let default = attrs
+            .iter()
+            .find(|(k, _)| k == "default")
+            .map(|(_, v)| v.clone());
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Parse the variants of an enum body.
+fn parse_variants(body: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _attrs = skip_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Count top-level comma-separated elements.
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut depth = 0i32;
+                let mut n = if inner.is_empty() { 0 } else { 1 };
+                for t in &inner {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => n += 1,
+                        _ => {}
+                    }
+                }
+                // A trailing comma would overcount; the workspace doesn't
+                // write `Variant(T,)`, so keep the parser simple.
+                i += 1;
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g);
+                i += 1;
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant `= expr` and the separating comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let container_attrs = skip_attrs(&tokens, &mut i);
+    // Optional visibility.
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!(
+            "serde_derive (vendored): generic types are not supported; derive on `{name}` by hand"
+        );
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!(
+            "serde_derive (vendored): `{name}` must have a braced body \
+             (tuple structs unsupported), got {other:?}"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => {
+            let rename_all = container_attrs
+                .iter()
+                .find(|(k, _)| k == "rename_all")
+                .and_then(|(_, v)| v.clone());
+            Item::Enum {
+                name,
+                rename_all,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn rename(variant: &str, rule: Option<&str>) -> String {
+    match rule {
+        None => variant.to_string(),
+        Some("lowercase") => variant.to_lowercase(),
+        Some("UPPERCASE") => variant.to_uppercase(),
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in variant.chars().enumerate() {
+                if c.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(c.to_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some("camelCase") => {
+            let mut chars = variant.chars();
+            match chars.next() {
+                Some(c) => c.to_lowercase().collect::<String>() + chars.as_str(),
+                None => String::new(),
+            }
+        }
+        Some(other) => panic!("serde_derive (vendored): unsupported rename_all rule `{other}`"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "obj.push((\"{n}\".to_string(), serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         let mut obj: Vec<(String, serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         serde::Value::Object(obj)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum {
+            name,
+            rename_all,
+            variants,
+        } => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = rename(&v.name, rename_all.as_deref());
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => serde::Value::Str(\"{tag}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(x0) => serde::Value::Object(vec![(\
+                         \"{tag}\".to_string(), serde::Serialize::to_value(x0))]),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => serde::Value::Object(vec![(\
+                             \"{tag}\".to_string(), serde::Value::Array(vec![{elems}]))]),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => serde::Value::Object(vec![(\
+                             \"{tag}\".to_string(), serde::Value::Object(vec![{pairs}]))]),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            pairs = pairs.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Expression that rebuilds one named field from `obj` (an object's pairs).
+fn field_expr(f: &Field, ty_name: &str) -> String {
+    let n = &f.name;
+    match &f.default {
+        Some(None) => format!(
+            "match serde::__get(obj, \"{n}\") {{\n\
+                 Some(v) => serde::Deserialize::from_value(v)?,\n\
+                 None => Default::default(),\n\
+             }}"
+        ),
+        Some(Some(path)) => format!(
+            "match serde::__get(obj, \"{n}\") {{\n\
+                 Some(v) => serde::Deserialize::from_value(v)?,\n\
+                 None => {path}(),\n\
+             }}"
+        ),
+        None => format!(
+            "match serde::__get(obj, \"{n}\") {{\n\
+                 Some(v) => serde::Deserialize::from_value(v)?,\n\
+                 // Absent fields fall back to Null so `Option` fields read\n\
+                 // as `None` (serde's behavior); everything else errors.\n\
+                 None => serde::Deserialize::from_value(&serde::Value::Null)\n\
+                     .map_err(|_| serde::DeError::missing_field(\"{n}\", \"{ty_name}\"))?,\n\
+             }}"
+        ),
+    }
+}
+
+fn gen_struct_body(name: &str, path: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{n}: {e}", n = f.name, e = field_expr(f, name)))
+        .collect();
+    format!("{path} {{ {} }}", inits.join(",\n"))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = gen_struct_body(name, name, fields);
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> ::core::result::Result<Self, serde::DeError> {{\n\
+                         let obj = v.as_object().ok_or_else(|| serde::DeError::custom(\
+                             format!(\"expected object for struct {name}, got {{v:?}}\")))?;\n\
+                         Ok({body})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum {
+            name,
+            rename_all,
+            variants,
+        } => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                let tag = rename(&v.name, rename_all.as_deref());
+                match &v.shape {
+                    VariantShape::Unit => {
+                        str_arms.push_str(&format!("\"{tag}\" => Ok({name}::{v}),\n", v = v.name))
+                    }
+                    VariantShape::Tuple(1) => obj_arms.push_str(&format!(
+                        "\"{tag}\" => Ok({name}::{v}(serde::Deserialize::from_value(inner)?)),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                            .collect();
+                        obj_arms.push_str(&format!(
+                            "\"{tag}\" => {{\n\
+                                 let items = inner.as_array().ok_or_else(|| \
+                                     serde::DeError::custom(\"expected array for variant {tag}\"))?;\n\
+                                 if items.len() != {n} {{\n\
+                                     return Err(serde::DeError::custom(\
+                                         \"wrong arity for variant {tag}\"));\n\
+                                 }}\n\
+                                 Ok({name}::{v}({elems}))\n\
+                             }}\n",
+                            v = v.name,
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let body =
+                            gen_struct_body(name, &format!("{name}::{v}", v = v.name), fields);
+                        obj_arms.push_str(&format!(
+                            "\"{tag}\" => {{\n\
+                                 let obj = inner.as_object().ok_or_else(|| \
+                                     serde::DeError::custom(\"expected object for variant {tag}\"))?;\n\
+                                 Ok({body})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> ::core::result::Result<Self, serde::DeError> {{\n\
+                         match v {{\n\
+                             serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {str_arms}\
+                                 other => Err(serde::DeError::custom(format!(\
+                                     \"unknown variant `{{other}}` of {name}\"))),\n\
+                             }},\n\
+                             serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                                 let (tag, inner) = &pairs[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {obj_arms}\
+                                     other => Err(serde::DeError::custom(format!(\
+                                         \"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(serde::DeError::custom(format!(\
+                                 \"expected externally tagged {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -1,164 +1,45 @@
 //! The shared synthetic-experiment grid behind Figs. 4–7.
 //!
-//! One grid run covers every `(size, condition, strategy)` cell of §V-A:
-//! the four workload conditions × three topology sizes × the strategies
-//! `pla`, `bo`, `ipla`, `ibo`, plus `bo180` (BO with the tripled budget).
-//! Because the grid takes minutes at paper scale, the outcome is cached
-//! as JSON under `results/`.
+//! Execution moved into `mtm-runner`: every `(size, condition, strategy)`
+//! cell is an independent journaled experiment with its own segment under
+//! `results/journal/grid_<scale>/`, resumable after a crash and fanned
+//! across a bounded thread pool. The old monolithic `grid_<scale>.json`
+//! cache — which was keyed only by scale label and silently served stale
+//! results when the seed or schema changed — is gone; segment headers
+//! fingerprint seed + schema + budget and invalidate on mismatch.
+//!
+//! This module keeps the harness-facing surface (`Grid`, `Cell`,
+//! [`STRATEGIES`], [`run`], [`run_or_load`]) stable for the figure
+//! generators and integration tests.
 
-use std::fs;
-use std::path::PathBuf;
+pub use mtm_runner::grid::{Cell, Grid, STRATEGIES};
 
-use serde::{Deserialize, Serialize};
+use mtm_runner::engine::RunnerOptions;
+use mtm_runner::pool;
 
-use mtm_core::objective::synthetic_base;
-use mtm_core::{run_experiment, ExperimentResult, Objective, ParamSet, Strategy};
-use mtm_stormsim::ClusterSpec;
-use mtm_topogen::{condition_name, make_condition, Condition, SizeClass};
-
-use crate::results_dir;
 use crate::scale::Scale;
 
-/// Strategy labels of the grid, in figure order.
-pub const STRATEGIES: [&str; 5] = ["pla", "bo", "ipla", "ibo", "bo180"];
-
-/// One grid cell: a full experiment outcome plus its coordinates.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct Cell {
-    /// Topology size class.
-    pub size: SizeClass,
-    /// Workload condition.
-    pub condition: Condition,
-    /// Strategy label (see [`STRATEGIES`]).
-    pub strategy: String,
-    /// The experiment outcome.
-    pub result: ExperimentResult,
-}
-
-/// The whole grid.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct Grid {
-    /// Budget scale the grid was run at.
-    pub scale: Scale,
-    /// Base seed.
-    pub seed: u64,
-    /// All cells.
-    pub cells: Vec<Cell>,
-}
-
-impl Grid {
-    /// Look up a cell.
-    pub fn cell(&self, size: SizeClass, condition: &Condition, strategy: &str) -> Option<&Cell> {
-        self.cells
-            .iter()
-            .find(|c| c.size == size && c.condition == *condition && c.strategy == strategy)
+/// Runner options for harness-driven grid runs: thread count from
+/// `MTM_THREADS` (default: all cores), reference semantics otherwise.
+fn harness_options() -> RunnerOptions {
+    let threads = std::env::var("MTM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(pool::default_threads);
+    RunnerOptions {
+        threads,
+        ..RunnerOptions::serial()
     }
 }
 
-/// Cache path for a scale.
-fn cache_path(scale: Scale) -> PathBuf {
-    results_dir().join(format!("grid_{}.json", scale.label()))
-}
-
-/// Run the grid (or load it from the JSON cache).
-pub fn run_or_load(scale: Scale) -> Grid {
-    let path = cache_path(scale);
-    if let Ok(text) = fs::read_to_string(&path) {
-        if let Ok(grid) = serde_json::from_str::<Grid>(&text) {
-            if grid.scale == scale {
-                eprintln!("[grid] loaded cache {}", path.display());
-                return grid;
-            }
-        }
-    }
-    let grid = run(scale);
-    if let Some(parent) = path.parent() {
-        let _ = fs::create_dir_all(parent);
-    }
-    if let Ok(json) = serde_json::to_string(&grid) {
-        let _ = fs::write(&path, json);
-        eprintln!("[grid] cached to {}", path.display());
-    }
-    grid
-}
-
-/// Run the full grid at `scale`.
+/// Run the full grid at `scale` in memory (no journal) — used by tests
+/// that want a throwaway grid.
 pub fn run(scale: Scale) -> Grid {
-    let seed = 0x2015;
-    let cluster = ClusterSpec::paper_cluster();
-    let mut cells = Vec::new();
-
-    for condition in Condition::grid() {
-        for size in SizeClass::all() {
-            let topo = make_condition(size, &condition, seed);
-            let base = synthetic_base(&topo);
-            let objective = Objective::new(topo, cluster.clone()).with_base(base);
-
-            for &name in STRATEGIES.iter() {
-                let opts = if name == "bo180" {
-                    scale.run_options_extended(seed)
-                } else {
-                    scale.run_options(seed)
-                };
-                let t0 = std::time::Instant::now();
-                let result = run_experiment(
-                    |pass_seed| match name {
-                        "pla" => Strategy::pla(),
-                        "ipla" => Strategy::ipla(objective.topology()),
-                        "bo" | "bo180" => {
-                            Strategy::bo(objective.topology(), ParamSet::Hints, pass_seed)
-                        }
-                        "ibo" => Strategy::ibo(objective.topology(), pass_seed),
-                        other => unreachable!("unknown strategy {other}"),
-                    },
-                    &objective,
-                    &opts,
-                );
-                eprintln!(
-                    "[grid] {} / {} / {name}: mean {:.0} tuples/s ({:.1}s)",
-                    size.label(),
-                    condition_name(&condition),
-                    result.mean(),
-                    t0.elapsed().as_secs_f64(),
-                );
-                cells.push(Cell {
-                    size,
-                    condition,
-                    strategy: name.to_string(),
-                    result,
-                });
-            }
-        }
-    }
-
-    Grid { scale, seed, cells }
+    mtm_runner::grid::run(scale, &harness_options())
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn smoke_grid_covers_all_cells() {
-        let grid = run(Scale::Smoke);
-        assert_eq!(grid.cells.len(), 4 * 3 * STRATEGIES.len());
-        for cell in &grid.cells {
-            assert!(
-                cell.result.confirmation.len() == Scale::Smoke.confirms(),
-                "every cell confirms"
-            );
-        }
-        // Lookup works.
-        let c = grid
-            .cell(
-                SizeClass::Small,
-                &Condition {
-                    time_imbalance: 0.0,
-                    contention: 0.0,
-                },
-                "pla",
-            )
-            .unwrap();
-        assert_eq!(c.strategy, "pla");
-    }
+/// Run the grid, loading completed cells from their journal segments and
+/// executing (or resuming) the rest.
+pub fn run_or_load(scale: Scale) -> Grid {
+    mtm_runner::grid::run_or_load(scale, &harness_options(), &mtm_runner::journal_root())
 }

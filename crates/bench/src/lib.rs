@@ -24,8 +24,11 @@
 //! aligned tables and are also written as CSV under `results/`.
 //!
 //! The synthetic grid (Figs. 4–7 share it) is expensive, so [`grid`]
-//! caches its outcome as JSON under `results/`; delete the cache to force
-//! a re-run.
+//! executes through `mtm-runner`: each cell is journaled under
+//! `results/journal/grid_<scale>/`, completed cells load instantly,
+//! interrupted ones resume, and `MTM_THREADS` bounds the worker pool.
+//! Use `cargo run -p mtm-runner -- status` to inspect, or delete the
+//! segment directory to force a re-run.
 
 pub mod ablations;
 pub mod figures;

@@ -153,7 +153,13 @@ fn run_lint(root: &Path, update_ratchet: bool) -> bool {
 /// Run each guarded crate's test suite with `strict-invariants` enabled,
 /// so every inserted guard actually executes against real workloads.
 fn run_invariants() -> bool {
-    let crates = ["mtm-linalg", "mtm-gp", "mtm-stormsim", "mtm-bayesopt"];
+    let crates = [
+        "mtm-linalg",
+        "mtm-gp",
+        "mtm-stormsim",
+        "mtm-bayesopt",
+        "mtm-runner",
+    ];
     let mut ok = true;
     for krate in crates {
         println!("mtm-check invariants: cargo test -p {krate} --features strict-invariants");

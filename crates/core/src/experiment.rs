@@ -57,6 +57,78 @@ impl Default for RunOptions {
     }
 }
 
+/// Where in the §V protocol a measurement happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrialKind {
+    /// One optimization-step evaluation inside a pass.
+    Step,
+    /// One confirmation re-run of the winning configuration.
+    Confirm,
+}
+
+/// Coordinates of one measurement within an experiment. The pass index is
+/// not part of the context: a [`Measure`] implementation is scoped to one
+/// pass (or to the confirmation phase) and carries that knowledge itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialCtx {
+    /// Seed of the enclosing pass (for [`TrialKind::Confirm`], the
+    /// experiment's base seed).
+    pub seed: u64,
+    /// Optimization step, 0-based (0 for confirmation runs).
+    pub step: usize,
+    /// Repetition within the step (`measure_reps`) or the confirmation
+    /// index.
+    pub rep: usize,
+    /// Step vs. confirmation measurement.
+    pub kind: TrialKind,
+}
+
+impl TrialCtx {
+    /// The deterministic run id this trial measures under — the protocol's
+    /// seed-derivation scheme (see DESIGN.md "Execution engine").
+    pub fn run_id(&self) -> u64 {
+        match self.kind {
+            TrialKind::Step => step_run_id(self.seed, self.step, self.rep),
+            TrialKind::Confirm => confirm_run_id(self.seed, self.rep as u64),
+        }
+    }
+}
+
+/// Run-id derivation for an optimization-step measurement: folds the pass
+/// seed, step and repetition together so every measurement has an
+/// independent noise draw, identically in serial and parallel execution.
+pub fn step_run_id(seed: u64, step: usize, rep: usize) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((step * 1_000 + rep) as u64)
+}
+
+/// Run-id derivation for a confirmation re-run of the best configuration.
+pub fn confirm_run_id(seed: u64, rep: u64) -> u64 {
+    seed.wrapping_mul(0xDEAD_BEEF_CAFE_F00D).wrapping_add(rep)
+}
+
+/// How a pass obtains one measured throughput value.
+///
+/// The default implementation ([`DirectMeasure`]) simulates every trial;
+/// `mtm-runner` interposes here to add journaling, replay-on-resume,
+/// memoization and fault injection without touching the protocol loop.
+pub trait Measure {
+    /// Measure `config` for the trial at `ctx`, returning throughput in
+    /// tuples/s.
+    fn measure(&mut self, objective: &Objective, config: &StormConfig, ctx: &TrialCtx) -> f64;
+}
+
+/// The plain measurement path: one simulator run per trial, keyed by the
+/// protocol's deterministic run id.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectMeasure;
+
+impl Measure for DirectMeasure {
+    fn measure(&mut self, objective: &Objective, config: &StormConfig, ctx: &TrialCtx) -> f64 {
+        objective.measure(config, ctx.run_id())
+    }
+}
+
 /// One optimization step's record.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StepRecord {
@@ -151,8 +223,23 @@ impl ExperimentResult {
     }
 }
 
-/// Run one optimization pass of `strategy` against `objective`.
+/// Run one optimization pass of `strategy` against `objective`,
+/// measuring every trial directly.
 pub fn run_pass(strategy: &mut Strategy, objective: &Objective, opts: &RunOptions) -> PassResult {
+    run_pass_with(strategy, objective, opts, &mut DirectMeasure)
+}
+
+/// Run one optimization pass, obtaining every measurement through
+/// `measure`. This is the single implementation of the §V pass loop —
+/// early stop, best tracking and repetition averaging live here, while
+/// `measure` decides whether a trial is simulated, replayed from a
+/// journal, or served from a memo cache.
+pub fn run_pass_with(
+    strategy: &mut Strategy,
+    objective: &Objective,
+    opts: &RunOptions,
+    measure: &mut dyn Measure,
+) -> PassResult {
     let topo = objective.topology();
     let base = objective.base_config().clone();
     let mut steps = Vec::with_capacity(opts.max_steps);
@@ -174,11 +261,13 @@ pub fn run_pass(strategy: &mut Strategy, objective: &Objective, opts: &RunOption
         let reps = opts.measure_reps.max(1);
         let throughput = (0..reps)
             .map(|rep| {
-                let run_id = opts
-                    .seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add((step * 1_000 + rep) as u64);
-                objective.measure(&config, run_id)
+                let ctx = TrialCtx {
+                    seed: opts.seed,
+                    step,
+                    rep,
+                    kind: TrialKind::Step,
+                };
+                measure.measure(objective, &config, &ctx)
             })
             .sum::<f64>()
             / reps as f64;
@@ -215,6 +304,12 @@ pub fn run_pass(strategy: &mut Strategy, objective: &Objective, opts: &RunOption
     }
 }
 
+/// Seed of pass `p` within an experiment based at `base` — shared with
+/// `mtm-runner` so both execution paths build identical strategies.
+pub fn pass_seed(base: u64, p: usize) -> u64 {
+    base.wrapping_add(1 + p as u64)
+}
+
 /// Run the full two-pass + confirmation protocol. `make_strategy` builds
 /// a fresh strategy per pass (passes must not share surrogate state).
 pub fn run_experiment(
@@ -224,7 +319,7 @@ pub fn run_experiment(
 ) -> ExperimentResult {
     let passes: Vec<PassResult> = (0..opts.passes.max(1))
         .map(|p| {
-            let seed = opts.seed.wrapping_add(1 + p as u64);
+            let seed = pass_seed(opts.seed, p);
             let mut strategy = make_strategy(seed);
             let pass_opts = RunOptions {
                 seed,
@@ -234,16 +329,7 @@ pub fn run_experiment(
         })
         .collect();
 
-    let best_pass = passes
-        .iter()
-        .enumerate()
-        .max_by(|(_, a), (_, b)| {
-            a.best_throughput
-                .partial_cmp(&b.best_throughput)
-                .expect("throughputs are finite")
-        })
-        .map(|(i, _)| i)
-        .unwrap_or(0);
+    let best_pass = select_best_pass(&passes);
 
     // 30 confirmation runs of the winning configuration, in parallel —
     // these are independent measurements (rayon per the repo's
@@ -251,13 +337,7 @@ pub fn run_experiment(
     let best_config = passes[best_pass].best_config.clone();
     let confirmation: Vec<f64> = (0..opts.confirm_reps as u64)
         .into_par_iter()
-        .map(|rep| {
-            let run_id = opts
-                .seed
-                .wrapping_mul(0xDEAD_BEEF_CAFE_F00D)
-                .wrapping_add(rep);
-            objective.measure(&best_config, run_id)
-        })
+        .map(|rep| objective.measure(&best_config, confirm_run_id(opts.seed, rep)))
         .collect();
 
     ExperimentResult {
@@ -266,6 +346,19 @@ pub fn run_experiment(
         best_pass,
         confirmation,
     }
+}
+
+/// Index of the winning pass: highest best throughput, last wins ties —
+/// the protocol's tie-break, shared with `mtm-runner` so journaled and
+/// direct execution pick identically. Finite throughputs order the same
+/// under `total_cmp` as under partial comparison.
+pub fn select_best_pass(passes: &[PassResult]) -> usize {
+    passes
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.best_throughput.total_cmp(&b.best_throughput))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

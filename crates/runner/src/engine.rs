@@ -1,0 +1,663 @@
+//! The journaled experiment execution engine.
+//!
+//! One call to [`run_experiment_journaled`] executes the full §V protocol
+//! for one experiment — passes, best-pass selection, confirmation runs —
+//! while interposing on every measurement through [`mtm_core::Measure`]:
+//!
+//! * every trial is **journaled** (appended + flushed before its value is
+//!   used), so a crash loses at most one in-flight measurement;
+//! * on resume, journaled trials **replay** into a fresh strategy through
+//!   the ordinary `propose`/`observe` interface: the strategy re-proposes
+//!   (deterministically, from its seed), the proposal's hash is verified
+//!   against the journal, and the recorded value is fed back without
+//!   touching the simulator — surrogate state is rebuilt, not stored;
+//! * repeated configurations within a pass can be **memoized**
+//!   (config-hash → measurement) when the caller opts in;
+//! * measurements go through the **fault plan**: injected failures are
+//!   retried with salted run ids, exhaustion reports zero throughput.
+//!
+//! Determinism contract: for a fixed ([`RunOptions`], [`RunnerOptions`]
+//! minus `threads`), the result is bitwise-identical whether the run is
+//! serial, parallel, interrupted-and-resumed, or all three — except the
+//! `optimizer_time_s` wall-clock fields, the workspace's one sanctioned
+//! nondeterminism (see [`canonical_result_json`]).
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::time::Instant;
+
+use mtm_core::{
+    confirm_run_id, pass_seed, run_pass_with, select_best_pass, ExperimentResult, Measure,
+    Objective, PassResult, RunOptions, Strategy, TrialCtx,
+};
+use mtm_stormsim::StormConfig;
+use serde::Serialize;
+
+use crate::error::RunnerError;
+use crate::fault::FaultPlan;
+use crate::hash::{config_hash, fnv1a64};
+use crate::journal::{
+    load_segment, ConfirmRecord, Header, Journal, PassDone, Record, SegmentData, TrialRecord,
+    SCHEMA_VERSION,
+};
+use crate::pool;
+
+/// Execution options orthogonal to the protocol's [`RunOptions`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunnerOptions {
+    /// Worker threads for independent units (passes, confirmation reps;
+    /// grid cells at the layer above). `0` or `1` runs serially. Not part
+    /// of the journal fingerprint: thread count never changes results.
+    pub threads: usize,
+    /// Deduplicate repeated configurations within a pass via the memo
+    /// cache. Off by default — the paper re-measures every step, and the
+    /// default path stays bitwise-equal to `mtm_core::run_experiment`.
+    pub memoize: bool,
+    /// Fault injection and retry policy.
+    pub faults: FaultPlan,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions {
+            threads: 1,
+            memoize: false,
+            faults: FaultPlan::default(),
+        }
+    }
+}
+
+impl RunnerOptions {
+    /// Serial, fault-free, unmemoized — the reference configuration.
+    pub fn serial() -> RunnerOptions {
+        RunnerOptions::default()
+    }
+
+    /// Parallel over `threads` workers, otherwise the reference
+    /// configuration.
+    pub fn parallel(threads: usize) -> RunnerOptions {
+        RunnerOptions {
+            threads,
+            ..Default::default()
+        }
+    }
+}
+
+/// Counters describing how an experiment's trials were satisfied.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TrialStats {
+    /// Simulator measurements actually run.
+    pub measured: u64,
+    /// Trials served from the memo cache.
+    pub cache_hits: u64,
+    /// Trials replayed from the journal on resume.
+    pub replayed: u64,
+    /// Injected measurement failures encountered (each consumed one
+    /// attempt).
+    pub injected_failures: u64,
+    /// Trials that exhausted every attempt and reported zero throughput.
+    pub retries_exhausted: u64,
+    /// Replay mismatches (journal vs. re-proposed configuration) — 0
+    /// unless the code or seed drifted under a live journal.
+    pub replay_divergences: u64,
+}
+
+impl TrialStats {
+    /// Accumulate another stats block into this one.
+    pub fn merge(&mut self, other: &TrialStats) {
+        self.measured += other.measured;
+        self.cache_hits += other.cache_hits;
+        self.replayed += other.replayed;
+        self.injected_failures += other.injected_failures;
+        self.retries_exhausted += other.retries_exhausted;
+        self.replay_divergences += other.replay_divergences;
+    }
+
+    /// Total trials satisfied by any means.
+    pub fn trials(&self) -> u64 {
+        self.measured + self.cache_hits + self.replayed
+    }
+}
+
+/// Outcome of a journaled experiment.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The experiment result (identical to what direct execution
+    /// produces).
+    pub result: ExperimentResult,
+    /// How its trials were satisfied.
+    pub stats: TrialStats,
+    /// `true` when a valid journal segment contributed records.
+    pub resumed: bool,
+}
+
+/// Fingerprint of everything besides the seed that shapes an experiment's
+/// results. A journal segment whose header fingerprint differs is stale
+/// and gets discarded — this is what fixes the old cache's silent
+/// staleness (a changed seed, budget, schema or fault plan re-runs
+/// instead of serving old numbers).
+pub fn fingerprint(exp_id: &str, opts: &RunOptions, ropts: &RunnerOptions) -> u64 {
+    let canonical = format!(
+        "v{}|{}|seed={}|steps={}|zero={}|confirm={}|passes={}|reps={}|memo={}|frate={}|fseed={}|fretries={}",
+        SCHEMA_VERSION,
+        exp_id,
+        opts.seed,
+        opts.max_steps,
+        opts.zero_stop,
+        opts.confirm_reps,
+        opts.passes,
+        opts.measure_reps,
+        ropts.memoize,
+        ropts.faults.fail_rate,
+        ropts.faults.seed,
+        ropts.faults.max_retries,
+    );
+    fnv1a64(canonical.as_bytes())
+}
+
+/// Serialize a result with the `optimizer_time_s` wall-clock fields
+/// zeroed — the canonical byte representation determinism checks compare.
+pub fn canonical_result_json(result: &ExperimentResult) -> String {
+    let mut r = result.clone();
+    for pass in &mut r.passes {
+        for step in &mut pass.steps {
+            step.optimizer_time_s = 0.0;
+        }
+    }
+    serde_json::to_string(&r).unwrap_or_default()
+}
+
+/// Measure `config` under the fault plan: retry injected failures with
+/// salted run ids, report zero throughput on exhaustion. Returns
+/// `(value, run_id_used, attempts, injected, exhausted)`.
+fn measure_with_retry(
+    objective: &Objective,
+    config: &StormConfig,
+    base_run_id: u64,
+    faults: &FaultPlan,
+) -> (f64, u64, u32, u64, bool) {
+    let mut injected = 0u64;
+    for attempt in 0..=faults.max_retries {
+        let run_id = faults.attempt_run_id(base_run_id, attempt);
+        if faults.injects_failure(run_id, attempt) {
+            injected += 1;
+            continue;
+        }
+        let t0 = Instant::now();
+        let value = objective.measure(config, run_id);
+        let elapsed = t0.elapsed().as_secs_f64();
+        if elapsed > faults.timeout_s {
+            eprintln!(
+                "[runner] warning: measurement took {elapsed:.1}s (budget {:.1}s)",
+                faults.timeout_s
+            );
+        }
+        #[cfg(feature = "strict-invariants")]
+        mtm_check::invariants::assert_finite_val("runner: measured throughput", value);
+        return (value, run_id, attempt + 1, injected, false);
+    }
+    (0.0, base_run_id, faults.max_retries + 1, injected, true)
+}
+
+/// The journal-aware [`Measure`] implementation for one pass.
+struct JournaledMeasure<'a> {
+    journal: &'a Journal,
+    pass: usize,
+    /// `(step, rep)` → journaled trial, consumed by replay.
+    replay: HashMap<(usize, usize), TrialRecord>,
+    memo: HashMap<u64, f64>,
+    memoize: bool,
+    faults: FaultPlan,
+    stats: TrialStats,
+    /// First journal-append failure; surfaced after the pass (the
+    /// `Measure` trait has no error channel, and one lost record is
+    /// recoverable — the run is only reported failed, not corrupted).
+    io_error: Option<RunnerError>,
+}
+
+impl<'a> JournaledMeasure<'a> {
+    fn new(
+        journal: &'a Journal,
+        pass: usize,
+        replay: HashMap<(usize, usize), TrialRecord>,
+        ropts: &RunnerOptions,
+    ) -> Self {
+        // Pre-populate the memo with replayed values: an uninterrupted
+        // memoized run would hold exactly these entries by the time it
+        // reached the first un-journaled step.
+        let memo = replay
+            .values()
+            .map(|t| (t.config_hash, t.throughput))
+            .collect();
+        JournaledMeasure {
+            journal,
+            pass,
+            replay,
+            memo,
+            memoize: ropts.memoize,
+            faults: ropts.faults,
+            stats: TrialStats::default(),
+            io_error: None,
+        }
+    }
+
+    fn push(&mut self, record: Record) {
+        if self.io_error.is_none() {
+            if let Err(e) = self.journal.append(&record) {
+                self.io_error = Some(e);
+            }
+        }
+    }
+}
+
+impl Measure for JournaledMeasure<'_> {
+    fn measure(&mut self, objective: &Objective, config: &StormConfig, ctx: &TrialCtx) -> f64 {
+        let hash = config_hash(config);
+
+        if let Some(rec) = self.replay.get(&(ctx.step, ctx.rep)) {
+            if rec.config_hash == hash {
+                self.stats.replayed += 1;
+                return rec.throughput;
+            }
+            // The journal no longer matches what the strategy proposes
+            // (code or seed drifted under a live journal). Stop trusting
+            // it: re-measure from here on; fresh appends supersede the
+            // stale rows (the loader is last-wins).
+            eprintln!(
+                "[runner] replay divergence at pass {} step {} rep {} — re-measuring tail",
+                self.pass, ctx.step, ctx.rep
+            );
+            self.stats.replay_divergences += 1;
+            self.replay.clear();
+            self.memo.clear();
+        }
+
+        if self.memoize {
+            if let Some(&value) = self.memo.get(&hash) {
+                self.stats.cache_hits += 1;
+                self.push(Record::Trial(TrialRecord {
+                    pass: self.pass,
+                    step: ctx.step,
+                    rep: ctx.rep,
+                    config_hash: hash,
+                    run_id: ctx.run_id(),
+                    throughput: value,
+                    cached: true,
+                    attempts: 0,
+                }));
+                return value;
+            }
+        }
+
+        let (value, run_id, attempts, injected, exhausted) =
+            measure_with_retry(objective, config, ctx.run_id(), &self.faults);
+        self.stats.measured += 1;
+        self.stats.injected_failures += injected;
+        if exhausted {
+            self.stats.retries_exhausted += 1;
+            eprintln!(
+                "[runner] trial pass {} step {} rep {} failed {} attempts — recording zero",
+                self.pass, ctx.step, ctx.rep, attempts
+            );
+        }
+        if self.memoize {
+            self.memo.insert(hash, value);
+        }
+        self.push(Record::Trial(TrialRecord {
+            pass: self.pass,
+            step: ctx.step,
+            rep: ctx.rep,
+            config_hash: hash,
+            run_id,
+            throughput: value,
+            cached: false,
+            attempts,
+        }));
+        value
+    }
+}
+
+/// Execute (or resume) one full experiment under the journal at
+/// `segment`. `segment: None` runs purely in memory (no I/O, infallible
+/// in practice); `resume: false` discards any existing segment and starts
+/// fresh. See the module docs for the determinism contract.
+pub fn run_experiment_journaled(
+    exp_id: &str,
+    make_strategy: &(dyn Fn(u64) -> Strategy + Sync),
+    objective: &Objective,
+    opts: &RunOptions,
+    ropts: &RunnerOptions,
+    segment: Option<&Path>,
+    resume: bool,
+) -> Result<Outcome, RunnerError> {
+    let fp = fingerprint(exp_id, opts, ropts);
+
+    // Load and validate any existing segment.
+    let mut existing: Option<SegmentData> = None;
+    if resume {
+        if let Some(path) = segment {
+            if let Some(data) = load_segment(path)? {
+                let trusted = data.header.as_ref().is_some_and(|h| {
+                    h.version == SCHEMA_VERSION
+                        && h.exp_id == exp_id
+                        && h.seed == opts.seed
+                        && h.fingerprint == fp
+                });
+                if trusted {
+                    existing = Some(data);
+                } else if data.header.is_some() {
+                    eprintln!("[runner] {exp_id}: stale journal segment (seed/budget/schema changed) — re-running");
+                }
+            }
+        }
+    }
+    let resumed = existing.is_some();
+
+    // A finished segment short-circuits the whole experiment.
+    if let Some(data) = &existing {
+        if let Some(done) = &data.done {
+            let stats = TrialStats {
+                replayed: data.n_records() as u64,
+                ..TrialStats::default()
+            };
+            return Ok(Outcome {
+                result: done.clone(),
+                stats,
+                resumed: true,
+            });
+        }
+    }
+
+    let valid_len = existing.as_ref().map_or(0, |d| d.valid_len);
+    let journal = match segment {
+        Some(path) => Journal::open_append(path, valid_len)?,
+        None => Journal::null(),
+    };
+    if !resumed {
+        journal.append(&Record::Header(Header {
+            version: SCHEMA_VERSION,
+            exp_id: exp_id.to_string(),
+            seed: opts.seed,
+            fingerprint: fp,
+        }))?;
+    }
+    let existing = existing.unwrap_or_default();
+
+    // Passes: independent units (fresh strategy + own seed each), fanned
+    // across the pool; completed passes come straight from the journal.
+    let n_passes = opts.passes.max(1);
+    let pass_outcomes = pool::run_indexed(n_passes, ropts.threads, |p| {
+        if let Some(done) = existing.passes.get(&p) {
+            let replayed = existing.trials.keys().filter(|(pp, _, _)| *pp == p).count();
+            let stats = TrialStats {
+                replayed: replayed as u64,
+                ..TrialStats::default()
+            };
+            return Ok((done.clone(), stats));
+        }
+        let seed = pass_seed(opts.seed, p);
+        let mut strategy = make_strategy(seed);
+        let replay: HashMap<(usize, usize), TrialRecord> = existing
+            .trials
+            .iter()
+            .filter(|((pp, _, _), _)| *pp == p)
+            .map(|(&(_, step, rep), rec)| ((step, rep), rec.clone()))
+            .collect();
+        let mut measure = JournaledMeasure::new(&journal, p, replay, ropts);
+        let pass_opts = RunOptions {
+            seed,
+            ..opts.clone()
+        };
+        let result = run_pass_with(&mut strategy, objective, &pass_opts, &mut measure);
+        if let Some(e) = measure.io_error.take() {
+            return Err(e);
+        }
+        journal.append(&Record::PassDone(PassDone {
+            pass: p,
+            result: result.clone(),
+        }))?;
+        Ok((result, measure.stats))
+    });
+
+    let mut passes: Vec<PassResult> = Vec::with_capacity(n_passes);
+    let mut stats = TrialStats::default();
+    for outcome in pass_outcomes {
+        let (pass, pass_stats) = outcome?;
+        stats.merge(&pass_stats);
+        passes.push(pass);
+    }
+
+    let best_pass = select_best_pass(&passes);
+    let best_config = passes[best_pass].best_config.clone();
+    let best_hash = config_hash(&best_config);
+
+    // Confirmation runs: independent units keyed by repetition index.
+    // Journaled confirms only replay while they confirm the same winner.
+    let confirm_outcomes = pool::run_indexed(opts.confirm_reps, ropts.threads, |rep| {
+        if let Some(rec) = existing.confirms.get(&rep) {
+            if rec.config_hash == best_hash {
+                let unit_stats = TrialStats {
+                    replayed: 1,
+                    ..TrialStats::default()
+                };
+                return Ok::<(f64, TrialStats), RunnerError>((rec.throughput, unit_stats));
+            }
+        }
+        let base_id = confirm_run_id(opts.seed, rep as u64);
+        let (value, run_id, _attempts, injected, exhausted) =
+            measure_with_retry(objective, &best_config, base_id, &ropts.faults);
+        journal.append(&Record::Confirm(ConfirmRecord {
+            rep,
+            config_hash: best_hash,
+            run_id,
+            throughput: value,
+        }))?;
+        let unit_stats = TrialStats {
+            measured: 1,
+            injected_failures: injected,
+            retries_exhausted: exhausted as u64,
+            ..TrialStats::default()
+        };
+        Ok((value, unit_stats))
+    });
+
+    let mut confirmation: Vec<f64> = Vec::with_capacity(opts.confirm_reps);
+    for outcome in confirm_outcomes {
+        let (value, unit_stats) = outcome?;
+        stats.merge(&unit_stats);
+        confirmation.push(value);
+    }
+
+    let result = ExperimentResult {
+        strategy: passes[best_pass].strategy.clone(),
+        passes,
+        best_pass,
+        confirmation,
+    };
+    journal.append(&Record::Done(result.clone()))?;
+
+    Ok(Outcome {
+        result,
+        stats,
+        resumed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtm_core::run_experiment;
+    use mtm_stormsim::ClusterSpec;
+    use mtm_topogen::{make_condition, Condition, SizeClass};
+
+    fn objective() -> Objective {
+        let topo = make_condition(
+            SizeClass::Small,
+            &Condition {
+                time_imbalance: 0.0,
+                contention: 0.0,
+            },
+            7,
+        );
+        let base = mtm_core::objective::synthetic_base(&topo);
+        Objective::new(topo, ClusterSpec::paper_cluster()).with_base(base)
+    }
+
+    fn opts() -> RunOptions {
+        RunOptions {
+            max_steps: 6,
+            confirm_reps: 3,
+            passes: 2,
+            seed: 0x77,
+            ..Default::default()
+        }
+    }
+
+    fn bo_factory() -> impl Fn(u64) -> Strategy + Sync {
+        let topo = objective().topology().clone();
+        move |seed| Strategy::bo(&topo, mtm_core::ParamSet::Hints, seed)
+    }
+
+    #[test]
+    fn engine_matches_direct_execution_bitwise() {
+        let obj = objective();
+        let make = bo_factory();
+        let direct = run_experiment(&make, &obj, &opts());
+        let engine = run_experiment_journaled(
+            "test/equiv",
+            &make,
+            &obj,
+            &opts(),
+            &RunnerOptions::serial(),
+            None,
+            false,
+        )
+        .unwrap();
+        assert_eq!(
+            canonical_result_json(&direct),
+            canonical_result_json(&engine.result),
+            "engine must reproduce mtm_core::run_experiment exactly"
+        );
+        assert_eq!(engine.stats.replayed, 0);
+        assert!(engine.stats.measured > 0);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let obj = objective();
+        let make = bo_factory();
+        let serial = run_experiment_journaled(
+            "test/par",
+            &make,
+            &obj,
+            &opts(),
+            &RunnerOptions::serial(),
+            None,
+            false,
+        )
+        .unwrap();
+        let parallel = run_experiment_journaled(
+            "test/par",
+            &make,
+            &obj,
+            &opts(),
+            &RunnerOptions::parallel(4),
+            None,
+            false,
+        )
+        .unwrap();
+        assert_eq!(
+            canonical_result_json(&serial.result),
+            canonical_result_json(&parallel.result)
+        );
+    }
+
+    #[test]
+    fn memoization_dedups_repeated_configs() {
+        let obj = objective();
+        // With `measure_reps: 2` every step measures the same
+        // configuration twice — the second repetition is a guaranteed
+        // memo hit when memoization is on.
+        let make = |_seed: u64| Strategy::pla();
+        let memo_opts = RunnerOptions {
+            memoize: true,
+            ..RunnerOptions::serial()
+        };
+        let run_opts = RunOptions {
+            max_steps: 5,
+            measure_reps: 2,
+            passes: 1,
+            ..opts()
+        };
+        let run =
+            run_experiment_journaled("test/memo", &make, &obj, &run_opts, &memo_opts, None, false)
+                .unwrap();
+        assert_eq!(
+            run.stats.cache_hits, 5,
+            "one memo hit per step, stats: {:?}",
+            run.stats
+        );
+        // And memoization off re-measures every repetition.
+        let run = run_experiment_journaled(
+            "test/memo-off",
+            &make,
+            &obj,
+            &run_opts,
+            &RunnerOptions::serial(),
+            None,
+            false,
+        )
+        .unwrap();
+        assert_eq!(run.stats.cache_hits, 0);
+        assert_eq!(run.stats.measured, 5 * 2 + 3, "10 step reps + 3 confirms");
+    }
+
+    #[test]
+    fn injected_failures_are_retried_deterministically() {
+        let obj = objective();
+        let make = bo_factory();
+        let faulty = RunnerOptions {
+            faults: FaultPlan::with_rate(0.3),
+            ..RunnerOptions::serial()
+        };
+        let a = run_experiment_journaled("test/fault", &make, &obj, &opts(), &faulty, None, false)
+            .unwrap();
+        let b = run_experiment_journaled("test/fault", &make, &obj, &opts(), &faulty, None, false)
+            .unwrap();
+        assert!(a.stats.injected_failures > 0, "stats: {:?}", a.stats);
+        assert_eq!(
+            canonical_result_json(&a.result),
+            canonical_result_json(&b.result),
+            "fault injection must be deterministic"
+        );
+        // And a faulty run differs from the fault-free one only through
+        // the salted retry run ids — it still completes.
+        assert_eq!(a.result.confirmation.len(), 3);
+    }
+
+    #[test]
+    fn fingerprint_tracks_options() {
+        let o = opts();
+        let r = RunnerOptions::serial();
+        let base = fingerprint("x", &o, &r);
+        assert_eq!(base, fingerprint("x", &o, &r));
+        assert_ne!(base, fingerprint("y", &o, &r));
+        assert_ne!(
+            base,
+            fingerprint(
+                "x",
+                &RunOptions {
+                    max_steps: o.max_steps + 1,
+                    ..o.clone()
+                },
+                &r
+            )
+        );
+        assert_ne!(
+            base,
+            fingerprint("x", &o, &RunnerOptions { memoize: true, ..r })
+        );
+        // Threads are explicitly NOT fingerprinted.
+        assert_eq!(base, fingerprint("x", &o, &RunnerOptions::parallel(8)));
+    }
+}

@@ -1,0 +1,103 @@
+//! Progress and ETA reporting.
+//!
+//! Thread-safe counters the grid ticks as cells finish; the ETA is the
+//! usual naive extrapolation (elapsed / done × remaining), which is
+//! honest enough when units have comparable cost and clearly labelled as
+//! an estimate when they don't.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Where progress lines go.
+enum Output {
+    Stderr,
+    Quiet,
+}
+
+/// Shared progress state for one multi-unit run.
+pub struct Progress {
+    label: String,
+    total: AtomicUsize,
+    done: AtomicUsize,
+    start: Mutex<Instant>,
+    output: Output,
+}
+
+impl Progress {
+    /// Progress that reports to stderr, prefixed `[label]`.
+    pub fn stderr(label: &str) -> Progress {
+        Progress {
+            label: label.to_string(),
+            total: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            start: Mutex::new(Instant::now()),
+            output: Output::Stderr,
+        }
+    }
+
+    /// Progress that swallows everything (tests, library callers).
+    pub fn quiet() -> Progress {
+        Progress {
+            label: String::new(),
+            total: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            start: Mutex::new(Instant::now()),
+            output: Output::Quiet,
+        }
+    }
+
+    /// Restart the counters for a run of `total` units.
+    pub fn reset(&self, total: usize) {
+        self.total.store(total, Ordering::Relaxed);
+        self.done.store(0, Ordering::Relaxed);
+        if let Ok(mut start) = self.start.lock() {
+            *start = Instant::now();
+        }
+    }
+
+    /// Units completed so far.
+    pub fn completed(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Record one completed unit and (unless quiet) print a progress
+    /// line with percentage, elapsed time and ETA.
+    pub fn tick(&self, detail: &str) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let total = self.total.load(Ordering::Relaxed).max(done);
+        if matches!(self.output, Output::Quiet) {
+            return;
+        }
+        let elapsed = match self.start.lock() {
+            Ok(start) => start.elapsed().as_secs_f64(),
+            Err(_) => 0.0,
+        };
+        let eta = if done > 0 {
+            elapsed / done as f64 * (total - done) as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "[{}] {done}/{total} ({:.0}%) elapsed {elapsed:.1}s eta ~{eta:.1}s — {detail}",
+            self.label,
+            done as f64 / total as f64 * 100.0,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_ticks() {
+        let p = Progress::quiet();
+        p.reset(3);
+        p.tick("a");
+        p.tick("b");
+        assert_eq!(p.completed(), 2);
+        p.reset(5);
+        assert_eq!(p.completed(), 0);
+    }
+}

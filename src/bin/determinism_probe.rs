@@ -10,6 +10,8 @@
 
 use mtm_core::objective::synthetic_base;
 use mtm_core::{run_pass, Objective, ParamSet, RunOptions, Strategy};
+use mtm_runner::engine::{canonical_result_json, run_experiment_journaled};
+use mtm_runner::RunnerOptions;
 use mtm_stormsim::noise::MeasurementNoise;
 use mtm_stormsim::{simulate_flow, simulate_tuples, ClusterSpec, StormConfig, TupleSimOptions};
 use mtm_topogen::{make_condition, sundog_topology, Condition, SizeClass};
@@ -70,6 +72,86 @@ fn main() {
         pass.best_step,
         float_bits(pass.best_throughput)
     );
+
+    // Journal kill–resume replay: run a journaled experiment, truncate its
+    // segment mid-run (the moral equivalent of `kill -9`), resume, and
+    // print both canonical results. The two lines must match each other
+    // AND be bit-identical across probe invocations — scratch paths stay
+    // on stderr-free temp storage and never reach stdout.
+    journal_replay_section(&objective);
+}
+
+/// Run + truncate + resume one journaled experiment and print the
+/// canonical (wall-clock-zeroed) JSON of the uninterrupted and the
+/// resumed result.
+fn journal_replay_section(objective: &Objective) {
+    let dir = std::env::temp_dir()
+        .join("mtm-determinism-probe")
+        .join(std::process::id().to_string());
+    let _ = std::fs::remove_dir_all(&dir);
+    if std::fs::create_dir_all(&dir).is_err() {
+        println!("journal/full <scratch dir unavailable>");
+        println!("journal/resumed <scratch dir unavailable>");
+        return;
+    }
+    let segment = dir.join("probe.jsonl");
+
+    let topo = objective.topology().clone();
+    let make = move |seed: u64| Strategy::bo(&topo, ParamSet::Hints, seed);
+    let opts = RunOptions {
+        max_steps: 6,
+        confirm_reps: 2,
+        passes: 2,
+        seed: 0xD5,
+        ..Default::default()
+    };
+    let ropts = RunnerOptions::serial();
+
+    let full = run_experiment_journaled(
+        "probe/replay",
+        &make,
+        objective,
+        &opts,
+        &ropts,
+        Some(&segment),
+        false,
+    );
+    // Truncate to 60% — mid-run, possibly mid-line (the loader tolerates
+    // torn tails).
+    if let Ok(bytes) = std::fs::read(&segment) {
+        let cut = bytes.len() * 6 / 10;
+        let _ = std::fs::write(&segment, &bytes[..cut]);
+    }
+    let resumed = run_experiment_journaled(
+        "probe/replay",
+        &make,
+        objective,
+        &opts,
+        &ropts,
+        Some(&segment),
+        true,
+    );
+    match (full, resumed) {
+        (Ok(full), Ok(resumed)) => {
+            let a = canonical_result_json(&full.result);
+            let b = canonical_result_json(&resumed.result);
+            println!("journal/full {a}");
+            println!("journal/resumed {b}");
+            println!("journal/equiv {}", a == b);
+            println!(
+                "journal/replay replayed={} measured={} divergences={}",
+                resumed.stats.replayed, resumed.stats.measured, resumed.stats.replay_divergences
+            );
+        }
+        (full, resumed) => {
+            println!(
+                "journal/error full_err={} resumed_err={}",
+                full.is_err(),
+                resumed.is_err()
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Serialize a metrics struct to canonical JSON (object keys are sorted by

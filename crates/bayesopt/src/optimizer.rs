@@ -216,9 +216,7 @@ impl BayesOpt {
 
     /// The best observation so far.
     pub fn best(&self) -> Option<&Observation> {
-        self.observations
-            .iter()
-            .max_by(|a, b| a.y.partial_cmp(&b.y).expect("NaN objective"))
+        self.observations.iter().max_by(|a, b| a.y.total_cmp(&b.y))
     }
 
     /// Step index (0-based) at which the best value was first reached —
@@ -375,7 +373,7 @@ impl BayesOpt {
         }
         // Perturb the top three incumbents.
         let mut by_y: Vec<&Observation> = self.observations.iter().collect();
-        by_y.sort_by(|a, b| b.y.partial_cmp(&a.y).expect("NaN objective"));
+        by_y.sort_by(|a, b| b.y.total_cmp(&a.y));
         for inc in by_y.iter().take(3) {
             for _ in 0..self.config.n_perturb {
                 let u: Vec<f64> = inc

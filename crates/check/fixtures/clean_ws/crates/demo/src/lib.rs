@@ -1,0 +1,20 @@
+//! A clean member: one sanctioned (annotated) wall-clock sink, one
+//! budgeted index site, nothing else.
+
+use std::time::Instant;
+
+pub struct TrialRecord {
+    pub throughput: f64,
+    pub wall_s: f64,
+}
+
+// mtm-allow: wall-clock -- wall time is the sanctioned cost metric here
+pub fn record(throughput: f64) -> TrialRecord {
+    let t0 = Instant::now();
+    let wall_s = t0.elapsed().as_secs_f64();
+    TrialRecord { throughput, wall_s }
+}
+
+pub fn pick(xs: &[f64], i: usize) -> f64 {
+    xs[i].max(0.0)
+}

@@ -1,0 +1,26 @@
+//! Planted findings for the mtm-check CLI integration test: unannotated
+//! wall-clock taint into a record sink, a stale allow, a float `==`,
+//! and an annotation with no reason.
+
+use std::time::Instant;
+
+pub struct TrialRecord {
+    pub throughput: f64,
+    pub wall_s: f64,
+}
+
+// mtm-allow: rng -- stale: nothing below draws randomness
+pub fn record(throughput: f64) -> TrialRecord {
+    let t0 = Instant::now();
+    let wall_s = t0.elapsed().as_secs_f64();
+    TrialRecord { throughput, wall_s }
+}
+
+pub fn converged(residual: f64) -> bool {
+    residual == 0.0
+}
+
+// mtm-allow: wall-clock
+pub fn missing_reason() -> u32 {
+    1
+}

@@ -1,0 +1,245 @@
+//! Function-level call graph over the parsed workspace.
+//!
+//! Resolution is name-based and deliberately conservative: a call edge is
+//! drawn to *every* workspace function the callee name could refer to.
+//! Method calls (`recv.name(...)`) resolve by bare name across all impl
+//! blocks; path calls (`Type::name(...)`) try the qualified key first and
+//! fall back to the bare name. Over-approximating edges is the right
+//! failure mode for a taint pass — a spurious edge can only create a
+//! finding that an `mtm-allow` review then adjudicates, never hide one.
+//!
+//! Functions under `#[cfg(test)]` are excluded from the graph entirely:
+//! test code is allowed to be nondeterministic and panicky.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{CrateAst, FnItem, Tree};
+
+/// Index of one function in [`CallGraph::fns`].
+pub type FnId = usize;
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All non-test functions, in crate/file/order of appearance.
+    pub fns: Vec<FnItem>,
+    /// Ratchet unit owning each function (parallel to `fns`).
+    pub units: Vec<String>,
+    /// `callers[f]` = functions with a call edge into `f`.
+    pub callers: Vec<Vec<FnId>>,
+    /// `callees[f]` = functions `f` has a call edge to.
+    pub callees: Vec<Vec<FnId>>,
+    /// bare name → candidate fn ids.
+    by_name: BTreeMap<String, Vec<FnId>>,
+    /// `Type::name` → candidate fn ids.
+    by_qual: BTreeMap<String, Vec<FnId>>,
+}
+
+impl CallGraph {
+    /// Build the graph from parsed crates.
+    pub fn build(crates: &[CrateAst]) -> CallGraph {
+        let mut g = CallGraph::default();
+        for krate in crates {
+            for file in &krate.files {
+                for f in &file.fns {
+                    if f.in_test {
+                        continue;
+                    }
+                    let id = g.fns.len();
+                    g.by_name.entry(f.name.clone()).or_default().push(id);
+                    if let Some(ty) = &f.impl_type {
+                        g.by_qual
+                            .entry(format!("{ty}::{}", f.name))
+                            .or_default()
+                            .push(id);
+                    }
+                    g.fns.push(f.clone());
+                    g.units.push(krate.unit.clone());
+                }
+            }
+        }
+        g.callers = vec![Vec::new(); g.fns.len()];
+        g.callees = vec![Vec::new(); g.fns.len()];
+        for caller in 0..g.fns.len() {
+            let mut targets: BTreeSet<FnId> = BTreeSet::new();
+            collect_calls(&g.fns[caller].body.clone(), &g, &mut targets);
+            for callee in targets {
+                if callee != caller {
+                    g.callees[caller].push(callee);
+                    g.callers[callee].push(caller);
+                }
+            }
+        }
+        g
+    }
+
+    /// Candidate functions for a bare callee name.
+    pub fn resolve_name(&self, name: &str) -> &[FnId] {
+        self.by_name.get(name).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Candidate functions for a `Type::name` path.
+    pub fn resolve_qual(&self, qual: &str) -> &[FnId] {
+        self.by_qual.get(qual).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Every function reachable *from* any of `seeds` by following callee
+    /// edges (i.e. the call-closure of the seeds), including the seeds.
+    pub fn reachable_from(&self, seeds: &[FnId]) -> BTreeSet<FnId> {
+        self.closure(seeds, &self.callees)
+    }
+
+    /// Every function that can *reach* any of `seeds` by following caller
+    /// edges (i.e. transitive callers), including the seeds.
+    pub fn reaching(&self, seeds: &[FnId]) -> BTreeSet<FnId> {
+        self.closure(seeds, &self.callers)
+    }
+
+    fn closure(&self, seeds: &[FnId], edges: &[Vec<FnId>]) -> BTreeSet<FnId> {
+        let mut seen: BTreeSet<FnId> = seeds.iter().copied().collect();
+        let mut queue: Vec<FnId> = seeds.to_vec();
+        while let Some(f) = queue.pop() {
+            for &next in &edges[f] {
+                if seen.insert(next) {
+                    queue.push(next);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Scan a token-tree body for call sites and record resolved targets.
+///
+/// Patterns:
+/// - `. name (` — method call: resolve by bare name.
+/// - `Type :: name (` — path call: try `Type::name`, else bare name.
+/// - `name (` (no `.`/`::` before) — free call: resolve by bare name.
+fn collect_calls(trees: &[Tree], g: &CallGraph, out: &mut BTreeSet<FnId>) {
+    let mut i = 0usize;
+    while i < trees.len() {
+        match &trees[i] {
+            Tree::Group(grp) => collect_calls(&grp.trees, g, out),
+            Tree::Tok(tok) => {
+                let is_call = tok.kind == crate::ast::TokKind::Ident
+                    && matches!(trees.get(i + 1), Some(Tree::Group(p)) if p.delim == crate::ast::Delim::Paren);
+                if is_call {
+                    let prev = i.checked_sub(1).and_then(|j| trees[j].tok());
+                    let name = tok.text.as_str();
+                    if prev.is_some_and(|p| p.is_punct("::")) {
+                        // Qualified: look two back for the type segment.
+                        let ty = i
+                            .checked_sub(2)
+                            .and_then(|j| trees[j].tok())
+                            .filter(|t| t.kind == crate::ast::TokKind::Ident)
+                            .map(|t| t.text.clone());
+                        let qual_hits: &[FnId] = match &ty {
+                            Some(ty) => g.resolve_qual(&format!("{ty}::{name}")),
+                            None => &[],
+                        };
+                        if qual_hits.is_empty() {
+                            out.extend(g.resolve_name(name).iter().copied());
+                        } else {
+                            out.extend(qual_hits.iter().copied());
+                        }
+                    } else {
+                        // Method or free call: bare-name resolution.
+                        out.extend(g.resolve_name(name).iter().copied());
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{parse_file, CrateAst};
+
+    fn graph_of(src: &str) -> CallGraph {
+        let file = parse_file("x.rs", src);
+        let krate = CrateAst {
+            unit: "crates/x".into(),
+            files: vec![file],
+            orphans: vec![],
+        };
+        CallGraph::build(&[krate])
+    }
+
+    #[test]
+    fn free_and_method_calls_make_edges() {
+        let g = graph_of(
+            r#"
+fn leaf() {}
+fn caller() { leaf(); }
+struct S;
+impl S {
+    fn method(&self) { helper(); }
+}
+fn helper() {}
+fn uses_method(s: &S) { s.method(); }
+"#,
+        );
+        let leaf = g.fns.iter().position(|f| f.name == "leaf").unwrap();
+        let caller = g.fns.iter().position(|f| f.name == "caller").unwrap();
+        let method = g.fns.iter().position(|f| f.name == "method").unwrap();
+        let uses = g.fns.iter().position(|f| f.name == "uses_method").unwrap();
+        assert!(g.callees[caller].contains(&leaf));
+        assert!(g.callers[leaf].contains(&caller));
+        assert!(g.callees[uses].contains(&method));
+    }
+
+    #[test]
+    fn qualified_calls_prefer_the_typed_impl() {
+        let g = graph_of(
+            r#"
+struct A;
+struct B;
+impl A { fn make() -> A { A } }
+impl B { fn make() -> B { B } }
+fn build() { let _ = A::make(); }
+"#,
+        );
+        let a_make = g
+            .fns
+            .iter()
+            .position(|f| f.name == "make" && f.impl_type.as_deref() == Some("A"))
+            .unwrap();
+        let b_make = g
+            .fns
+            .iter()
+            .position(|f| f.name == "make" && f.impl_type.as_deref() == Some("B"))
+            .unwrap();
+        let build = g.fns.iter().position(|f| f.name == "build").unwrap();
+        assert!(g.callees[build].contains(&a_make));
+        assert!(!g.callees[build].contains(&b_make));
+    }
+
+    #[test]
+    fn test_functions_are_excluded() {
+        let g = graph_of("#[cfg(test)]\nmod tests { fn t() {} }\nfn real() {}");
+        assert_eq!(g.fns.len(), 1);
+        assert_eq!(g.fns[0].name, "real");
+    }
+
+    #[test]
+    fn reaching_closure_walks_callers_transitively() {
+        let g = graph_of(
+            r#"
+fn sink() {}
+fn mid() { sink(); }
+fn top() { mid(); }
+fn unrelated() {}
+"#,
+        );
+        let sink = g.fns.iter().position(|f| f.name == "sink").unwrap();
+        let reach = g.reaching(&[sink]);
+        let names: Vec<&str> = reach.iter().map(|&i| g.fns[i].name.as_str()).collect();
+        assert!(names.contains(&"sink"));
+        assert!(names.contains(&"mid"));
+        assert!(names.contains(&"top"));
+        assert!(!names.contains(&"unrelated"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Diagnostics shared by the analysis passes.
+//!
+//! Every finding is a [`Diag`]: a stable machine-readable code, a
+//! `file:line` anchor, and a one-line human message. Reports render
+//! deterministically (sorted by file, line, code) so snapshot tests can
+//! assert exact output.
+
+use std::fmt;
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// Stable code, e.g. `taint/wall-clock` or `annotation/stale`.
+    pub code: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diag {
+    /// Build a diagnostic.
+    pub fn new(code: &str, file: &str, line: usize, message: impl Into<String>) -> Diag {
+        Diag {
+            code: code.to_string(),
+            file: file.to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.code, self.message
+        )
+    }
+}
+
+/// A set of findings with deterministic rendering.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// The findings, in insertion order until [`Report::sorted`].
+    pub diags: Vec<Diag>,
+}
+
+impl Report {
+    /// Add a finding.
+    pub fn push(&mut self, diag: Diag) {
+        self.diags.push(diag);
+    }
+
+    /// Absorb another report.
+    pub fn extend(&mut self, other: Report) {
+        self.diags.extend(other.diags);
+    }
+
+    /// Findings sorted by (file, line, code, message) — the render and
+    /// snapshot order.
+    pub fn sorted(&self) -> Vec<&Diag> {
+        let mut v: Vec<&Diag> = self.diags.iter().collect();
+        v.sort_by(|a, b| {
+            (&a.file, a.line, &a.code, &a.message).cmp(&(&b.file, b.line, &b.code, &b.message))
+        });
+        v
+    }
+
+    /// True when no findings were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// Render every finding, one per line, sorted.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in self.sorted() {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_sorted_and_stable() {
+        let mut r = Report::default();
+        r.push(Diag::new("b/code", "z.rs", 9, "later file"));
+        r.push(Diag::new("b/code", "a.rs", 9, "same line, later code"));
+        r.push(Diag::new("a/code", "a.rs", 9, "same line, earlier code"));
+        r.push(Diag::new("a/code", "a.rs", 3, "earlier line"));
+        let rendered = r.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[0], "a.rs:3: [a/code] earlier line");
+        assert_eq!(lines[1], "a.rs:9: [a/code] same line, earlier code");
+        assert_eq!(lines[2], "a.rs:9: [b/code] same line, later code");
+        assert_eq!(lines[3], "z.rs:9: [b/code] later file");
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,13 +1,18 @@
 //! Correctness tooling for the mtm workspace.
 //!
-//! Three passes, exposed through the `mtm-check` binary
+//! Four passes, exposed through the `mtm-check` binary
 //! (`cargo run -p mtm-check -- <subcommand>`):
 //!
-//! * [`lint`] — a self-contained source-level scanner enforcing
-//!   repo-specific rules: panic sites in library code are ratcheted (the
-//!   count recorded in `check/ratchet.toml` can only go down), float
-//!   `==`/`!=` is banned in the numeric kernels unless annotated,
-//!   `unsafe` requires a `// SAFETY:` comment, and panicking `pub fn`s in
+//! * [`analyze`] — the AST-backed static analyzer: a self-contained
+//!   parser ([`ast`]) feeds a workspace call graph ([`callgraph`]) and
+//!   three analyses — determinism taint ([`taint`]: nondeterminism
+//!   sources reaching journaled/measured values, adjudicated by
+//!   `// mtm-allow: <key> -- <reason>` annotations), panic-path counting
+//!   (`.unwrap()`/indexing/integer-div budgets in `check/ratchet.toml`,
+//!   counts only go down), and float sanity (`==`/`!=` on floats,
+//!   `partial_cmp().unwrap()`, order-sensitive parallel reductions).
+//! * [`lint`] — the comment-driven rules that stay text-based: `unsafe`
+//!   requires a `// SAFETY:` comment, and panicking `pub fn`s in
 //!   `linalg`/`gp` must carry a `# Panics` doc section.
 //! * [`invariants`] — runtime guard functions (finite, symmetric, PSD,
 //!   monotonic time) that `linalg`/`gp`/`stormsim`/`bayesopt` re-export
@@ -18,7 +23,12 @@
 //! The library deliberately has no dependencies (std only) so the numeric
 //! crates can depend on it without cycles or bloat.
 
+pub mod analyze;
+pub mod ast;
+pub mod callgraph;
 pub mod determinism;
+pub mod diag;
 pub mod invariants;
 pub mod lint;
 pub mod ratchet;
+pub mod taint;

@@ -1,28 +1,25 @@
-//! Source-level lint pass.
+//! Source-level lint pass: comment-driven rules.
 //!
-//! A lightweight line/token scanner (no external parser) enforcing the
-//! repo-specific rules described in DESIGN.md "Correctness tooling":
+//! A lightweight line scanner enforcing the two repo rules that live in
+//! *comments* — which the token-tree front end in [`crate::ast`]
+//! deliberately side-channels — and so stay text-based:
 //!
-//! 1. **panic-site** — `.unwrap()` / `.expect(` / `panic!` in library code
-//!    outside `#[cfg(test)]`. Existing sites are grandfathered through the
-//!    per-crate counts in `check/ratchet.toml`; the count can only go down.
-//! 2. **float-cmp** — `==` / `!=` with a float operand in the numeric
-//!    kernels (`linalg`/`gp`/`stats`). Exact comparisons that are correct
-//!    by design (sparse-skip on `0.0`, boundary sentinels) are annotated
-//!    with `// lint:allow(float_cmp) <reason>` on the same line or on
-//!    their own line directly above.
-//! 3. **unsafe-no-safety** — any `unsafe` token without a `// SAFETY:`
+//! 1. **unsafe-no-safety** — any `unsafe` token without a `// SAFETY:`
 //!    comment on the same or one of the three preceding lines.
-//! 4. **missing-panics-doc** — a `pub fn` in `linalg`/`gp` whose body can
+//! 2. **missing-panics-doc** — a `pub fn` in `linalg`/`gp` whose body can
 //!    panic (`unwrap`/`expect`/`panic!`/`assert!` family, excluding
 //!    `debug_assert`) must document it with a `# Panics` doc section.
+//!
+//! Panic-site counting and float-comparison detection used to live here
+//! as substring scans; they are now AST passes in [`crate::analyze`]
+//! (subcommand `analyze`), which counts against the multi-table budgets
+//! in `check/ratchet.toml` and adjudicates `mtm-allow` annotations.
 //!
 //! The scanner strips comments and string/char literals first, then walks
 //! lines with a brace-depth tracker to skip `#[cfg(test)]` regions and
 //! statements gated on the `strict-invariants` feature (those *are* the
-//! assertion layer). It is a heuristic, not a parser — rule scoping keeps
-//! the false-positive rate at zero for this codebase, and the fixtures
-//! under `crates/check/tests/fixtures/` pin the behavior.
+//! assertion layer). The fixtures under `crates/check/tests/fixtures/`
+//! pin the behavior.
 
 use std::fmt;
 use std::fs;
@@ -31,10 +28,6 @@ use std::path::{Path, PathBuf};
 /// Which lint rule a violation belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
-    /// `.unwrap()` / `.expect(` / `panic!` outside tests (ratcheted).
-    PanicSite,
-    /// Float `==` / `!=` in a numeric kernel without an allow annotation.
-    FloatCmp,
     /// `unsafe` without a `// SAFETY:` comment.
     UnsafeNoSafety,
     /// Panicking `pub fn` without a `# Panics` doc section.
@@ -44,8 +37,6 @@ pub enum Rule {
 impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {
-            Rule::PanicSite => "panic-site",
-            Rule::FloatCmp => "float-cmp",
             Rule::UnsafeNoSafety => "unsafe-no-safety",
             Rule::MissingPanicsDoc => "missing-panics-doc",
         };
@@ -79,10 +70,6 @@ impl fmt::Display for Violation {
 /// Which rule families apply to a file (derived from its path).
 #[derive(Debug, Clone, Copy)]
 pub struct RuleScope {
-    /// Count panic sites (all library code).
-    pub panic_sites: bool,
-    /// Ban float comparisons (linalg/gp/stats).
-    pub float_cmp: bool,
     /// Require `# Panics` docs on panicking pub fns (linalg/gp).
     pub panics_doc: bool,
 }
@@ -90,26 +77,15 @@ pub struct RuleScope {
 impl RuleScope {
     /// Every rule on — what the fixtures use.
     pub fn all() -> RuleScope {
-        RuleScope {
-            panic_sites: true,
-            float_cmp: true,
-            panics_doc: true,
-        }
+        RuleScope { panics_doc: true }
     }
 
     /// Scope for a workspace-relative path.
     pub fn for_path(rel: &str) -> RuleScope {
-        let float = ["crates/linalg/src", "crates/gp/src", "crates/stats/src"]
-            .iter()
-            .any(|p| rel.starts_with(p));
         let panics_doc = ["crates/linalg/src", "crates/gp/src"]
             .iter()
             .any(|p| rel.starts_with(p));
-        RuleScope {
-            panic_sites: true,
-            float_cmp: float,
-            panics_doc,
-        }
+        RuleScope { panics_doc }
     }
 }
 
@@ -334,16 +310,12 @@ fn classify_lines(lines: &[LineInfo]) -> Vec<LineFlags> {
     flags
 }
 
-/// True if `code` contains a panic site (`.unwrap()`, `.expect(`,
-/// `panic!`).
-fn has_panic_site(code: &str) -> bool {
-    code.contains(".unwrap()") || code.contains(".expect(") || contains_macro(code, "panic")
-}
-
 /// True if `code` contains an assertion or panic that can fire in release
 /// builds (used by the `# Panics` doc rule; `debug_assert*` excluded).
 fn can_panic(code: &str) -> bool {
-    has_panic_site(code)
+    code.contains(".unwrap()")
+        || code.contains(".expect(")
+        || contains_macro(code, "panic")
         || contains_macro(code, "assert")
         || contains_macro(code, "assert_eq")
         || contains_macro(code, "assert_ne")
@@ -369,72 +341,6 @@ fn contains_macro(code: &str, name: &str) -> bool {
     false
 }
 
-/// Does either operand of a `==`/`!=` at `op` look like a float?
-fn float_operand(code: &str, op: usize, op_len: usize) -> bool {
-    let stop = |c: char| ",;(){}&|".contains(c);
-    let left: String = code[..op]
-        .chars()
-        .rev()
-        .take_while(|&c| !stop(c) && c != '=')
-        .collect();
-    let left: String = left.chars().rev().collect();
-    let right: String = code[op + op_len..]
-        .chars()
-        .take_while(|&c| !stop(c))
-        .collect();
-    has_float_token(&left) || has_float_token(&right)
-}
-
-fn has_float_token(s: &str) -> bool {
-    if s.contains("f64::") || s.contains("f32::") || s.contains("as f64") || s.contains("as f32") {
-        return true;
-    }
-    // A digit immediately followed by `.` and not another ident char: a
-    // float literal like `0.0`, `1.`, `2.5e-3`.
-    let b = s.as_bytes();
-    for i in 0..b.len().saturating_sub(1) {
-        if b[i].is_ascii_digit() && b[i + 1] == b'.' {
-            // Exclude method calls on ints like `3.max(x)` — require the
-            // char after the dot to be a digit, `e`, or end-of-token.
-            let after = b.get(i + 2).copied();
-            if after.is_none_or(|c| c.is_ascii_digit() || c == b'e' || c == b' ' || c == b')') {
-                return true;
-            }
-        }
-    }
-    false
-}
-
-/// Find `==`/`!=` comparison operators in `code` (excluding `<=`, `>=`,
-/// `=>`, `===`-like runs). Returns `(byte_index, len)` pairs.
-fn comparison_ops(code: &str) -> Vec<(usize, usize)> {
-    let b = code.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i + 1 < b.len() {
-        let pair = &b[i..i + 2];
-        if pair == b"==" {
-            let prev = if i == 0 { b' ' } else { b[i - 1] };
-            let next = b.get(i + 2).copied().unwrap_or(b' ');
-            if !matches!(prev, b'<' | b'>' | b'!' | b'=' | b'+' | b'-' | b'*' | b'/')
-                && next != b'='
-            {
-                out.push((i, 2));
-            }
-            i += 2;
-        } else if pair == b"!=" {
-            let next = b.get(i + 2).copied().unwrap_or(b' ');
-            if next != b'=' {
-                out.push((i, 2));
-            }
-            i += 2;
-        } else {
-            i += 1;
-        }
-    }
-    out
-}
-
 /// Scan one file's source. `rel` is the workspace-relative path used in
 /// reports.
 pub fn scan_source(rel: &str, source: &str, scope: &RuleScope) -> Vec<Violation> {
@@ -453,31 +359,6 @@ pub fn scan_source(rel: &str, source: &str, scope: &RuleScope) -> Vec<Violation>
             continue;
         }
         let code = line.code.as_str();
-        if scope.panic_sites && has_panic_site(code) {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: idx + 1,
-                rule: Rule::PanicSite,
-                excerpt: excerpt(idx),
-            });
-        }
-        // The allow annotation may sit on the comparison line itself or on
-        // its own line directly above (where rustfmt leaves it alone).
-        let float_allowed = line.comment.contains("lint:allow(float_cmp)")
-            || (idx > 0 && lines[idx - 1].comment.contains("lint:allow(float_cmp)"));
-        if scope.float_cmp && !float_allowed {
-            let hit = comparison_ops(code)
-                .into_iter()
-                .any(|(at, len)| float_operand(code, at, len));
-            if hit {
-                out.push(Violation {
-                    file: rel.to_string(),
-                    line: idx + 1,
-                    rule: Rule::FloatCmp,
-                    excerpt: excerpt(idx),
-                });
-            }
-        }
         if contains_word(code, "unsafe") {
             let documented = (idx.saturating_sub(3)..=idx)
                 .any(|j| lines[j].comment.trim_start().starts_with("SAFETY:"));
@@ -658,35 +539,16 @@ fn find_pub_fn(code: &str) -> Option<usize> {
     None
 }
 
-/// Scan result for a whole tree: violations plus per-unit panic-site
-/// counts (the ratchet input).
+/// Scan result for a whole tree.
 #[derive(Debug, Default)]
 pub struct WorkspaceReport {
-    /// All violations found (panic sites included).
+    /// All violations found. Every one fails the build — the ratcheted
+    /// counting rules live in [`crate::analyze`] now.
     pub violations: Vec<Violation>,
 }
 
-impl WorkspaceReport {
-    /// Violations that fail the build outright (everything except
-    /// ratcheted panic sites).
-    pub fn hard_failures(&self) -> impl Iterator<Item = &Violation> {
-        self.violations.iter().filter(|v| v.rule != Rule::PanicSite)
-    }
-
-    /// Per-unit panic-site counts, keyed like `check/ratchet.toml`
-    /// (`crates/<name>` or `src` for the root crate).
-    pub fn panic_counts(&self) -> std::collections::BTreeMap<String, usize> {
-        let mut map = std::collections::BTreeMap::new();
-        for v in &self.violations {
-            if v.rule == Rule::PanicSite {
-                *map.entry(ratchet_unit(&v.file)).or_insert(0) += 1;
-            }
-        }
-        map
-    }
-}
-
-/// Map a workspace-relative file to its ratchet unit.
+/// Map a workspace-relative file to its ratchet unit (`crates/<name>` or
+/// `src` for the root crate).
 pub fn ratchet_unit(rel: &str) -> String {
     let parts: Vec<&str> = rel.split('/').collect();
     if parts.first() == Some(&"crates") && parts.len() >= 2 {
@@ -755,53 +617,19 @@ mod tests {
     }
 
     #[test]
-    fn panic_sites_flagged_outside_tests_only() {
-        let src = r#"
-pub fn f(x: Option<u32>) -> u32 {
-    x.unwrap()
-}
-#[cfg(test)]
-mod tests {
-    fn g(x: Option<u32>) -> u32 {
-        x.unwrap()
-    }
-}
-"#;
-        let v = scan(src);
-        let sites: Vec<_> = v.iter().filter(|v| v.rule == Rule::PanicSite).collect();
-        assert_eq!(sites.len(), 1, "{v:?}");
-        assert_eq!(sites[0].line, 3);
-    }
-
-    #[test]
-    fn strings_and_comments_do_not_count() {
-        let src = r#"
-pub fn f() -> &'static str {
-    // .unwrap() in a comment
-    ".unwrap() in a string"
-}
-"#;
-        assert!(scan(src).iter().all(|v| v.rule != Rule::PanicSite));
-    }
-
-    #[test]
-    fn float_cmp_heuristics() {
-        let flagged = "fn f(x: f64) -> bool { x == 0.5 }";
-        assert!(scan(flagged).iter().any(|v| v.rule == Rule::FloatCmp));
-        let int_ok = "fn f(x: usize) -> bool { x == 5 }";
-        assert!(scan(int_ok).iter().all(|v| v.rule != Rule::FloatCmp));
-        let le_ok = "fn f(x: f64) -> bool { x <= 0.5 }";
-        assert!(scan(le_ok).iter().all(|v| v.rule != Rule::FloatCmp));
-        let allowed = "fn f(x: f64) -> bool { x == 0.0 } // lint:allow(float_cmp) sentinel";
-        assert!(scan(allowed).iter().all(|v| v.rule != Rule::FloatCmp));
-    }
-
-    #[test]
     fn unsafe_requires_safety_comment() {
         let bad = "fn f() { unsafe { core(); } }";
         assert!(scan(bad).iter().any(|v| v.rule == Rule::UnsafeNoSafety));
         let good = "// SAFETY: checked above\nfn f() { unsafe { core(); } }";
         assert!(scan(good).iter().all(|v| v.rule != Rule::UnsafeNoSafety));
+    }
+
+    #[test]
+    fn unsafe_in_string_or_test_does_not_count() {
+        let in_string = r#"fn f() -> &'static str { "unsafe" }"#;
+        assert!(scan(in_string).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { unsafe { core(); } }\n}";
+        assert!(scan(in_test).is_empty());
     }
 
     #[test]
@@ -858,7 +686,6 @@ pub fn f(xs: &[f64]) {
 ";
         let v = scan(src);
         assert!(v.iter().all(|v| v.rule != Rule::MissingPanicsDoc), "{v:?}");
-        assert!(v.iter().all(|v| v.rule != Rule::PanicSite), "{v:?}");
     }
 
     #[test]

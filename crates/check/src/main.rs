@@ -1,20 +1,35 @@
 //! The `mtm-check` command-line tool.
 //!
 //! ```text
-//! cargo run -p mtm-check -- lint [--update-ratchet]
+//! cargo run -p mtm-check -- analyze [--update-ratchet]
+//! cargo run -p mtm-check -- lint
 //! cargo run -p mtm-check -- invariants
 //! cargo run -p mtm-check -- determinism
 //! cargo run -p mtm-check -- all
 //! ```
 //!
+//! * `analyze` — AST-backed static analysis: determinism taint (with
+//!   `mtm-allow` annotation adjudication), panic/index/div budgets
+//!   against `check/ratchet.toml`, float sanity. `--update-ratchet`
+//!   rewrites the budget file from current counts (only do this after
+//!   *reducing* sites).
+//! * `lint` — comment-driven rules (`// SAFETY:`, `# Panics` docs).
+//! * `invariants` — run guarded crate test suites with
+//!   `--features strict-invariants`.
+//! * `determinism` — build the probe and require bit-identical output
+//!   across two runs.
+//! * `all` — every pass above (analyze, lint, invariants, determinism).
+//!
 //! Exit code 0 means the pass(es) succeeded; 1 means violations or a
-//! nondeterministic run; 2 means the tool itself could not run.
+//! nondeterministic run; 2 means the tool itself could not run (bad
+//! usage or no workspace root).
 
 use std::env;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
+use mtm_check::analyze;
 use mtm_check::determinism;
 use mtm_check::lint;
 use mtm_check::ratchet::Ratchet;
@@ -32,18 +47,20 @@ fn main() -> ExitCode {
         }
     };
     let ok = match cmd {
-        "lint" => run_lint(&root, rest.contains(&"--update-ratchet")),
+        "analyze" => run_analyze(&root, rest.contains(&"--update-ratchet")),
+        "lint" => run_lint(&root),
         "invariants" => run_invariants(),
         "determinism" => run_determinism(),
         "all" => {
-            let lint_ok = run_lint(&root, false);
+            let analyze_ok = run_analyze(&root, false);
+            let lint_ok = run_lint(&root);
             let inv_ok = run_invariants();
             let det_ok = run_determinism();
-            lint_ok && inv_ok && det_ok
+            analyze_ok && lint_ok && inv_ok && det_ok
         }
         _ => {
             eprintln!(
-                "usage: mtm-check <lint [--update-ratchet] | invariants | determinism | all>"
+                "usage: mtm-check <analyze [--update-ratchet] | lint | invariants | determinism | all>"
             );
             return ExitCode::from(2);
         }
@@ -73,7 +90,90 @@ fn workspace_root() -> Result<PathBuf, String> {
     }
 }
 
-fn run_lint(root: &Path, update_ratchet: bool) -> bool {
+/// The AST pass: taint + float findings are hard failures; panic/index/
+/// div counts ratchet against `check/ratchet.toml`.
+fn run_analyze(root: &Path, update_ratchet: bool) -> bool {
+    println!(
+        "mtm-check analyze: parsing workspace crates under {}",
+        root.display()
+    );
+    let analysis = match analyze::analyze_workspace(root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mtm-check analyze: {e}");
+            return false;
+        }
+    };
+
+    let mut ok = true;
+    if !analysis.report.is_empty() {
+        print!("{}", analysis.report.render());
+        println!(
+            "mtm-check analyze: {} finding(s) — fix, or annotate sanctioned \
+             sites with `// mtm-allow: <key> -- <reason>`",
+            analysis.report.len()
+        );
+        ok = false;
+    }
+
+    let ratchet_path = root.join("check/ratchet.toml");
+    if update_ratchet {
+        let rendered = Ratchet::render(&analysis.counts);
+        if let Some(parent) = ratchet_path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        if let Err(e) = fs::write(&ratchet_path, rendered) {
+            eprintln!("mtm-check analyze: write {}: {e}", ratchet_path.display());
+            return false;
+        }
+        println!("mtm-check analyze: wrote {}", ratchet_path.display());
+        return ok;
+    }
+    let recorded = match fs::read_to_string(&ratchet_path) {
+        Ok(text) => match Ratchet::parse(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("mtm-check analyze: {e}");
+                return false;
+            }
+        },
+        Err(e) => {
+            eprintln!(
+                "mtm-check analyze: read {}: {e} (run with --update-ratchet to create it)",
+                ratchet_path.display()
+            );
+            return false;
+        }
+    };
+    let (failures, tighten) = recorded.compare(&analysis.counts);
+    for f in &failures {
+        println!("  ratchet: {f}");
+    }
+    for t in &tighten {
+        println!("  ratchet (tightenable): {t}");
+    }
+    if !failures.is_empty() {
+        println!(
+            "mtm-check analyze: panic-path ratchet violated — remove the new \
+             sites or justify lowering elsewhere"
+        );
+        ok = false;
+    }
+    if ok {
+        let totals: (usize, usize, usize) =
+            analysis.counts.values().fold((0, 0, 0), |(p, x, d), c| {
+                (p + c.panic_sites, x + c.index_sites, d + c.div_sites)
+            });
+        println!(
+            "mtm-check analyze: OK (0 taint/float findings; within ratchet: \
+             {} panic, {} index, {} div sites)",
+            totals.0, totals.1, totals.2
+        );
+    }
+    ok
+}
+
+fn run_lint(root: &Path) -> bool {
     println!(
         "mtm-check lint: scanning library sources under {}",
         root.display()
@@ -85,69 +185,19 @@ fn run_lint(root: &Path, update_ratchet: bool) -> bool {
             return false;
         }
     };
-
-    let mut ok = true;
-    let hard: Vec<_> = report.hard_failures().collect();
-    for v in &hard {
+    for v in &report.violations {
         println!("  {v}");
     }
-    if !hard.is_empty() {
-        println!("mtm-check lint: {} rule violation(s)", hard.len());
-        ok = false;
-    }
-
-    let counts = report.panic_counts();
-    let ratchet_path = root.join("check/ratchet.toml");
-    if update_ratchet {
-        let rendered = Ratchet::render(&counts);
-        if let Some(parent) = ratchet_path.parent() {
-            let _ = fs::create_dir_all(parent);
-        }
-        if let Err(e) = fs::write(&ratchet_path, rendered) {
-            eprintln!("mtm-check lint: write {}: {e}", ratchet_path.display());
-            return false;
-        }
-        println!("mtm-check lint: wrote {}", ratchet_path.display());
-        return ok;
-    }
-    let recorded = match fs::read_to_string(&ratchet_path) {
-        Ok(text) => match Ratchet::parse(&text) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("mtm-check lint: {e}");
-                return false;
-            }
-        },
-        Err(e) => {
-            eprintln!(
-                "mtm-check lint: read {}: {e} (run with --update-ratchet to create it)",
-                ratchet_path.display()
-            );
-            return false;
-        }
-    };
-    let (failures, tighten) = recorded.compare(&counts);
-    for f in &failures {
-        println!("  ratchet: {f}");
-    }
-    for t in &tighten {
-        println!("  ratchet (tightenable): {t}");
-    }
-    if !failures.is_empty() {
+    if report.violations.is_empty() {
+        println!("mtm-check lint: OK (0 rule violations)");
+        true
+    } else {
         println!(
-            "mtm-check lint: panic-site ratchet violated — remove the new \
-             sites or justify lowering elsewhere"
+            "mtm-check lint: {} rule violation(s)",
+            report.violations.len()
         );
-        ok = false;
+        false
     }
-    if ok {
-        let total: usize = counts.values().sum();
-        println!(
-            "mtm-check lint: OK ({total} grandfathered panic sites within ratchet, \
-             0 rule violations)"
-        );
-    }
-    ok
 }
 
 /// Run each guarded crate's test suite with `strict-invariants` enabled,

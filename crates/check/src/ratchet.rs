@@ -1,41 +1,85 @@
-//! The panic-site ratchet.
+//! The panic-path ratchet.
 //!
-//! `check/ratchet.toml` records the number of `.unwrap()` / `.expect(` /
-//! `panic!` sites in each crate's library code. `mtm-check lint` fails
-//! when any count *rises* above its recorded value; falling counts are
-//! reported so the file can be tightened with
-//! `cargo run -p mtm-check -- lint --update-ratchet`. The file is parsed
-//! with a purpose-built reader (the workspace has no TOML dependency) —
-//! it understands exactly the subset the writer emits.
+//! `check/ratchet.toml` records per-crate budgets for the sites the AST
+//! pass ([`crate::analyze`]) counts, in three tables:
+//!
+//! * `[panic_sites]` — `.unwrap()` / `.expect(` / `panic!` outside tests
+//! * `[index_sites]` — postfix indexing (`xs[i]`), which panics out of
+//!   bounds
+//! * `[div_sites]` — integer `/`/`%` with a non-constant divisor, which
+//!   panics on zero
+//!
+//! `mtm-check analyze` fails when any count *rises* above its recorded
+//! value; falling counts are reported so the file can be tightened with
+//! `cargo run -p mtm-check -- analyze --update-ratchet`. The file is
+//! parsed with a purpose-built reader (the workspace has no TOML
+//! dependency) — it understands exactly the subset the writer emits.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Parsed ratchet state: per-unit panic-site ceilings.
+/// The table names, in file order.
+pub const TABLES: &[&str] = &["panic_sites", "index_sites", "div_sites"];
+
+/// Per-unit site counts produced by the analyzer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteCounts {
+    /// `.unwrap()` / `.expect(` / `panic!` sites.
+    pub panic_sites: usize,
+    /// Postfix indexing sites.
+    pub index_sites: usize,
+    /// Unguarded integer division/remainder sites.
+    pub div_sites: usize,
+}
+
+impl SiteCounts {
+    /// All three counts are zero.
+    pub fn is_zero(&self) -> bool {
+        self.panic_sites == 0 && self.index_sites == 0 && self.div_sites == 0
+    }
+
+    /// The count for a named table.
+    pub fn get(&self, table: &str) -> usize {
+        match table {
+            "panic_sites" => self.panic_sites,
+            "index_sites" => self.index_sites,
+            "div_sites" => self.div_sites,
+            _ => 0,
+        }
+    }
+}
+
+/// Parsed ratchet state: per-table, per-unit ceilings.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Ratchet {
-    /// Unit (`crates/<name>` or `src`) → maximum allowed panic sites.
-    pub counts: BTreeMap<String, usize>,
+    /// Table name → (unit → maximum allowed sites).
+    pub tables: BTreeMap<String, BTreeMap<String, usize>>,
 }
 
 impl Ratchet {
-    /// Parse the `check/ratchet.toml` format: a `[panic_sites]` table of
-    /// `"unit" = count` entries. Comments and blank lines are ignored.
+    /// Parse the `check/ratchet.toml` format: `[table]` headers over
+    /// `"unit" = count` entries. Comments and blank lines are ignored;
+    /// unknown tables are preserved (forward compatibility).
     pub fn parse(text: &str) -> Result<Ratchet, String> {
-        let mut counts = BTreeMap::new();
-        let mut in_table = false;
+        let mut tables: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        let mut current: Option<String> = None;
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
             }
-            if line.starts_with('[') {
-                in_table = line == "[panic_sites]";
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = name.trim().to_string();
+                tables.entry(name.clone()).or_default();
+                current = Some(name);
                 continue;
             }
-            if !in_table {
-                continue;
-            }
+            let Some(table) = &current else {
+                return Err(format!(
+                    "ratchet.toml:{}: entry before any [table] header",
+                    lineno + 1
+                ));
+            };
             let (key, value) = line
                 .split_once('=')
                 .ok_or_else(|| format!("ratchet.toml:{}: expected `key = count`", lineno + 1))?;
@@ -44,54 +88,72 @@ impl Ratchet {
                 .trim()
                 .parse()
                 .map_err(|e| format!("ratchet.toml:{}: bad count: {e}", lineno + 1))?;
-            counts.insert(key, value);
+            tables.entry(table.clone()).or_default().insert(key, value);
         }
-        Ok(Ratchet { counts })
+        Ok(Ratchet { tables })
     }
 
-    /// Render the canonical file contents for `counts`.
-    pub fn render(counts: &BTreeMap<String, usize>) -> String {
+    /// Render the canonical file contents for the analyzer's per-unit
+    /// counts. Units with a zero count in a table are omitted from it.
+    pub fn render(counts: &BTreeMap<String, SiteCounts>) -> String {
         let mut out = String::from(
-            "# Panic-site ratchet: per-crate counts of `.unwrap()` / `.expect(` /\n\
-             # `panic!` in library code outside `#[cfg(test)]`. `mtm-check lint`\n\
-             # fails if any count rises; regenerate after *reducing* sites with:\n\
+            "# Panic-path ratchet: per-crate AST-counted sites in library code\n\
+             # outside `#[cfg(test)]` (strict-invariants guards excluded).\n\
+             #   panic_sites — `.unwrap()` / `.expect(` / `panic!`\n\
+             #   index_sites — postfix indexing `xs[i]` (panics out of bounds)\n\
+             #   div_sites   — integer `/` `%` with non-constant divisor\n\
+             # `mtm-check analyze` fails if any count rises; regenerate after\n\
+             # *reducing* sites with:\n\
              #\n\
-             #     cargo run -p mtm-check -- lint --update-ratchet\n\
-             \n\
-             [panic_sites]\n",
+             #     cargo run -p mtm-check -- analyze --update-ratchet\n",
         );
-        for (unit, count) in counts {
-            let _ = writeln!(out, "\"{unit}\" = {count}");
+        for table in TABLES {
+            let _ = writeln!(out, "\n[{table}]");
+            for (unit, c) in counts {
+                let n = c.get(table);
+                if n > 0 {
+                    let _ = writeln!(out, "\"{unit}\" = {n}");
+                }
+            }
         }
         out
     }
 
     /// Compare current counts against the recorded ceilings. Returns
-    /// `(failures, tightenable)`: units whose count rose (including units
-    /// absent from the file), and units whose count fell.
-    pub fn compare(&self, current: &BTreeMap<String, usize>) -> (Vec<String>, Vec<String>) {
+    /// `(failures, tightenable)`: table entries whose count rose
+    /// (including units absent from the file), and entries whose count
+    /// fell.
+    pub fn compare(&self, current: &BTreeMap<String, SiteCounts>) -> (Vec<String>, Vec<String>) {
         let mut failures = Vec::new();
         let mut tighten = Vec::new();
-        for (unit, &count) in current {
-            match self.counts.get(unit) {
-                Some(&ceiling) if count > ceiling => failures.push(format!(
-                    "{unit}: {count} panic sites, ratchet allows {ceiling}"
-                )),
-                Some(&ceiling) if count < ceiling => tighten.push(format!(
-                    "{unit}: {count} panic sites, ratchet still at {ceiling}"
-                )),
-                Some(_) => {}
-                None => failures.push(format!(
-                    "{unit}: {count} panic sites, not present in check/ratchet.toml"
-                )),
+        static EMPTY: BTreeMap<String, usize> = BTreeMap::new();
+        for table in TABLES {
+            let recorded = self.tables.get(*table).unwrap_or(&EMPTY);
+            for (unit, counts) in current {
+                let count = counts.get(table);
+                if count == 0 {
+                    continue;
+                }
+                match recorded.get(unit) {
+                    Some(&ceiling) if count > ceiling => failures.push(format!(
+                        "[{table}] {unit}: {count} sites, ratchet allows {ceiling}"
+                    )),
+                    Some(&ceiling) if count < ceiling => tighten.push(format!(
+                        "[{table}] {unit}: {count} sites, ratchet still at {ceiling}"
+                    )),
+                    Some(_) => {}
+                    None => failures.push(format!(
+                        "[{table}] {unit}: {count} sites, not present in check/ratchet.toml"
+                    )),
+                }
             }
-        }
-        for unit in self.counts.keys() {
-            if !current.contains_key(unit) && self.counts[unit] > 0 {
-                tighten.push(format!(
-                    "{unit}: 0 panic sites, ratchet still at {}",
-                    self.counts[unit]
-                ));
+            for (unit, &ceiling) in recorded {
+                let count = current.get(unit).map_or(0, |c| c.get(table));
+                if count == 0 && ceiling > 0 {
+                    tighten.push(format!(
+                        "[{table}] {unit}: 0 sites, ratchet still at {ceiling}"
+                    ));
+                }
             }
         }
         (failures, tighten)
@@ -102,51 +164,78 @@ impl Ratchet {
 mod tests {
     use super::*;
 
-    fn counts(pairs: &[(&str, usize)]) -> BTreeMap<String, usize> {
-        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    fn counts(pairs: &[(&str, usize, usize, usize)]) -> BTreeMap<String, SiteCounts> {
+        pairs
+            .iter()
+            .map(|&(k, p, x, d)| {
+                (
+                    k.to_string(),
+                    SiteCounts {
+                        panic_sites: p,
+                        index_sites: x,
+                        div_sites: d,
+                    },
+                )
+            })
+            .collect()
     }
 
     #[test]
     fn round_trips() {
-        let c = counts(&[("crates/gp", 3), ("src", 1)]);
+        let c = counts(&[("crates/gp", 3, 7, 1), ("src", 1, 0, 2)]);
         let rendered = Ratchet::render(&c);
         let parsed = Ratchet::parse(&rendered).expect("parse");
-        assert_eq!(parsed.counts, c);
+        assert_eq!(parsed.tables["panic_sites"]["crates/gp"], 3);
+        assert_eq!(parsed.tables["index_sites"]["crates/gp"], 7);
+        assert_eq!(parsed.tables["div_sites"]["src"], 2);
+        // Zero counts are omitted.
+        assert!(!parsed.tables["index_sites"].contains_key("src"));
     }
 
     #[test]
-    fn increase_is_a_failure() {
-        let ratchet = Ratchet {
-            counts: counts(&[("crates/gp", 2)]),
-        };
-        let (failures, _) = ratchet.compare(&counts(&[("crates/gp", 3)]));
+    fn increase_is_a_failure_per_table() {
+        let recorded = Ratchet::parse("[panic_sites]\n\"crates/gp\" = 2\n").expect("parse");
+        let (failures, _) = recorded.compare(&counts(&[("crates/gp", 3, 0, 0)]));
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("allows 2"), "{failures:?}");
+        assert!(failures[0].contains("[panic_sites]"), "{failures:?}");
     }
 
     #[test]
     fn unknown_unit_is_a_failure() {
         let ratchet = Ratchet::default();
-        let (failures, _) = ratchet.compare(&counts(&[("crates/new", 1)]));
+        let (failures, _) = ratchet.compare(&counts(&[("crates/new", 1, 0, 0)]));
         assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("not present"), "{failures:?}");
     }
 
     #[test]
     fn decrease_only_suggests_tightening() {
-        let ratchet = Ratchet {
-            counts: counts(&[("crates/gp", 5)]),
-        };
-        let (failures, tighten) = ratchet.compare(&counts(&[("crates/gp", 3)]));
+        let recorded = Ratchet::parse("[index_sites]\n\"crates/gp\" = 5\n").expect("parse");
+        let (failures, tighten) = recorded.compare(&counts(&[("crates/gp", 0, 3, 0)]));
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(tighten.len(), 1, "{tighten:?}");
+    }
+
+    #[test]
+    fn vanished_unit_suggests_tightening() {
+        let recorded = Ratchet::parse("[panic_sites]\n\"crates/old\" = 4\n").expect("parse");
+        let (failures, tighten) = recorded.compare(&counts(&[]));
         assert!(failures.is_empty());
         assert_eq!(tighten.len(), 1);
     }
 
     #[test]
     fn equal_counts_pass_silently() {
-        let ratchet = Ratchet {
-            counts: counts(&[("crates/gp", 5)]),
-        };
-        let (failures, tighten) = ratchet.compare(&counts(&[("crates/gp", 5)]));
+        let recorded =
+            Ratchet::parse("[panic_sites]\n\"crates/gp\" = 5\n[index_sites]\n\"crates/gp\" = 2\n")
+                .expect("parse");
+        let (failures, tighten) = recorded.compare(&counts(&[("crates/gp", 5, 2, 0)]));
         assert!(failures.is_empty() && tighten.is_empty());
+    }
+
+    #[test]
+    fn entry_before_table_is_an_error() {
+        assert!(Ratchet::parse("\"crates/gp\" = 1\n").is_err());
     }
 }

@@ -1,6 +1,9 @@
-//! The lint pass self-test: every planted fixture violation must be
-//! flagged, and the clean fixture must stay silent.
+//! Pass self-tests over the planted fixture files: every planted
+//! violation must be flagged at its exact line, and the clean fixture
+//! must stay silent — for both the comment-driven lint rules and the
+//! AST-backed analyze pass.
 
+use mtm_check::analyze;
 use mtm_check::lint::{scan_source, Rule, RuleScope};
 
 fn fixture(name: &str) -> String {
@@ -17,21 +20,28 @@ fn rule_lines(src: &str, rule: Rule) -> Vec<usize> {
 }
 
 #[test]
-fn panic_site_fixture_is_flagged() {
-    let src = fixture("panic_site.rs");
-    let lines = rule_lines(&src, Rule::PanicSite);
-    // unwrap, expect and panic! each flagged once; the unwrap inside
+fn panic_site_fixture_is_counted_by_ast_pass() {
+    let a = analyze::analyze_source("crates/fixture/src/lib.rs", &fixture("panic_site.rs"));
+    // unwrap, expect and panic! each counted once; the unwrap inside
     // #[cfg(test)] is not.
-    assert_eq!(lines.len(), 3, "flagged lines: {lines:?}");
+    assert_eq!(a.counts["crates/fixture"].panic_sites, 3, "{:?}", a.counts);
 }
 
 #[test]
-fn float_eq_fixture_is_flagged() {
-    let src = fixture("float_eq.rs");
-    let lines = rule_lines(&src, Rule::FloatCmp);
-    // `== 0.0` and `!= 1.0e-9` flagged; the annotated sentinel and the
-    // integer compare are not.
-    assert_eq!(lines.len(), 2, "flagged lines: {lines:?}");
+fn float_eq_fixture_is_flagged_by_ast_pass() {
+    let a = analyze::analyze_source("crates/fixture/src/lib.rs", &fixture("float_eq.rs"));
+    let rendered = a.report.render();
+    // `== 0.0` (line 4) and `!= 1.0e-9` (line 8) flagged; the
+    // lint:allow-annotated sentinel and the integer compare are not.
+    assert_eq!(rendered.matches("float/eq").count(), 2, "{rendered}");
+    assert!(
+        rendered.contains("crates/fixture/src/lib.rs:4:"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("crates/fixture/src/lib.rs:8:"),
+        "{rendered}"
+    );
 }
 
 #[test]
@@ -53,8 +63,10 @@ fn missing_panics_doc_fixture_is_flagged() {
 }
 
 #[test]
-fn clean_fixture_is_silent() {
+fn clean_fixture_is_silent_everywhere() {
     let src = fixture("clean.rs");
     let violations = scan_source("clean.rs", &src, &RuleScope::all());
     assert!(violations.is_empty(), "unexpected: {violations:?}");
+    let a = analyze::analyze_source("crates/fixture/src/lib.rs", &src);
+    assert!(a.report.is_empty(), "unexpected: {}", a.report.render());
 }

@@ -234,6 +234,8 @@ pub fn run_pass(strategy: &mut Strategy, objective: &Objective, opts: &RunOption
 /// early stop, best tracking and repetition averaging live here, while
 /// `measure` decides whether a trial is simulated, replayed from a
 /// journal, or served from a memo cache.
+// mtm-allow: wall-clock -- optimizer_time_s is the paper's Fig. 7 cost
+// metric: it is recorded per step but never fed back into any decision.
 pub fn run_pass_with(
     strategy: &mut Strategy,
     objective: &Objective,

@@ -22,7 +22,7 @@
 //! `optimizer_time_s` wall-clock fields, the workspace's one sanctioned
 //! nondeterminism (see [`canonical_result_json`]).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::time::Instant;
 
@@ -170,6 +170,8 @@ pub fn canonical_result_json(result: &ExperimentResult) -> String {
 /// Measure `config` under the fault plan: retry injected failures with
 /// salted run ids, report zero throughput on exhaustion. Returns
 /// `(value, run_id_used, attempts, injected, exhausted)`.
+// mtm-allow: wall-clock -- the elapsed time only drives a stderr budget
+// warning; the measured value itself comes from the seeded simulator.
 fn measure_with_retry(
     objective: &Objective,
     config: &StormConfig,
@@ -204,8 +206,8 @@ struct JournaledMeasure<'a> {
     journal: &'a Journal,
     pass: usize,
     /// `(step, rep)` → journaled trial, consumed by replay.
-    replay: HashMap<(usize, usize), TrialRecord>,
-    memo: HashMap<u64, f64>,
+    replay: BTreeMap<(usize, usize), TrialRecord>,
+    memo: BTreeMap<u64, f64>,
     memoize: bool,
     faults: FaultPlan,
     stats: TrialStats,
@@ -219,7 +221,7 @@ impl<'a> JournaledMeasure<'a> {
     fn new(
         journal: &'a Journal,
         pass: usize,
-        replay: HashMap<(usize, usize), TrialRecord>,
+        replay: BTreeMap<(usize, usize), TrialRecord>,
         ropts: &RunnerOptions,
     ) -> Self {
         // Pre-populate the memo with replayed values: an uninterrupted
@@ -397,7 +399,7 @@ pub fn run_experiment_journaled(
         }
         let seed = pass_seed(opts.seed, p);
         let mut strategy = make_strategy(seed);
-        let replay: HashMap<(usize, usize), TrialRecord> = existing
+        let replay: BTreeMap<(usize, usize), TrialRecord> = existing
             .trials
             .iter()
             .filter(|((pp, _, _), _)| *pp == p)

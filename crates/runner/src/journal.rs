@@ -14,7 +14,7 @@
 //! Change the seed, the budget, the fault plan or the record schema and
 //! the segment is discarded instead of silently served.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::Path;
@@ -117,11 +117,11 @@ pub struct SegmentData {
     /// The header, when the first line parsed as one.
     pub header: Option<Header>,
     /// `(pass, step, rep)` → trial.
-    pub trials: HashMap<(usize, usize, usize), TrialRecord>,
+    pub trials: BTreeMap<(usize, usize, usize), TrialRecord>,
     /// Confirmation index → record.
-    pub confirms: HashMap<usize, ConfirmRecord>,
+    pub confirms: BTreeMap<usize, ConfirmRecord>,
     /// Completed passes.
-    pub passes: HashMap<usize, PassResult>,
+    pub passes: BTreeMap<usize, PassResult>,
     /// The finished experiment, if the segment completed.
     pub done: Option<ExperimentResult>,
     /// Byte length of the valid prefix (append after truncating to this).

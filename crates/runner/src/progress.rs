@@ -37,6 +37,8 @@ impl Progress {
     }
 
     /// Progress that swallows everything (tests, library callers).
+    // mtm-allow: wall-clock -- start time feeds the human progress line
+    // (elapsed/ETA on stderr), never a journaled or measured value.
     pub fn quiet() -> Progress {
         Progress {
             label: String::new(),
@@ -48,6 +50,8 @@ impl Progress {
     }
 
     /// Restart the counters for a run of `total` units.
+    // mtm-allow: wall-clock -- restarts the display clock for the ETA
+    // line on stderr; no journaled or measured value depends on it.
     pub fn reset(&self, total: usize) {
         self.total.store(total, Ordering::Relaxed);
         self.done.store(0, Ordering::Relaxed);
@@ -63,6 +67,8 @@ impl Progress {
 
     /// Record one completed unit and (unless quiet) print a progress
     /// line with percentage, elapsed time and ETA.
+    // mtm-allow: wall-clock -- elapsed/ETA are printed to stderr only;
+    // the journal and result records never see them.
     pub fn tick(&self, detail: &str) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         let total = self.total.load(Ordering::Relaxed).max(done);

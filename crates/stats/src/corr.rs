@@ -43,11 +43,12 @@ pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let n = xs.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {
         let mut j = i;
+        // mtm-allow: float-eq -- rank ties are exact: only bitwise-equal samples share a rank
         while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
             j += 1;
         }
@@ -66,10 +67,10 @@ pub fn mad(xs: &[f64]) -> Option<f64> {
         return None;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in mad input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let med = quantile_sorted(&sorted, 0.5);
     let mut dev: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
-    dev.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    dev.sort_by(|a, b| a.total_cmp(b));
     Some(1.4826 * quantile_sorted(&dev, 0.5))
 }
 

@@ -69,7 +69,7 @@ impl Loess {
 
         // Sort indices once by x for nearest-neighbour windows.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("NaN in x"));
+        order.sort_by(|&a, &b| x[a].total_cmp(&x[b]));
         let xs: Vec<f64> = order.iter().map(|&i| x[i]).collect();
         let ys: Vec<f64> = order.iter().map(|&i| y[i]).collect();
 
@@ -85,7 +85,7 @@ impl Loess {
         let n = xs.len();
         // Slide a window of size q to the position minimizing the max
         // distance to x0 (two-pointer over the sorted xs).
-        let mut lo = match xs.binary_search_by(|v| v.partial_cmp(&x0).unwrap()) {
+        let mut lo = match xs.binary_search_by(|v| v.total_cmp(&x0)) {
             Ok(i) | Err(i) => i,
         };
         lo = lo.saturating_sub(q / 2).min(n - q);
@@ -173,7 +173,7 @@ fn weighted_quadratic_at(x: &[f64], y: &[f64], w: &[f64], x0: f64) -> f64 {
     ];
     for col in 0..3 {
         let piv = (col..3)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
             .unwrap();
         a.swap(col, piv);
         if a[col][col].abs() < 1e-12 {

@@ -8,7 +8,7 @@ pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     Some(quantile_sorted(&sorted, q))
 }
 

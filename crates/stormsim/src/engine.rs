@@ -25,6 +25,8 @@ struct Entry<E> {
 }
 
 impl<E> PartialEq for Entry<E> {
+    // mtm-allow: float-eq -- must agree exactly with `Ord::cmp` below;
+    // NaN times are rejected by the `schedule` assert, so `==` is total here.
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
@@ -36,6 +38,8 @@ impl<E> PartialOrd for Entry<E> {
     }
 }
 impl<E> Ord for Entry<E> {
+    // mtm-allow: float-ord -- heap order must stay bitwise-stable with
+    // `PartialEq`; NaN times are rejected by the `schedule` assert.
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for earliest-first.
         other

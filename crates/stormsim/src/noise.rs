@@ -53,6 +53,7 @@ impl MeasurementNoise {
         if value <= 0.0 {
             return 0.0; // failed runs stay failed
         }
+        // mtm-allow: float-eq -- exact zero is the untouched "noise disabled" config sentinel
         if self.sigma == 0.0 && self.interference_prob == 0.0 {
             return value;
         }

@@ -39,6 +39,7 @@ pub fn apply_contention(topo: &mut Topology, fraction: f64, seed: u64) -> Vec<us
     for v in 0..topo.n_nodes() {
         topo.node_mut(v).contentious = false;
     }
+    // mtm-allow: float-eq -- exact zero is the "no contention" sentinel passed verbatim by callers
     if fraction == 0.0 {
         return Vec::new();
     }

@@ -1,0 +1,78 @@
+//! The optimizer's error chain.
+//!
+//! Failures propagate upward without panicking:
+//! `LinalgError` (factorization) → `GpError` (surrogate) → [`BoError`]
+//! (optimizer), each lifted by `From` so `?` composes across the three
+//! crates. Callers that previously had to absorb a panic now get a value
+//! they can route into their own recovery (the core strategy layer maps
+//! a failed proposal to "stop tuning", the runner journals it).
+
+use mtm_gp::gp::GpError;
+use mtm_linalg::LinalgError;
+
+/// Errors surfaced by [`crate::BayesOpt`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoError {
+    /// The surrogate model failed (factorization, bad data, …).
+    Gp(GpError),
+    /// A measured objective was NaN or ±inf.
+    NonFiniteObjective(f64),
+    /// Rejected configuration (builder validation).
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for BoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoError::Gp(e) => write!(f, "surrogate failure: {e}"),
+            BoError::NonFiniteObjective(y) => {
+                write!(f, "objective must be finite (got {y})")
+            }
+            BoError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BoError::Gp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpError> for BoError {
+    fn from(e: GpError) -> Self {
+        BoError::Gp(e)
+    }
+}
+
+impl From<LinalgError> for BoError {
+    fn from(e: LinalgError) -> Self {
+        BoError::Gp(GpError::Linalg(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_lifts_linalg_through_gp() {
+        let lin = LinalgError::NonFinite;
+        let bo: BoError = lin.clone().into();
+        assert_eq!(bo, BoError::Gp(GpError::Linalg(lin)));
+        // Displayable at every level, and source() walks down the chain.
+        let text = bo.to_string();
+        assert!(text.contains("surrogate failure"), "got: {text}");
+        let src = std::error::Error::source(&bo).expect("has a source");
+        assert!(src.to_string().contains("linear algebra"));
+    }
+
+    #[test]
+    fn non_finite_objective_formats_value() {
+        let e = BoError::NonFiniteObjective(f64::NAN);
+        assert!(e.to_string().contains("finite"));
+    }
+}

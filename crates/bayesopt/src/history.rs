@@ -100,10 +100,10 @@ mod tests {
     fn run_steps(bo: &mut BayesOpt, n: usize) -> Vec<Vec<Value>> {
         let mut proposals = Vec::new();
         for _ in 0..n {
-            let c = bo.propose();
+            let c = bo.propose().expect("propose");
             let y = -(c.values[0].as_float() - 0.3).powi(2);
             proposals.push(c.values.clone());
-            bo.observe(c, y);
+            bo.observe(c, y).expect("observe");
         }
         proposals
     }

@@ -9,10 +9,15 @@
 //! * [`design`] — Latin-hypercube and random initial designs,
 //! * [`acquisition`] — Expected Improvement (the paper's choice),
 //!   Probability of Improvement and GP-UCB,
-//! * [`optimizer`] — the propose/observe loop: fit a GP surrogate on the
-//!   observations, maximize the acquisition over candidates with a
+//! * [`optimizer`] — the propose/observe loop: maintain a persistent GP
+//!   surrogate over the observations (incremental `O(n²)` factor updates,
+//!   scheduled hyperparameter refits), maximize the acquisition over
+//!   candidates with chunked deterministic parallel scoring and a
 //!   coordinate-descent polish, optionally marginalizing the acquisition
 //!   over slice-sampled hyperparameters exactly as Spearmint does,
+//! * [`error`] — the [`BoError`] end of the `LinalgError → GpError →
+//!   BoError` chain; proposal and observation failures are values, not
+//!   panics,
 //! * [`history`] — serde snapshots giving pause/resume, the Spearmint
 //!   feature the authors singled out as important for their cluster setup.
 //!
@@ -21,12 +26,13 @@
 //!
 //! // Maximize a toy 1-D function over an integer parameter.
 //! let space = ParamSpace::new(vec![Param::int("x", 0, 20)]);
-//! let mut bo = BayesOpt::new(space, BoConfig { seed: 7, ..Default::default() });
+//! let config = BoConfig::builder().seed(7).build().expect("valid config");
+//! let mut bo = BayesOpt::new(space, config);
 //! for _ in 0..15 {
-//!     let cand = bo.propose();
+//!     let cand = bo.propose().expect("propose");
 //!     let x = cand.values[0].as_int() as f64;
 //!     let y = -(x - 13.0) * (x - 13.0); // peak at 13
-//!     bo.observe(cand, y);
+//!     bo.observe(cand, y).expect("finite objective");
 //! }
 //! let best = bo.best().unwrap();
 //! assert!((best.values[0].as_int() - 13).abs() <= 2);
@@ -34,13 +40,17 @@
 
 pub mod acquisition;
 pub mod design;
+pub mod error;
 pub mod history;
 pub mod optimizer;
 pub mod space;
 
 pub use acquisition::Acquisition;
+pub use error::BoError;
 pub use history::Snapshot;
-pub use optimizer::{BayesOpt, BoConfig, Candidate, KernelChoice, Observation};
+pub use optimizer::{
+    BayesOpt, BoConfig, BoConfigBuilder, Candidate, KernelChoice, Observation, SurrogateMode,
+};
 pub use space::{Param, ParamSpace, Value};
 
 // Runtime invariant guards, available to callers when the

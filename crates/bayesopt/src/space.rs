@@ -149,6 +149,10 @@ impl Param {
     /// Encode a typed value back onto the unit interval (bucket midpoint
     /// for discrete parameters, so decode∘encode is the identity on valid
     /// values).
+    ///
+    /// A value whose variant does not match the parameter type encodes
+    /// to the interval midpoint (with a debug assertion) — the optimizer
+    /// hot path stays panic-free on release builds.
     pub fn encode(&self, v: &Value) -> f64 {
         match (self, v) {
             (Param::Int { lo, hi, .. }, Value::Int(x)) => {
@@ -168,10 +172,14 @@ impl Param {
             (Param::Categorical { choices, .. }, Value::Cat(i)) => {
                 ((*i as f64) + 0.5) / choices.len() as f64
             }
-            _ => panic!(
-                "value {v:?} does not match parameter type of '{}'",
-                self.name()
-            ),
+            _ => {
+                debug_assert!(
+                    false,
+                    "value {v:?} does not match parameter type of '{}'",
+                    self.name()
+                );
+                0.5
+            }
         }
     }
 

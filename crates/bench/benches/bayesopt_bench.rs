@@ -1,7 +1,15 @@
-//! Cost of one BO proposal as the parameter-space dimension grows — the
-//! Criterion companion to Fig. 7 (the paper's 35 s/90 s/173 s step times
-//! for 10/50/100 hints; ours are milliseconds, but the growth shape is
-//! what matters).
+//! Cost of one BO proposal — the Criterion companion to Fig. 7 (the
+//! paper's 35 s/90 s/173 s step times for 10/50/100 hints; ours are
+//! milliseconds, but the growth shape is what matters).
+//!
+//! Two axes:
+//!
+//! * `bo_propose_step` — proposal cost as the parameter-space dimension
+//!   grows (10/50/100 hints), matching Fig. 7's x-axis.
+//! * `bo_propose_history` — proposal cost as the *observation history*
+//!   grows (15/60/180 points), incremental surrogate vs the legacy
+//!   full-refit path ([`BayesOpt::invalidate_surrogate`] before every
+//!   proposal). This is the pair behind `BENCH_gp.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -9,43 +17,51 @@ use std::hint::black_box;
 use mtm_bayesopt::{space::Param, BayesOpt, BoConfig, ParamSpace};
 use mtm_gp::FitOptions;
 
-fn primed_optimizer(dim: usize, n_obs: usize) -> BayesOpt {
+fn history_config(seed: u64) -> BoConfig {
+    BoConfig::builder()
+        .seed(seed)
+        .fit(FitOptions::fast())
+        .n_init(6)
+        .n_candidates(256)
+        .refit_every(4)
+        .build()
+        .expect("bench config is valid")
+}
+
+fn primed_optimizer(dim: usize, n_obs: usize, config: BoConfig) -> BayesOpt {
     let params: Vec<Param> = (0..dim)
         .map(|i| Param::int(&format!("h{i}"), 1, 60))
         .collect();
     let space = ParamSpace::new(params);
-    let mut bo = BayesOpt::new(
-        space,
-        BoConfig {
-            seed: 1,
-            fit: FitOptions::fast(),
-            n_candidates: 256,
-            ..Default::default()
-        },
-    );
-    for step in 0..n_obs {
-        let c = bo.propose();
+    let mut bo = BayesOpt::new(space, config);
+    for _ in 0..n_obs {
+        let c = bo.propose().expect("propose");
         let y = c
             .values
             .iter()
             .map(|v| v.as_int() as f64)
             .sum::<f64>()
             .sin();
-        let _ = step;
-        bo.observe(c, y);
+        bo.observe(c, y).expect("observe");
     }
     bo
 }
 
-fn bench_propose(c: &mut Criterion) {
+fn bench_propose_by_dim(c: &mut Criterion) {
     let mut group = c.benchmark_group("bo_propose_step");
     group.sample_size(10);
     for &dim in &[10usize, 50, 100] {
-        let bo = primed_optimizer(dim, 20);
+        let cfg = BoConfig::builder()
+            .seed(1)
+            .fit(FitOptions::fast())
+            .n_candidates(256)
+            .build()
+            .expect("bench config is valid");
+        let bo = primed_optimizer(dim, 20, cfg);
         group.bench_with_input(BenchmarkId::from_parameter(dim), &bo, |b, bo| {
             b.iter_batched(
                 || bo.clone(),
-                |mut bo| black_box(bo.propose()),
+                |mut bo| black_box(bo.propose().expect("propose")),
                 criterion::BatchSize::LargeInput,
             )
         });
@@ -53,5 +69,31 @@ fn bench_propose(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_propose);
+fn bench_propose_by_history(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bo_propose_history");
+    group.sample_size(10);
+    for &n in &[15usize, 60, 180] {
+        let bo = primed_optimizer(10, n, history_config(2));
+        group.bench_with_input(BenchmarkId::new("incremental", n), &bo, |b, bo| {
+            b.iter_batched(
+                || bo.clone(),
+                |mut bo| black_box(bo.propose().expect("propose")),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("full_refit", n), &bo, |b, bo| {
+            b.iter_batched(
+                || bo.clone(),
+                |mut bo| {
+                    bo.invalidate_surrogate();
+                    black_box(bo.propose().expect("propose"))
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propose_by_dim, bench_propose_by_history);
 criterion_main!(benches);

@@ -55,5 +55,46 @@ fn bench_predict(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fit, bench_predict);
+/// O(n²) incremental absorb vs O(n³) refit-from-scratch at the same
+/// history size — the asymmetry the incremental surrogate hot path
+/// exploits on every non-refit BO step.
+fn bench_incremental_vs_refit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_add_observation");
+    group.sample_size(10);
+    for &n in &[15usize, 60, 180] {
+        let d = 10;
+        let (xs, ys) = dataset(n, d);
+        let gp = GpRegression::fit(Matern52Ard::new(d, 1.0, 0.3), xs, ys, 1e-2).unwrap();
+        let x_new: Vec<f64> = (0..d).map(|j| (j as f64 * 0.313).fract()).collect();
+        group.bench_with_input(BenchmarkId::new("incremental", n), &gp, |b, gp| {
+            b.iter_batched(
+                || gp.clone(),
+                |mut gp| {
+                    gp.add_observation(x_new.clone(), 0.25).unwrap();
+                    black_box(gp.predict(&x_new))
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("full_refit", n), &gp, |b, gp| {
+            b.iter_batched(
+                || gp.clone(),
+                |mut gp| {
+                    gp.add_observation(x_new.clone(), 0.25).unwrap();
+                    gp.refit().unwrap();
+                    black_box(gp.predict(&x_new))
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fit,
+    bench_predict,
+    bench_incremental_vs_refit
+);
 criterion_main!(benches);

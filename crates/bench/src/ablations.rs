@@ -38,16 +38,27 @@ fn cell_objective(cluster: ClusterSpec) -> Objective {
     Objective::new(topo, cluster).with_base(base)
 }
 
+fn bo_builder(seed: u64) -> mtm_bayesopt::BoConfigBuilder {
+    BoConfig::builder()
+        .seed(seed)
+        .fit(FitOptions::fast())
+        .n_init(10)
+        .n_candidates(512)
+        .local_passes(2)
+        .refit_every(2)
+}
+
+/// All ablation configs are statically valid; fall back to the default
+/// (with a debug assertion) instead of panicking in release benches.
+fn built(b: mtm_bayesopt::BoConfigBuilder) -> BoConfig {
+    b.build().unwrap_or_else(|e| {
+        debug_assert!(false, "static ablation config rejected: {e}");
+        BoConfig::default()
+    })
+}
+
 fn bo_config(seed: u64) -> BoConfig {
-    BoConfig {
-        seed,
-        fit: FitOptions::fast(),
-        n_init: 10,
-        n_candidates: 512,
-        local_passes: 2,
-        refit_every: 2,
-        ..Default::default()
-    }
+    built(bo_builder(seed))
 }
 
 /// Run one BO experiment with a configured optimizer.
@@ -97,9 +108,8 @@ pub fn acquisitions(steps: usize) -> Table {
         ("pi", Acquisition::ProbabilityOfImprovement { xi: 0.01 }),
         ("ucb k=2", Acquisition::UpperConfidenceBound { kappa: 2.0 }),
     ] {
-        let mean = run_bo(&objective, &opts, |seed| BoConfig {
-            acquisition: acq,
-            ..bo_config(seed)
+        let mean = run_bo(&objective, &opts, |seed| {
+            built(bo_builder(seed).acquisition(acq))
         });
         t.push(label, vec![mean]);
     }
@@ -120,9 +130,8 @@ pub fn kernels(steps: usize) -> Table {
         ("matern52 (spearmint)", KernelChoice::Matern52),
         ("squared-exp", KernelChoice::SquaredExp),
     ] {
-        let mean = run_bo(&objective, &opts, |seed| BoConfig {
-            kernel,
-            ..bo_config(seed)
+        let mean = run_bo(&objective, &opts, |seed| {
+            built(bo_builder(seed).kernel(kernel))
         });
         t.push(label, vec![mean]);
     }
@@ -152,9 +161,8 @@ pub fn marginalization(steps: usize) -> Table {
             }),
         ),
     ] {
-        let mean = run_bo(&objective, &opts, |seed| BoConfig {
-            marginalize: marg,
-            ..bo_config(seed)
+        let mean = run_bo(&objective, &opts, |seed| {
+            built(bo_builder(seed).marginalize(marg))
         });
         t.push(label, vec![mean]);
     }

@@ -106,6 +106,51 @@ pub fn check_psd_spot(tag: &str, n: usize, get: &dyn Fn(usize, usize) -> f64) {
     }
 }
 
+/// Assert an incrementally maintained Cholesky factor is still a valid
+/// positive-definite factor (finite entries, strictly positive diagonal)
+/// and agrees elementwise with a freshly computed factor of the same
+/// matrix to a scale-relative tolerance. Called at refit boundaries,
+/// where the incremental GP replaces a chain of `O(n²)` rank-one /
+/// bordered updates with a from-scratch factorization: any drift the
+/// updates accumulated shows up here.
+///
+/// # Panics
+///
+/// Panics with `tag` on a non-finite or non-positive diagonal entry in
+/// the incremental factor, or on the first element that drifts beyond
+/// the tolerance.
+pub fn check_factor_agreement(
+    tag: &str,
+    n: usize,
+    incremental: &dyn Fn(usize, usize) -> f64,
+    fresh: &dyn Fn(usize, usize) -> f64,
+) {
+    let mut scale = 0.0f64;
+    for i in 0..n {
+        scale = scale.max(fresh(i, i).abs());
+    }
+    let tol = 1e-6 * scale.max(1.0);
+    for i in 0..n {
+        let d = incremental(i, i);
+        assert!(
+            d.is_finite() && d > 0.0,
+            "strict-invariants: {tag}: incremental factor diagonal {d} at {i} is not positive — factor left the PD cone"
+        );
+        for j in 0..=i {
+            let a = incremental(i, j);
+            let b = fresh(i, j);
+            assert!(
+                a.is_finite(),
+                "strict-invariants: {tag}: non-finite incremental factor entry at ({i},{j})"
+            );
+            assert!(
+                (a - b).abs() <= tol,
+                "strict-invariants: {tag}: incremental factor drifted at ({i},{j}): {a} vs fresh {b} (tol {tol})"
+            );
+        }
+    }
+}
+
 /// Assert simulation time never moves backwards: `next >= prev`, both
 /// finite.
 ///
@@ -157,6 +202,25 @@ mod tests {
                 (1, 1) => -5.0,
                 _ => 0.0,
             })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn factor_agreement_check() {
+        // Identical factors pass.
+        let l = [[2.0, 0.0], [0.5, 1.5]];
+        check_factor_agreement("same", 2, &|i, j| l[i][j], &|i, j| l[i][j]);
+        // Drift beyond tolerance trips.
+        let drifted = [[2.1, 0.0], [0.5, 1.5]];
+        let caught = std::panic::catch_unwind(|| {
+            check_factor_agreement("drift", 2, &|i, j| drifted[i][j], &|i, j| l[i][j])
+        });
+        assert!(caught.is_err());
+        // Non-positive diagonal trips even when both sides agree.
+        let flat = [[2.0, 0.0], [0.5, 0.0]];
+        let caught = std::panic::catch_unwind(|| {
+            check_factor_agreement("flat", 2, &|i, j| flat[i][j], &|i, j| flat[i][j])
         });
         assert!(caught.is_err());
     }

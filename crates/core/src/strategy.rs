@@ -60,18 +60,23 @@ impl Strategy {
         } else {
             FitOptions::default()
         };
-        let config = BoConfig {
-            seed,
-            fit,
-            n_init: (space.dim() / 4).clamp(6, 16),
-            n_candidates: 768,
-            local_passes: 3,
+        let config = BoConfig::builder()
+            .seed(seed)
+            .fit(fit)
+            .n_init((space.dim() / 4).clamp(6, 16))
+            .n_candidates(768)
+            .local_passes(3)
             // Wide spaces (the large topology tunes >100 hints) refit the
             // surrogate hyperparameters less often; Fig. 7 measures the
             // resulting sublinear step-time growth.
-            refit_every: if wide { 3 } else { 1 },
-            ..Default::default()
-        };
+            .refit_every(if wide { 3 } else { 1 })
+            .build()
+            .unwrap_or_else(|e| {
+                // Statically valid by construction; keep release builds
+                // panic-free on the proposal path regardless.
+                debug_assert!(false, "strategy BoConfig rejected: {e}");
+                BoConfig::default()
+            });
         Strategy::Bo {
             opt: BayesOpt::new(space, config),
             set,
@@ -148,7 +153,10 @@ impl Strategy {
                     pending.is_none(),
                     "observe() must be called between proposals"
                 );
-                let cand = opt.propose();
+                // A surrogate failure (degenerate data the jitter ladder
+                // cannot rescue) ends the schedule instead of panicking;
+                // the experiment loop records the steps taken so far.
+                let cand = opt.propose().ok()?;
                 let config = set.to_config(topo, base, &cand.values);
                 *pending = Some(cand);
                 Some(config)
@@ -157,10 +165,19 @@ impl Strategy {
     }
 
     /// Feed back the measured throughput for the last proposal.
+    ///
+    /// Observations without a pending proposal, and non-finite
+    /// throughputs, are dropped (with a debug assertion) rather than
+    /// panicking — the simulator only produces finite rates.
     pub fn observe(&mut self, throughput: f64) {
         if let Strategy::Bo { opt, pending, .. } = self {
-            let cand = pending.take().expect("propose() must precede observe()");
-            opt.observe(cand, throughput);
+            let Some(cand) = pending.take() else {
+                debug_assert!(false, "propose() must precede observe()");
+                return;
+            };
+            if let Err(e) = opt.observe(cand, throughput) {
+                debug_assert!(false, "rejected observation: {e}");
+            }
         }
     }
 }

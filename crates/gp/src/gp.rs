@@ -66,6 +66,10 @@ pub struct GpRegression<K: Kernel> {
     chol: Cholesky,
     /// `(K + σ_n² I)^{-1} (y - m)` — the dual weights.
     alpha: Vec<f64>,
+    /// Rank-one / bordered factor updates applied since the last full
+    /// factorization. Drives the strict-invariants drift check at refit
+    /// boundaries.
+    incremental_steps: usize,
 }
 
 impl<K: Kernel> GpRegression<K> {
@@ -105,6 +109,7 @@ impl<K: Kernel> GpRegression<K> {
             log_noise_var: noise_var.ln(),
             chol: Cholesky::factor(&Mat::identity(1))?,
             alpha: Vec::new(),
+            incremental_steps: 0,
         };
         gp.refit()?;
         Ok(gp)
@@ -112,6 +117,11 @@ impl<K: Kernel> GpRegression<K> {
 
     /// Rebuild the kernel matrix and refactor (used after hyperparameter
     /// changes).
+    ///
+    /// When the factor was maintained incrementally since the last full
+    /// factorization at the *same* hyperparameters, the strict-invariants
+    /// build compares the incremental factor against the fresh one here —
+    /// the refit boundary is exactly where accumulated drift would surface.
     pub fn refit(&mut self) -> Result<(), GpError> {
         let n = self.xs.len();
         let mut k = Mat::from_fn(n, n, |i, j| self.kernel.eval(&self.xs[i], &self.xs[j]));
@@ -120,21 +130,39 @@ impl<K: Kernel> GpRegression<K> {
         mtm_linalg::invariants::assert_finite("GP kernel matrix", k.as_slice());
         #[cfg(feature = "strict-invariants")]
         mtm_linalg::invariants::check_psd_spot("GP kernel matrix", n, &|i, j| k[(i, j)]);
+        #[cfg(feature = "strict-invariants")]
+        let stale = (self.incremental_steps > 0 && self.chol.dim() == n).then(|| self.chol.clone());
         self.chol = Cholesky::factor(&k)?;
-        self.mean = self.ys.iter().sum::<f64>() / n as f64;
-        let centered: Vec<f64> = self.ys.iter().map(|y| y - self.mean).collect();
-        self.alpha = self.chol.solve_vec(&centered);
+        #[cfg(feature = "strict-invariants")]
+        if let Some(old) = stale {
+            // Jitter escalation changes the factored matrix itself; only
+            // compare factors built at the same effective jitter.
+            #[allow(clippy::float_cmp)] // lint:allow(float_cmp) same-ladder-rung check
+            if old.jitter() == self.chol.jitter() {
+                mtm_linalg::invariants::check_factor_agreement(
+                    "GP factor at refit boundary",
+                    n,
+                    &|i, j| old.l()[(i, j)],
+                    &|i, j| self.chol.l()[(i, j)],
+                );
+            }
+        }
+        self.incremental_steps = 0;
+        self.refresh_weights();
         Ok(())
     }
 
     /// Absorb one new observation in `O(n²)` via a bordered Cholesky
     /// update. Falls back to a full refit if the update is numerically
-    /// rejected. Note the constant mean is *not* re-estimated here (it
-    /// would invalidate the factor); call [`GpRegression::refit`]
-    /// periodically if means drift.
+    /// rejected. The constant mean and dual weights are re-estimated —
+    /// the kernel matrix (and hence the factor) does not depend on the
+    /// targets, so the updated factor stays exact.
     pub fn add_observation(&mut self, x: Vec<f64>, y: f64) -> Result<(), GpError> {
         if x.len() != self.kernel.input_dim() {
             return Err(GpError::BadInput("dimension mismatch".into()));
+        }
+        if !y.is_finite() {
+            return Err(GpError::BadInput("target must be finite".into()));
         }
         let b: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, &x)).collect();
         let c = self.kernel.diag() + self.log_noise_var.exp();
@@ -142,12 +170,73 @@ impl<K: Kernel> GpRegression<K> {
         self.ys.push(y);
         match self.chol.append(&b, c) {
             Ok(()) => {
-                let centered: Vec<f64> = self.ys.iter().map(|yi| yi - self.mean).collect();
-                self.alpha = self.chol.solve_vec(&centered);
+                self.incremental_steps += 1;
+                self.refresh_weights();
                 Ok(())
             }
             Err(_) => self.refit(),
         }
+    }
+
+    /// Drop observation `idx` in `O(n²)` via a Cholesky row/column
+    /// removal (bounded-memory online use: evict stale measurements
+    /// without refactorizing).
+    pub fn remove_observation(&mut self, idx: usize) -> Result<(), GpError> {
+        let n = self.xs.len();
+        if idx >= n {
+            return Err(GpError::BadInput(format!(
+                "remove index {idx} out of bounds for {n} observations"
+            )));
+        }
+        if n == 1 {
+            return Err(GpError::BadInput(
+                "cannot remove the last observation".into(),
+            ));
+        }
+        self.xs.remove(idx);
+        self.ys.remove(idx);
+        self.chol.remove(idx);
+        self.incremental_steps += 1;
+        self.refresh_weights();
+        Ok(())
+    }
+
+    /// Replace every target value, keeping inputs and factor.
+    ///
+    /// The kernel matrix does not depend on the targets, so only the
+    /// constant mean and the dual weights need recomputing — two
+    /// triangular solves, `O(n²)`. This is what lets a BO loop
+    /// re-standardize its objective after every observation without
+    /// paying a refactorization.
+    pub fn set_targets(&mut self, ys: &[f64]) -> Result<(), GpError> {
+        if ys.len() != self.xs.len() {
+            return Err(GpError::BadInput(format!(
+                "{} targets for {} inputs",
+                ys.len(),
+                self.xs.len()
+            )));
+        }
+        if ys.iter().any(|y| !y.is_finite()) {
+            return Err(GpError::BadInput("targets must be finite".into()));
+        }
+        self.ys.clear();
+        self.ys.extend_from_slice(ys);
+        self.refresh_weights();
+        Ok(())
+    }
+
+    /// Recompute the constant mean and dual weights against the current
+    /// factor (`O(n²)`).
+    fn refresh_weights(&mut self) {
+        self.mean = self.ys.iter().sum::<f64>() / self.ys.len() as f64;
+        let centered: Vec<f64> = self.ys.iter().map(|y| y - self.mean).collect();
+        self.alpha = self.chol.solve_vec(&centered);
+    }
+
+    /// Number of incremental factor updates since the last full
+    /// factorization.
+    pub fn incremental_steps(&self) -> usize {
+        self.incremental_steps
     }
 
     /// Posterior prediction at `x`.
@@ -165,9 +254,48 @@ impl<K: Kernel> GpRegression<K> {
         }
     }
 
-    /// Predictions at many inputs.
+    /// Predictions at many inputs, batched.
+    ///
+    /// Builds the `n × m` cross-covariance block and whitens all query
+    /// columns through one matrix triangular solve — the same flops as
+    /// `m` calls to [`predict`](Self::predict) but with streaming memory
+    /// access, which is what the acquisition hot loop wants. Summation
+    /// order differs from the scalar path, so results may differ from
+    /// `predict` by rounding (use one or the other consistently when
+    /// bitwise reproducibility matters).
     pub fn predict_many(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        debug_assert!(xs.iter().all(|x| x.len() == self.kernel.input_dim()));
+        let n = self.xs.len();
+        let m = xs.len();
+        let kstar = Mat::from_fn(n, m, |i, j| self.kernel.eval(&self.xs[i], &xs[j]));
+        let w = mtm_linalg::triangular::solve_lower_mat(self.chol.l(), &kstar);
+        let diag = self.kernel.diag();
+        let mut out = vec![
+            Prediction {
+                mean: self.mean,
+                var: diag,
+            };
+            m
+        ];
+        // Row sweeps keep both kstar and w accesses contiguous.
+        for i in 0..n {
+            let a = self.alpha[i];
+            let krow = kstar.row(i);
+            let wrow = w.row(i);
+            for (p, (&k, &wv)) in out.iter_mut().zip(krow.iter().zip(wrow)) {
+                p.mean += a * k;
+                p.var -= wv * wv;
+            }
+        }
+        for p in &mut out {
+            #[cfg(feature = "strict-invariants")]
+            mtm_linalg::invariants::assert_finite("GP batched posterior", &[p.mean, p.var]);
+            p.var = p.var.max(0.0);
+        }
+        out
     }
 
     /// Log marginal likelihood of the current hyperparameters.

@@ -14,7 +14,10 @@
 //!   multi-restart Adam optimizer in log space,
 //! * [`mod@slice`] — univariate slice sampling over hyperparameters, for the
 //!   marginalized acquisition Spearmint uses,
-//! * [`priors`] — log-normal and uniform priors on log-hyperparameters.
+//! * [`priors`] — log-normal and uniform priors on log-hyperparameters,
+//! * [`surrogate`] — the [`Surrogate`] trait the BO loop consumes, with an
+//!   incremental implementation ([`GpRegression`], `O(n²)` per observation)
+//!   and an exact reference ([`ExactGp`], full refit per observation).
 //!
 //! ```
 //! use mtm_gp::{GpRegression, kernel::Matern52Ard};
@@ -35,10 +38,12 @@ pub mod hyper;
 pub mod kernel;
 pub mod priors;
 pub mod slice;
+pub mod surrogate;
 
-pub use gp::{GpRegression, Prediction};
+pub use gp::{GpError, GpRegression, Prediction};
 pub use hyper::FitOptions;
 pub use kernel::{Kernel, Matern52Ard, SquaredExpArd};
+pub use surrogate::{ExactGp, Surrogate};
 
 // Runtime invariant guards, available to callers when the
 // `strict-invariants` feature is on.

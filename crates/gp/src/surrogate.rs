@@ -1,0 +1,321 @@
+//! The `Surrogate` seam between a Bayesian-Optimization loop and its
+//! probabilistic model.
+//!
+//! `BayesOpt` used to consume a concrete `GpRegression<K>`; everything it
+//! actually needs is behind this trait, so exact and incremental
+//! implementations are interchangeable — and testable against each other:
+//!
+//! * [`GpRegression`] implements the trait **incrementally**: `observe`
+//!   extends the existing Cholesky factor in `O(n²)` (bordered update) and
+//!   only a hyperparameter change triggers an `O(n³)` refactorization.
+//! * [`ExactGp`] is the reference implementation: every `observe` performs
+//!   a from-scratch refit. Same posterior, cubic cost — the baseline the
+//!   incremental path is benchmarked and property-tested against.
+
+use crate::gp::{GpError, GpRegression, Prediction};
+use crate::hyper::FitOptions;
+use crate::kernel::Kernel;
+
+/// What a Bayesian-Optimization loop needs from its probabilistic model.
+///
+/// The contract mirrors the propose/observe cadence of the tuner:
+/// `observe` absorbs a measurement, `set_targets` re-standardizes the
+/// objective without touching the factor, `predict_many` scores a
+/// candidate pool, and the hyperparameter methods drive periodic refits
+/// and slice-sampled marginalization.
+pub trait Surrogate: Send + Sync {
+    /// Absorb one `(x, y)` observation.
+    fn observe(&mut self, x: Vec<f64>, y: f64) -> Result<(), GpError>;
+
+    /// Replace every target value (inputs unchanged), e.g. after the BO
+    /// loop re-standardizes its objective.
+    fn set_targets(&mut self, ys: &[f64]) -> Result<(), GpError>;
+
+    /// Posterior prediction at a single input.
+    fn predict(&self, x: &[f64]) -> Prediction;
+
+    /// Posterior predictions at many inputs. Implementations may batch;
+    /// the default maps [`predict`](Self::predict).
+    fn predict_many(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Rebuild internal state from scratch at the current
+    /// hyperparameters.
+    fn refit(&mut self) -> Result<(), GpError>;
+
+    /// Log marginal likelihood of the current hyperparameters.
+    fn lml(&self) -> f64;
+
+    /// All hyperparameters in log space.
+    fn hyperparameters(&self) -> Vec<f64>;
+
+    /// Set all hyperparameters and refit.
+    fn set_hyperparameters(&mut self, p: &[f64]) -> Result<(), GpError>;
+
+    /// Fit hyperparameters by type-II maximum likelihood; returns the
+    /// best log marginal likelihood found.
+    fn optimize_hyperparameters(&mut self, opts: &FitOptions) -> f64;
+
+    /// Number of observations absorbed so far.
+    fn n_observations(&self) -> usize;
+}
+
+impl<K: Kernel> Surrogate for GpRegression<K> {
+    fn observe(&mut self, x: Vec<f64>, y: f64) -> Result<(), GpError> {
+        self.add_observation(x, y)
+    }
+
+    fn set_targets(&mut self, ys: &[f64]) -> Result<(), GpError> {
+        GpRegression::set_targets(self, ys)
+    }
+
+    fn predict(&self, x: &[f64]) -> Prediction {
+        GpRegression::predict(self, x)
+    }
+
+    fn predict_many(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
+        GpRegression::predict_many(self, xs)
+    }
+
+    fn refit(&mut self) -> Result<(), GpError> {
+        GpRegression::refit(self)
+    }
+
+    fn lml(&self) -> f64 {
+        self.log_marginal_likelihood()
+    }
+
+    fn hyperparameters(&self) -> Vec<f64> {
+        GpRegression::hyperparameters(self)
+    }
+
+    fn set_hyperparameters(&mut self, p: &[f64]) -> Result<(), GpError> {
+        GpRegression::set_hyperparameters(self, p)
+    }
+
+    fn optimize_hyperparameters(&mut self, opts: &FitOptions) -> f64 {
+        GpRegression::optimize_hyperparameters(self, opts)
+    }
+
+    fn n_observations(&self) -> usize {
+        GpRegression::n_observations(self)
+    }
+}
+
+/// Reference surrogate: identical model to [`GpRegression`], but every
+/// [`observe`](Surrogate::observe) pays a full `O(n³)` refactorization.
+///
+/// Exists so the incremental hot path has something exact to be measured
+/// and property-tested against; select it in production code only when
+/// chasing a suspected incremental-update bug.
+#[derive(Debug, Clone)]
+pub struct ExactGp<K: Kernel>(GpRegression<K>);
+
+impl<K: Kernel> ExactGp<K> {
+    /// Fit on initial data (same contract as [`GpRegression::fit`]).
+    pub fn fit(
+        kernel: K,
+        xs: Vec<Vec<f64>>,
+        ys: Vec<f64>,
+        noise_var: f64,
+    ) -> Result<Self, GpError> {
+        GpRegression::fit(kernel, xs, ys, noise_var).map(ExactGp)
+    }
+
+    /// Wrap an already-fitted GP.
+    pub fn from_gp(gp: GpRegression<K>) -> Self {
+        ExactGp(gp)
+    }
+
+    /// The underlying GP.
+    pub fn inner(&self) -> &GpRegression<K> {
+        &self.0
+    }
+
+    /// Unwrap into the underlying GP.
+    pub fn into_inner(self) -> GpRegression<K> {
+        self.0
+    }
+}
+
+impl<K: Kernel> Surrogate for ExactGp<K> {
+    fn observe(&mut self, x: Vec<f64>, y: f64) -> Result<(), GpError> {
+        // Absorb, then immediately refactorize from scratch: under
+        // `strict-invariants` this also exercises the factor-agreement
+        // guard on every single observation.
+        self.0.add_observation(x, y)?;
+        self.0.refit()
+    }
+
+    fn set_targets(&mut self, ys: &[f64]) -> Result<(), GpError> {
+        self.0.set_targets(ys)
+    }
+
+    fn predict(&self, x: &[f64]) -> Prediction {
+        self.0.predict(x)
+    }
+
+    fn predict_many(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
+        self.0.predict_many(xs)
+    }
+
+    fn refit(&mut self) -> Result<(), GpError> {
+        self.0.refit()
+    }
+
+    fn lml(&self) -> f64 {
+        self.0.log_marginal_likelihood()
+    }
+
+    fn hyperparameters(&self) -> Vec<f64> {
+        self.0.hyperparameters()
+    }
+
+    fn set_hyperparameters(&mut self, p: &[f64]) -> Result<(), GpError> {
+        self.0.set_hyperparameters(p)
+    }
+
+    fn optimize_hyperparameters(&mut self, opts: &FitOptions) -> f64 {
+        self.0.optimize_hyperparameters(opts)
+    }
+
+    fn n_observations(&self) -> usize {
+        self.0.n_observations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Matern52Ard;
+
+    fn seed_data(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|j| ((i * d + j) as f64 * 0.61803).fract())
+                    .collect()
+            })
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| x.iter().map(|v| (3.0 * v).sin()).sum::<f64>())
+            .collect();
+        (xs, ys)
+    }
+
+    fn fit_pair(n0: usize, d: usize) -> (GpRegression<Matern52Ard>, ExactGp<Matern52Ard>) {
+        let (xs, ys) = seed_data(n0, d);
+        let k = Matern52Ard::new(d, 1.0, 0.3);
+        let inc = GpRegression::fit(k.clone(), xs.clone(), ys.clone(), 1e-2).unwrap();
+        let exact = ExactGp::fit(k, xs, ys, 1e-2).unwrap();
+        (inc, exact)
+    }
+
+    #[test]
+    fn incremental_and_exact_agree_through_observe_stream() {
+        let d = 3;
+        let (mut inc, mut exact) = fit_pair(6, d);
+        let (stream_xs, stream_ys) = seed_data(30, d);
+        let queries: Vec<Vec<f64>> = (0..16)
+            .map(|i| (0..d).map(|j| ((i + j) as f64 * 0.137).fract()).collect())
+            .collect();
+        for (x, y) in stream_xs.iter().skip(6).zip(stream_ys.iter().skip(6)) {
+            Surrogate::observe(&mut inc, x.clone(), *y).unwrap();
+            Surrogate::observe(&mut exact, x.clone(), *y).unwrap();
+            let pi = Surrogate::predict_many(&inc, &queries);
+            let pe = Surrogate::predict_many(&exact, &queries);
+            for (a, b) in pi.iter().zip(&pe) {
+                assert!(
+                    (a.mean - b.mean).abs() < 1e-9,
+                    "means diverged: {} vs {}",
+                    a.mean,
+                    b.mean
+                );
+                assert!(
+                    (a.var - b.var).abs() < 1e-9,
+                    "vars diverged: {} vs {}",
+                    a.var,
+                    b.var
+                );
+            }
+        }
+        assert_eq!(
+            Surrogate::n_observations(&inc),
+            Surrogate::n_observations(&exact)
+        );
+    }
+
+    #[test]
+    fn set_targets_matches_full_refit() {
+        let d = 2;
+        let (mut a, _) = fit_pair(10, d);
+        let mut b = a.clone();
+        let new_ys: Vec<f64> = (0..10)
+            .map(|i| (i as f64 * 0.7).cos() * 2.0 + 1.0)
+            .collect();
+        Surrogate::set_targets(&mut a, &new_ys).unwrap();
+        // b: replace targets the expensive way.
+        Surrogate::set_targets(&mut b, &new_ys).unwrap();
+        Surrogate::refit(&mut b).unwrap();
+        for q in [[0.2, 0.8], [0.5, 0.1], [0.9, 0.9]] {
+            let pa = Surrogate::predict(&a, &q);
+            let pb = Surrogate::predict(&b, &q);
+            assert!((pa.mean - pb.mean).abs() < 1e-10);
+            assert!((pa.var - pb.var).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn remove_observation_matches_fit_without_it() {
+        let d = 2;
+        let (xs, ys) = seed_data(9, d);
+        let k = Matern52Ard::new(d, 1.0, 0.4);
+        let mut gp = GpRegression::fit(k.clone(), xs.clone(), ys.clone(), 1e-2).unwrap();
+        gp.remove_observation(4).unwrap();
+        let mut xs2 = xs;
+        let mut ys2 = ys;
+        xs2.remove(4);
+        ys2.remove(4);
+        let fresh = GpRegression::fit(k, xs2, ys2, 1e-2).unwrap();
+        for q in [[0.1, 0.3], [0.6, 0.2], [0.8, 0.95]] {
+            let pa = gp.predict(&q);
+            let pb = fresh.predict(&q);
+            assert!((pa.mean - pb.mean).abs() < 1e-9);
+            assert!((pa.var - pb.var).abs() < 1e-9);
+        }
+        assert!(gp.remove_observation(99).is_err());
+    }
+
+    #[test]
+    fn batched_predict_matches_scalar_predict() {
+        let (gp, _) = fit_pair(12, 3);
+        let queries: Vec<Vec<f64>> = (0..7)
+            .map(|i| {
+                (0..3)
+                    .map(|j| ((i * 3 + j) as f64 * 0.317).fract())
+                    .collect()
+            })
+            .collect();
+        let batched = gp.predict_many(&queries);
+        for (q, b) in queries.iter().zip(&batched) {
+            let s = gp.predict(q);
+            assert!((s.mean - b.mean).abs() < 1e-10);
+            assert!((s.var - b.var).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let (inc, exact) = fit_pair(8, 2);
+        let mut models: Vec<Box<dyn Surrogate>> = vec![Box::new(inc), Box::new(exact)];
+        for m in &mut models {
+            m.observe(vec![0.5, 0.5], 1.0).unwrap();
+            assert_eq!(m.n_observations(), 9);
+            assert!(m.lml().is_finite());
+            let p = m.predict(&[0.3, 0.3]);
+            assert!(p.var >= 0.0);
+        }
+    }
+}

@@ -20,19 +20,14 @@ fn main() {
         Param::float("x", -5.0, 5.0),
         Param::float("y", -5.0, 5.0),
     ]);
-    let mut bo = BayesOpt::new(
-        space,
-        BoConfig {
-            seed: 99,
-            ..Default::default()
-        },
-    );
+    let config = BoConfig::builder().seed(99).build().expect("valid config");
+    let mut bo = BayesOpt::new(space, config);
 
     // Run ten steps...
     for _ in 0..10 {
-        let c = bo.propose();
+        let c = bo.propose().expect("propose");
         let v = objective(c.values[0].as_float(), c.values[1].as_float());
-        bo.observe(c, v);
+        bo.observe(c, v).expect("finite objective");
     }
     println!("after 10 steps: best = {:.3}", bo.best().unwrap().y);
 
@@ -49,9 +44,9 @@ fn main() {
         .resume()
         .expect("resume");
     for _ in 0..15 {
-        let c = bo.propose();
+        let c = bo.propose().expect("propose");
         let v = objective(c.values[0].as_float(), c.values[1].as_float());
-        bo.observe(c, v);
+        bo.observe(c, v).expect("finite objective");
     }
     let best = bo.best().unwrap();
     println!(

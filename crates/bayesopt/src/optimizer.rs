@@ -32,10 +32,14 @@
 //! proposals collapse several live steps into one; proposals stay valid
 //! but are not guaranteed bitwise-identical to a resumed replay.)
 
+use std::time::Instant;
+
 use mtm_gp::kernel::{Kernel, Matern52Ard, SquaredExpArd};
 use mtm_gp::priors::IndependentPriors;
 use mtm_gp::slice::sample_hyperposterior;
 use mtm_gp::{ExactGp, FitOptions, GpRegression, Surrogate};
+use mtm_obs::event::finite_or_zero;
+use mtm_obs::{Event, NullRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -497,6 +501,17 @@ impl Deserialize for BayesOpt {
     }
 }
 
+/// Scratch the proposal path fills for the [`Event::Propose`] trace
+/// line. Collection is gated on `Recorder::ENABLED`; nothing here feeds
+/// back into the search.
+#[derive(Default)]
+struct ProposeStats {
+    path: &'static str,
+    pool: usize,
+    margin: f64,
+    polish_moves: usize,
+}
+
 impl BayesOpt {
     /// Create an optimizer over `space`.
     pub fn new(space: ParamSpace, config: BoConfig) -> Self {
@@ -557,17 +572,65 @@ impl BayesOpt {
     /// hyperparameter marginalization failing); degenerate data falls
     /// back to uniform exploration rather than erroring.
     pub fn propose(&mut self) -> Result<Candidate, BoError> {
+        self.propose_recorded(&mut NullRecorder)
+    }
+
+    /// [`propose`](Self::propose) with instrumentation: one
+    /// [`Event::Propose`] per successful proposal records which surrogate
+    /// path ran (`design`/`incremental`/`replay`/`fresh`/`uniform`),
+    /// whether hyperparameters were refit, the candidate-pool size, the
+    /// acquisition argmax margin, and the polish-move count. The proposal
+    /// itself is bitwise identical with any recorder — the collection is
+    /// gated on `R::ENABLED` and never feeds back into the search.
+    ///
+    /// `wall_ns` (the per-propose surrogate timing) is captured only when
+    /// `rec.wallclock()` is true; the default leaves it `None` so traces
+    /// stay byte-identical across runs.
+    // mtm-allow: wall-clock -- opt-in propose-latency capture; the clock
+    // is never read (wall_ns stays None) unless the recorder explicitly
+    // enables wall-clock mode, which golden traces do not.
+    pub fn propose_recorded<R: Recorder>(&mut self, rec: &mut R) -> Result<Candidate, BoError> {
+        let t0 = if R::ENABLED && rec.wallclock() {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let step = self.observations.len();
         if let Some(unit) = self.init_design.get(step) {
             let unit = unit.clone();
             let values = self.space.decode(&unit);
+            if R::ENABLED {
+                rec.record(Event::Propose {
+                    step,
+                    path: "design".into(),
+                    refit: false,
+                    pool: self.init_design.len(),
+                    margin: 0.0,
+                    polish_moves: 0,
+                    wall_ns: t0.map(|t| t.elapsed().as_nanos() as u64),
+                });
+            }
             return Ok(Candidate { unit, values });
         }
         // Derive this step's randomness from (seed, step) so resumed runs
         // propose identically.
         let mut rng =
             StdRng::seed_from_u64(self.config.seed ^ (step as u64).wrapping_mul(0x9E37_79B9));
-        self.propose_with_surrogate(&mut rng)
+        let fits_before = self.fits_done;
+        let mut stats = ProposeStats::default();
+        let result = self.propose_with_surrogate::<R>(&mut rng, &mut stats);
+        if R::ENABLED && result.is_ok() {
+            rec.record(Event::Propose {
+                step,
+                path: stats.path.into(),
+                refit: self.fits_done > fits_before,
+                pool: stats.pool,
+                margin: finite_or_zero(stats.margin),
+                polish_moves: stats.polish_moves,
+                wall_ns: t0.map(|t| t.elapsed().as_nanos() as u64),
+            });
+        }
+        result
     }
 
     /// Record the result of evaluating `candidate`.
@@ -633,31 +696,33 @@ impl BayesOpt {
     }
 
     /// Bring the persistent surrogate in sync with the recorded
-    /// observations. Returns `false` when no usable surrogate could be
-    /// built (numerically degenerate data) — the caller then explores
-    /// uniformly, like the legacy fit-per-propose code did.
-    fn sync_surrogate(&mut self) -> bool {
+    /// observations. Returns which path did it (`"incremental"`,
+    /// `"replay"` or `"fresh"` — the trace's propose-path vocabulary), or
+    /// `None` when no usable surrogate could be built (numerically
+    /// degenerate data) — the caller then explores uniformly, like the
+    /// legacy fit-per-propose code did.
+    fn sync_surrogate(&mut self) -> Option<&'static str> {
         let n = self.observations.len();
         if self.replay_poisoned {
             // Legacy mode: fresh fit on every proposal.
-            return self.rebuild_fresh(n);
+            return self.rebuild_fresh(n).then_some("fresh");
         }
         if self.surrogate.is_none() {
             if self.replay_build(n) {
-                return true;
+                return Some("replay");
             }
             // Deterministic replay failed (degenerate prefix). Pin to the
             // legacy path, which fits over all observations at once and
             // may still succeed.
             self.replay_poisoned = true;
-            return self.rebuild_fresh(n);
+            return self.rebuild_fresh(n).then_some("fresh");
         }
         if self.step_to(n) {
-            return true;
+            return Some("incremental");
         }
         self.surrogate = None;
         self.replay_poisoned = true;
-        self.rebuild_fresh(n)
+        self.rebuild_fresh(n).then_some("fresh")
     }
 
     /// Rebuild the surrogate by replaying the live schedule: base fit on
@@ -769,17 +834,23 @@ impl BayesOpt {
         true
     }
 
-    fn propose_with_surrogate(&mut self, rng: &mut StdRng) -> Result<Candidate, BoError> {
+    fn propose_with_surrogate<R: Recorder>(
+        &mut self,
+        rng: &mut StdRng,
+        stats: &mut ProposeStats,
+    ) -> Result<Candidate, BoError> {
         let d = self.space.dim();
-        if !self.sync_surrogate() {
+        let Some(sync_path) = self.sync_surrogate() else {
             // Degenerate data (e.g. duplicated inputs the jitter ladder
             // cannot rescue): explore uniformly.
+            stats.path = "uniform";
             let unit = self
                 .space
                 .canonicalize(&(0..d).map(|_| rng.random::<f64>()).collect::<Vec<_>>());
             let values = self.space.decode(&unit);
             return Ok(Candidate { unit, values });
-        }
+        };
+        stats.path = sync_path;
         let n = self.observations.len();
         let zs = self.standardized_prefix(n);
         let z_best = zs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -846,6 +917,23 @@ impl BayesOpt {
                 best_idx = i;
             }
         }
+        if R::ENABLED {
+            // Margin = winner minus runner-up: how decisive the argmax
+            // was. A second pass so the search loop above stays exactly
+            // the unrecorded code.
+            stats.pool = candidates.len();
+            let mut second = f64::NEG_INFINITY;
+            for (i, &s) in scores.iter().enumerate() {
+                if i != best_idx && s > second {
+                    second = s;
+                }
+            }
+            stats.margin = if best_score.is_finite() && second.is_finite() {
+                best_score - second
+            } else {
+                0.0
+            };
+        }
         let mut best_point = candidates
             .get(best_idx)
             .cloned()
@@ -878,6 +966,9 @@ impl BayesOpt {
                             cur_score = s;
                             best_point = trial;
                             improved = true;
+                            if R::ENABLED {
+                                stats.polish_moves += 1;
+                            }
                         }
                     }
                 }
@@ -978,6 +1069,77 @@ mod tests {
             Param::float("x", -5.0, 5.0),
             Param::float("y", -5.0, 5.0),
         ])
+    }
+
+    #[test]
+    fn recorded_propose_is_inert_and_traces_surrogate_paths() {
+        let objective = |v: &[Value]| {
+            let x = v[0].as_float();
+            let y = v[1].as_float();
+            -(x * x + y * y)
+        };
+        let run = |rec: &mut dyn FnMut(&mut BayesOpt) -> Candidate| -> Vec<Vec<f64>> {
+            let mut opt = BayesOpt::new(quadratic_space(), BoConfig::default());
+            let mut proposals = Vec::new();
+            for _ in 0..8 {
+                let c = rec(&mut opt);
+                proposals.push(c.unit.clone());
+                let y = objective(&c.values);
+                opt.observe(c, y).unwrap();
+            }
+            proposals
+        };
+        let plain = run(&mut |opt| opt.propose().unwrap());
+        let mut mem = mtm_obs::MemRecorder::new();
+        let recorded = run(&mut |opt| opt.propose_recorded(&mut mem).unwrap());
+        assert_eq!(plain, recorded, "recording must not perturb proposals");
+
+        let proposes: Vec<(usize, String, Option<u64>)> = mem
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Propose {
+                    step,
+                    path,
+                    wall_ns,
+                    ..
+                } => Some((*step, path.clone(), *wall_ns)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(proposes.len(), 8, "one Propose event per call");
+        // Warm-up steps come from the design; post-warm-up steps from a
+        // surrogate path — and with no wall-clock opt-in, no timings.
+        let n0 = BoConfig::default().n_init.max(2);
+        for (step, path, wall_ns) in &proposes {
+            assert_eq!(wall_ns, &None, "deterministic traces carry no timings");
+            if *step < n0 {
+                assert_eq!(path, "design");
+            } else {
+                assert!(
+                    ["incremental", "replay", "fresh", "uniform"].contains(&path.as_str()),
+                    "unexpected path {path} at step {step}"
+                );
+            }
+        }
+        assert!(
+            proposes.iter().any(|(_, p, _)| p == "incremental"),
+            "the persistent surrogate should serve most steps: {proposes:?}"
+        );
+    }
+
+    #[test]
+    fn wallclock_recorder_captures_propose_timings() {
+        let mut opt = BayesOpt::new(quadratic_space(), BoConfig::default());
+        let mut mem = mtm_obs::MemRecorder::new().with_wallclock(true);
+        let c = opt.propose_recorded(&mut mem).unwrap();
+        opt.observe(c, 1.0).unwrap();
+        match &mem.events[..] {
+            [Event::Propose { wall_ns, .. }] => {
+                assert!(wall_ns.is_some(), "wall-clock opt-in must time proposals");
+            }
+            other => panic!("expected one Propose event, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Golden-trajectory tests: byte-for-byte trace regression.
+//!
+//! Each test runs a short, fully seeded experiment on the 10-vertex
+//! `SizeClass::Small` preset with tracing on, and compares the resulting
+//! `.jsonl` trace byte for byte against the committed golden file in
+//! `tests/golden/`. Because recording is deterministic (no wall clock
+//! unless a recorder opts in) the comparison is exact — any drift in the
+//! optimizer's proposal sequence, the simulator's arithmetic, or the
+//! trace schema fails the diff.
+//!
+//! To re-bless after an intentional change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p mtm-bayesopt --test golden
+//! ```
+//!
+//! then commit the updated files with a note on *why* the trajectories
+//! moved.
+
+use std::path::PathBuf;
+
+use mtm_core::{Objective, ParamSet, RunOptions, Strategy};
+use mtm_obs::{load_trace, JsonlRecorder};
+use mtm_runner::engine::run_experiment_traced;
+use mtm_runner::RunnerOptions;
+use mtm_stormsim::ClusterSpec;
+use mtm_topogen::{make_condition, Condition, SizeClass};
+
+/// The frozen scenario behind every golden trace. Changing anything here
+/// invalidates the goldens — re-bless deliberately.
+const GOLDEN_SEED: u64 = 0x60_1D;
+const GOLDEN_TOPO_SEED: u64 = 7;
+
+fn objective() -> Objective {
+    let topo = make_condition(
+        SizeClass::Small,
+        &Condition {
+            time_imbalance: 0.0,
+            contention: 0.0,
+        },
+        GOLDEN_TOPO_SEED,
+    );
+    let base = mtm_core::objective::synthetic_base(&topo);
+    Objective::new(topo, ClusterSpec::paper_cluster()).with_base(base)
+}
+
+fn run_opts() -> RunOptions {
+    // 10 steps: past the 6-point initial design, so the BO goldens pin
+    // the surrogate propose paths (incremental updates, EI margins), not
+    // just the seeded design.
+    RunOptions {
+        max_steps: 10,
+        confirm_reps: 2,
+        passes: 1,
+        seed: GOLDEN_SEED,
+        ..Default::default()
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.jsonl"))
+}
+
+/// Trace one seeded experiment for `name` into a scratch file and return
+/// its bytes.
+fn trace_bytes(name: &str, make: &(dyn Fn(u64) -> Strategy + Sync)) -> Vec<u8> {
+    let dir = std::env::temp_dir().join("mtm-golden-tests");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join(format!("{name}-{}.jsonl", std::process::id()));
+    let obj = objective();
+    let mut rec =
+        JsonlRecorder::create(&path, &format!("golden/{name}"), GOLDEN_SEED).expect("create trace");
+    run_experiment_traced(
+        &format!("golden/{name}"),
+        make,
+        &obj,
+        &run_opts(),
+        &RunnerOptions::serial(),
+        None,
+        false,
+        &mut rec,
+    )
+    .expect("experiment runs");
+    rec.finish().expect("trace flushed cleanly");
+    let bytes = std::fs::read(&path).expect("read trace back");
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+/// Compare against (or, under `BLESS=1`, regenerate) the golden file.
+fn check_golden(name: &str, make: &(dyn Fn(u64) -> Strategy + Sync)) {
+    let fresh = trace_bytes(name, make);
+    let path = golden_path(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &fresh).expect("bless golden");
+        eprintln!("blessed {} ({} bytes)", path.display(), fresh.len());
+        return;
+    }
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run BLESS=1 cargo test -p mtm-bayesopt --test golden",
+            path.display()
+        )
+    });
+    if fresh != golden {
+        // Locate the first diverging line for a readable failure.
+        let fresh_s = String::from_utf8_lossy(&fresh);
+        let golden_s = String::from_utf8_lossy(&golden);
+        for (i, (f, g)) in fresh_s.lines().zip(golden_s.lines()).enumerate() {
+            assert_eq!(
+                f,
+                g,
+                "golden trace {name} diverges at line {} — if intentional, re-bless",
+                i + 1
+            );
+        }
+        panic!(
+            "golden trace {name} differs in length: {} vs {} lines — if intentional, re-bless",
+            fresh_s.lines().count(),
+            golden_s.lines().count()
+        );
+    }
+}
+
+#[test]
+fn golden_trajectory_bo() {
+    let topo = objective().topology().clone();
+    check_golden("bo", &move |seed| {
+        Strategy::bo(&topo, ParamSet::Hints, seed)
+    });
+}
+
+#[test]
+fn golden_trajectory_ibo() {
+    let topo = objective().topology().clone();
+    check_golden("ibo", &move |seed| Strategy::ibo(&topo, seed));
+}
+
+#[test]
+fn golden_trajectory_pla() {
+    check_golden("pla", &|_seed| Strategy::pla());
+}
+
+#[test]
+fn golden_traces_round_trip_through_the_loader() {
+    if std::env::var_os("BLESS").is_some() {
+        // The goldens are being (re)written concurrently by the other
+        // tests in this binary; check them on the next plain run.
+        return;
+    }
+    for name in ["bo", "ibo", "pla"] {
+        let path = golden_path(name);
+        let Ok(on_disk) = std::fs::read(&path) else {
+            panic!("missing golden file {} — bless first", path.display());
+        };
+        let trace = load_trace(&path)
+            .expect("golden parses")
+            .expect("golden is non-empty");
+        assert_eq!(
+            trace.valid_len as usize,
+            on_disk.len(),
+            "{name}: every committed byte is part of the valid prefix"
+        );
+        assert_eq!(
+            trace.to_jsonl().into_bytes(),
+            on_disk,
+            "{name}: loader round-trip must reproduce the file byte for byte"
+        );
+        assert!(
+            trace.header.is_some(),
+            "{name}: golden carries a schema-versioned header"
+        );
+    }
+}

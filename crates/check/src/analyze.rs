@@ -420,13 +420,16 @@ fn walk_body(trees: &[Tree], scan: &mut BodyScan<'_>) {
                             scan.counts.panic_sites += 1;
                         }
                     }
+                    // Operator arms must check the token kind: a char
+                    // literal `'/'` or string literal `"/"` carries the
+                    // same text as the punct and is not an operator.
                     "/" | "%" => {
-                        if !div_is_guarded(trees, i, scan) {
+                        if tok.kind == TokKind::Punct && !div_is_guarded(trees, i, scan) {
                             scan.counts.div_sites += 1;
                         }
                     }
                     "==" | "!=" => {
-                        if float_operands(trees, i, scan) {
+                        if tok.kind == TokKind::Punct && float_operands(trees, i, scan) {
                             scan.floats.push((
                                 "float/eq".to_string(),
                                 line,
@@ -628,6 +631,22 @@ fn f(a: usize, b: usize) -> usize {
 "#,
         );
         assert_eq!(a.counts["crates/fixture"].div_sites, 1);
+    }
+
+    #[test]
+    fn slash_in_char_and_string_literals_is_not_a_division() {
+        let a = analyze_source(
+            "crates/fixture/src/lib.rs",
+            r#"
+fn f(path: &str, unit: &str) -> String {
+    let needle = format!("/{}/", unit.trim_matches('/'));
+    let normalized = path.replace('\\', "/");
+    let _ = normalized.contains(&needle);
+    needle
+}
+"#,
+        );
+        assert_eq!(a.counts.get("crates/fixture").map_or(0, |c| c.div_sites), 0);
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Line-coverage floors, ratcheted alongside the panic budgets.
+//!
+//! `check/ratchet.toml` may carry a `[coverage_floor]` table mapping a
+//! workspace unit (e.g. `"crates/stormsim"`) to an integer minimum line
+//! coverage percent. `mtm-check coverage` runs
+//! `cargo llvm-cov --json --summary-only` (skipping with a notice when
+//! the subcommand is not installed — it is an external cargo extension,
+//! not part of the toolchain), aggregates per-file line counts under
+//! each unit's directory, and fails if any unit falls below its floor.
+//! Like the panic ratchet, floors only move in one direction: raise
+//! them as coverage improves, never lower them to paper over a drop.
+//!
+//! The JSON reader is a purpose-built scanner, not a JSON parser: this
+//! crate is deliberately dependency-free, and the llvm-cov export
+//! format is stable enough that extracting `"filename"` plus the
+//! adjacent `"lines":{"count":…,"covered":…}` summary is robust. The
+//! scanner is tolerant — anything it cannot read it skips, and missing
+//! data surfaces as a unit with no files (a hard failure, never a
+//! silent pass).
+
+use std::collections::BTreeMap;
+
+/// The ratchet table holding per-unit coverage floors.
+pub const COVERAGE_TABLE: &str = "coverage_floor";
+
+/// Line-coverage summary for one source file, as reported by llvm-cov.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileCoverage {
+    /// Path as llvm-cov printed it (usually absolute).
+    pub filename: String,
+    /// Instrumented (countable) lines.
+    pub lines_count: u64,
+    /// Lines executed at least once.
+    pub lines_covered: u64,
+}
+
+/// Extract per-file line-coverage summaries from `cargo llvm-cov --json`
+/// output (the llvm `coverage export` format). Files the scanner cannot
+/// read are skipped rather than guessed at.
+pub fn parse_llvm_cov_json(json: &str) -> Vec<FileCoverage> {
+    let mut files = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"filename\"") {
+        rest = rest.get(pos + "\"filename\"".len()..).unwrap_or("");
+        let Some(filename) = read_string_value(rest) else {
+            continue;
+        };
+        // The file's summary block follows its region list; stop the
+        // search at the next filename so one file's numbers can never be
+        // attributed to another.
+        let window_end = rest.find("\"filename\"").unwrap_or(rest.len());
+        let window = rest.get(..window_end).unwrap_or(rest);
+        let Some(lines_pos) = window.find("\"lines\"") else {
+            continue;
+        };
+        let lines = window.get(lines_pos..).unwrap_or("");
+        let (Some(count), Some(covered)) = (
+            read_number_field(lines, "\"count\""),
+            read_number_field(lines, "\"covered\""),
+        ) else {
+            continue;
+        };
+        files.push(FileCoverage {
+            filename,
+            lines_count: count,
+            lines_covered: covered,
+        });
+    }
+    files
+}
+
+/// Read the string value after a `"key"` occurrence: skips `:` and
+/// whitespace, returns the quoted contents (no escape handling — cargo
+/// file paths in this workspace never contain `\` or `"`).
+fn read_string_value(after_key: &str) -> Option<String> {
+    let rest = after_key.trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    rest.get(..end).map(str::to_string)
+}
+
+/// Read the unsigned integer value of the first `"key": N` inside
+/// `text`.
+fn read_number_field(text: &str, key: &str) -> Option<u64> {
+    let pos = text.find(key)?;
+    let rest = text.get(pos + key.len()..)?.trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest.get(..end)?.parse().ok()
+}
+
+/// Aggregate line coverage over every file under a workspace unit's
+/// directory (`crates/stormsim` matches any path containing
+/// `/crates/stormsim/`). Returns `(covered, countable)`, or `None` when
+/// no instrumented file matched.
+pub fn unit_line_coverage(files: &[FileCoverage], unit: &str) -> Option<(u64, u64)> {
+    let needle = format!("/{}/", unit.trim_matches('/'));
+    let mut covered = 0u64;
+    let mut count = 0u64;
+    let mut any = false;
+    for f in files {
+        let normalized = f.filename.replace('\\', "/");
+        if normalized.contains(&needle) {
+            any = true;
+            covered += f.lines_covered;
+            count += f.lines_count;
+        }
+    }
+    any.then_some((covered, count))
+}
+
+/// Compare measured coverage against the recorded floors. Returns
+/// `(failures, report)`: floors not met (or units with no instrumented
+/// files at all), and one human-readable line per floor checked.
+pub fn check_floors(
+    floors: &BTreeMap<String, usize>,
+    files: &[FileCoverage],
+) -> (Vec<String>, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut report = Vec::new();
+    for (unit, &floor) in floors {
+        match unit_line_coverage(files, unit) {
+            Some((covered, count)) if count > 0 => {
+                // Integer-floor percent: 79.9% measured does NOT pass an
+                // 80 floor.
+                let percent = covered.saturating_mul(100).checked_div(count).unwrap_or(0);
+                report.push(format!(
+                    "{unit}: {percent}% line coverage ({covered}/{count} lines, floor {floor}%)"
+                ));
+                if (percent as usize) < floor {
+                    failures.push(format!(
+                        "[{COVERAGE_TABLE}] {unit}: {percent}% < floor {floor}%"
+                    ));
+                }
+            }
+            _ => failures.push(format!(
+                "[{COVERAGE_TABLE}] {unit}: no instrumented lines in the coverage report"
+            )),
+        }
+    }
+    (failures, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trimmed-down export in the shape `cargo llvm-cov --json`
+    /// produces (llvm.coverage.json.export): files carry a summary with
+    /// `lines.count`/`lines.covered` after their region data.
+    const SAMPLE: &str = r#"{"data":[{"files":[
+        {"filename":"/w/crates/obs/src/event.rs","segments":[[1,1,5,true,true]],
+         "summary":{"functions":{"count":4,"covered":4},
+                    "lines":{"count":120,"covered":108,"percent":90.0}}},
+        {"filename":"/w/crates/obs/src/recorder.rs",
+         "summary":{"lines":{"count":80,"covered":80,"percent":100.0}}},
+        {"filename":"/w/crates/stormsim/src/flow_sim.rs",
+         "summary":{"lines":{"count":400,"covered":300,"percent":75.0}}}
+    ],"totals":{"lines":{"count":600,"covered":488}}}],"type":"llvm.coverage.json.export","version":"2.0.1"}"#;
+
+    #[test]
+    fn parses_per_file_line_summaries() {
+        let files = parse_llvm_cov_json(SAMPLE);
+        assert_eq!(files.len(), 3);
+        let event = files
+            .iter()
+            .find(|f| f.filename.ends_with("event.rs"))
+            .expect("event.rs parsed");
+        assert_eq!((event.lines_count, event.lines_covered), (120, 108));
+    }
+
+    #[test]
+    fn aggregates_by_unit_directory() {
+        let files = parse_llvm_cov_json(SAMPLE);
+        assert_eq!(unit_line_coverage(&files, "crates/obs"), Some((188, 200)));
+        assert_eq!(
+            unit_line_coverage(&files, "crates/stormsim"),
+            Some((300, 400))
+        );
+        assert_eq!(unit_line_coverage(&files, "crates/gp"), None);
+    }
+
+    #[test]
+    fn floor_pass_and_fail() {
+        let files = parse_llvm_cov_json(SAMPLE);
+        let floors: BTreeMap<String, usize> = [
+            ("crates/obs".to_string(), 90),      // 94% measured → pass
+            ("crates/stormsim".to_string(), 80), // 75% measured → fail
+            ("crates/missing".to_string(), 10),  // absent → fail
+        ]
+        .into_iter()
+        .collect();
+        let (failures, report) = check_floors(&floors, &files);
+        assert_eq!(report.len(), 2, "{report:?}");
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("75% < floor 80%")));
+        assert!(failures.iter().any(|f| f.contains("no instrumented")));
+    }
+
+    #[test]
+    fn truncated_input_yields_no_phantom_files() {
+        let cut = SAMPLE.len() / 2;
+        let files = parse_llvm_cov_json(&SAMPLE[..cut]);
+        // Whatever parses must be complete records; nothing invented.
+        for f in &files {
+            assert!(f.lines_count >= f.lines_covered);
+        }
+    }
+
+    #[test]
+    fn integer_floor_is_strict() {
+        // 799/1000 = 79.9% floors to 79 and must fail an 80% floor.
+        let files = vec![FileCoverage {
+            filename: "/w/crates/obs/src/lib.rs".into(),
+            lines_count: 1000,
+            lines_covered: 799,
+        }];
+        let floors: BTreeMap<String, usize> = [("crates/obs".to_string(), 80)].into();
+        let (failures, _) = check_floors(&floors, &files);
+        assert_eq!(failures.len(), 1);
+    }
+}

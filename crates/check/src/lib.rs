@@ -26,6 +26,7 @@
 pub mod analyze;
 pub mod ast;
 pub mod callgraph;
+pub mod coverage;
 pub mod determinism;
 pub mod diag;
 pub mod invariants;

@@ -5,6 +5,7 @@
 //! cargo run -p mtm-check -- lint
 //! cargo run -p mtm-check -- invariants
 //! cargo run -p mtm-check -- determinism
+//! cargo run -p mtm-check -- coverage
 //! cargo run -p mtm-check -- all
 //! ```
 //!
@@ -18,7 +19,11 @@
 //!   `--features strict-invariants`.
 //! * `determinism` — build the probe and require bit-identical output
 //!   across two runs.
-//! * `all` — every pass above (analyze, lint, invariants, determinism).
+//! * `coverage` — run `cargo llvm-cov` and enforce the per-unit line
+//!   coverage floors in `check/ratchet.toml` `[coverage_floor]`
+//!   (skipped with a notice when cargo-llvm-cov is not installed).
+//! * `all` — every pass above (analyze, lint, invariants, determinism,
+//!   coverage).
 //!
 //! Exit code 0 means the pass(es) succeeded; 1 means violations or a
 //! nondeterministic run; 2 means the tool itself could not run (bad
@@ -30,6 +35,7 @@ use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
 use mtm_check::analyze;
+use mtm_check::coverage;
 use mtm_check::determinism;
 use mtm_check::lint;
 use mtm_check::ratchet::Ratchet;
@@ -51,16 +57,18 @@ fn main() -> ExitCode {
         "lint" => run_lint(&root),
         "invariants" => run_invariants(),
         "determinism" => run_determinism(),
+        "coverage" => run_coverage(&root),
         "all" => {
             let analyze_ok = run_analyze(&root, false);
             let lint_ok = run_lint(&root);
             let inv_ok = run_invariants();
             let det_ok = run_determinism();
-            analyze_ok && lint_ok && inv_ok && det_ok
+            let cov_ok = run_coverage(&root);
+            analyze_ok && lint_ok && inv_ok && det_ok && cov_ok
         }
         _ => {
             eprintln!(
-                "usage: mtm-check <analyze [--update-ratchet] | lint | invariants | determinism | all>"
+                "usage: mtm-check <analyze [--update-ratchet] | lint | invariants | determinism | coverage | all>"
             );
             return ExitCode::from(2);
         }
@@ -118,7 +126,12 @@ fn run_analyze(root: &Path, update_ratchet: bool) -> bool {
 
     let ratchet_path = root.join("check/ratchet.toml");
     if update_ratchet {
-        let rendered = Ratchet::render(&analysis.counts);
+        // Carry non-counted tables (coverage floors) through the rewrite.
+        let extras = fs::read_to_string(&ratchet_path)
+            .ok()
+            .and_then(|text| Ratchet::parse(&text).ok())
+            .unwrap_or_default();
+        let rendered = Ratchet::render_with(&analysis.counts, &extras);
         if let Some(parent) = ratchet_path.parent() {
             let _ = fs::create_dir_all(parent);
         }
@@ -232,6 +245,82 @@ fn run_invariants() -> bool {
         println!("mtm-check invariants: OK (all guarded test suites green)");
     }
     ok
+}
+
+/// Enforce the `[coverage_floor]` line-coverage floors via
+/// `cargo llvm-cov`. The llvm-cov subcommand is an external cargo
+/// extension, so its absence is a skip (with a notice), not a failure —
+/// CI installs it and gets the hard gate.
+fn run_coverage(root: &Path) -> bool {
+    let ratchet_path = root.join("check/ratchet.toml");
+    let floors = match fs::read_to_string(&ratchet_path).map(|t| Ratchet::parse(&t)) {
+        Ok(Ok(r)) => r
+            .tables
+            .get(coverage::COVERAGE_TABLE)
+            .cloned()
+            .unwrap_or_default(),
+        Ok(Err(e)) => {
+            eprintln!("mtm-check coverage: {e}");
+            return false;
+        }
+        Err(e) => {
+            eprintln!("mtm-check coverage: read {}: {e}", ratchet_path.display());
+            return false;
+        }
+    };
+    if floors.is_empty() {
+        println!("mtm-check coverage: OK (no [coverage_floor] entries in check/ratchet.toml)");
+        return true;
+    }
+    let probe = Command::new("cargo")
+        .args(["llvm-cov", "--version"])
+        .output();
+    if !probe.map(|o| o.status.success()).unwrap_or(false) {
+        println!(
+            "mtm-check coverage: skipped ({} floor(s) recorded, but cargo-llvm-cov \
+             is not installed; `cargo install cargo-llvm-cov` to enforce locally)",
+            floors.len()
+        );
+        return true;
+    }
+    println!("mtm-check coverage: cargo llvm-cov --workspace --json --summary-only");
+    let output = Command::new("cargo")
+        .args(["llvm-cov", "--workspace", "--json", "--summary-only"])
+        .current_dir(root)
+        .output();
+    let output = match output {
+        Ok(o) if o.status.success() => o,
+        Ok(o) => {
+            eprintln!(
+                "mtm-check coverage: cargo llvm-cov failed with {}",
+                o.status
+            );
+            return false;
+        }
+        Err(e) => {
+            eprintln!("mtm-check coverage: cargo: {e}");
+            return false;
+        }
+    };
+    let files = coverage::parse_llvm_cov_json(&String::from_utf8_lossy(&output.stdout));
+    let (failures, report) = coverage::check_floors(&floors, &files);
+    for line in &report {
+        println!("  coverage: {line}");
+    }
+    for f in &failures {
+        println!("  coverage: {f}");
+    }
+    if failures.is_empty() {
+        println!("mtm-check coverage: OK ({} floor(s) met)", floors.len());
+        true
+    } else {
+        println!(
+            "mtm-check coverage: {} floor(s) violated — add tests or justify \
+             raising coverage elsewhere (floors never go down)",
+            failures.len()
+        );
+        false
+    }
 }
 
 /// Build the probe once, then run it twice and require bit-identical

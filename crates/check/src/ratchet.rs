@@ -94,6 +94,23 @@ impl Ratchet {
     }
 
     /// Render the canonical file contents for the analyzer's per-unit
+    /// counts, carrying over any tables this module does not own (e.g.
+    /// `[coverage_floor]`) so `--update-ratchet` cannot drop them.
+    pub fn render_with(counts: &BTreeMap<String, SiteCounts>, extras: &Ratchet) -> String {
+        let mut out = Self::render(counts);
+        for (name, entries) in &extras.tables {
+            if TABLES.contains(&name.as_str()) {
+                continue;
+            }
+            let _ = writeln!(out, "\n[{name}]");
+            for (unit, value) in entries {
+                let _ = writeln!(out, "\"{unit}\" = {value}");
+            }
+        }
+        out
+    }
+
+    /// Render the canonical file contents for the analyzer's per-unit
     /// counts. Units with a zero count in a table are omitted from it.
     pub fn render(counts: &BTreeMap<String, SiteCounts>) -> String {
         let mut out = String::from(
@@ -237,5 +254,18 @@ mod tests {
     #[test]
     fn entry_before_table_is_an_error() {
         assert!(Ratchet::parse("\"crates/gp\" = 1\n").is_err());
+    }
+
+    #[test]
+    fn unknown_tables_survive_a_rewrite() {
+        let text = "[panic_sites]\n\"crates/gp\" = 2\n\n[coverage_floor]\n\"crates/obs\" = 80\n";
+        let parsed = Ratchet::parse(text).expect("parse");
+        let rendered = Ratchet::render_with(&counts(&[("crates/gp", 2, 0, 0)]), &parsed);
+        let reparsed = Ratchet::parse(&rendered).expect("reparse");
+        assert_eq!(reparsed.tables["coverage_floor"]["crates/obs"], 80);
+        assert_eq!(reparsed.tables["panic_sites"]["crates/gp"], 2);
+        // The counted tables come from `counts`, not the old file — the
+        // extras path must never duplicate them.
+        assert_eq!(rendered.matches("[panic_sites]").count(), 1);
     }
 }

@@ -68,8 +68,10 @@ pub const SINK_TYPES: &[&str] = &[
 
 /// Enum types whose variant construction (`Record::Trial(..)`) marks a
 /// sink. Kept separate from [`SINK_TYPES`] so common method paths like
-/// `Cell::new` never count as construction.
-pub const SINK_ENUMS: &[&str] = &["Record"];
+/// `Cell::new` never count as construction. `Event` covers the mtm-obs
+/// trace schema: recording a wall-clock- or rng-tainted value into a
+/// trace is exactly the leak the determinism contract forbids.
+pub const SINK_ENUMS: &[&str] = &["Record", "Event"];
 
 /// Methods that observe collection iteration order.
 const ITER_METHODS: &[&str] = &[

@@ -17,6 +17,8 @@ use std::time::Instant;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use mtm_obs::event::finite_or_zero;
+use mtm_obs::{Event, NullRecorder, Recorder};
 use mtm_stormsim::StormConfig;
 
 use crate::objective::Objective;
@@ -234,13 +236,28 @@ pub fn run_pass(strategy: &mut Strategy, objective: &Objective, opts: &RunOption
 /// early stop, best tracking and repetition averaging live here, while
 /// `measure` decides whether a trial is simulated, replayed from a
 /// journal, or served from a memo cache.
-// mtm-allow: wall-clock -- optimizer_time_s is the paper's Fig. 7 cost
-// metric: it is recorded per step but never fed back into any decision.
 pub fn run_pass_with(
     strategy: &mut Strategy,
     objective: &Objective,
     opts: &RunOptions,
     measure: &mut dyn Measure,
+) -> PassResult {
+    run_pass_traced(strategy, objective, opts, measure, &mut NullRecorder)
+}
+
+/// [`run_pass_with`] with instrumentation: per-proposal surrogate events
+/// (via [`Strategy::propose_traced`]) and one [`Event::Trial`] per
+/// measurement, carrying the deterministic run id that links the trace
+/// line to the runner journal. The pass result is bitwise identical with
+/// any recorder.
+// mtm-allow: wall-clock -- optimizer_time_s is the paper's Fig. 7 cost
+// metric: it is recorded per step but never fed back into any decision.
+pub fn run_pass_traced<R: Recorder>(
+    strategy: &mut Strategy,
+    objective: &Objective,
+    opts: &RunOptions,
+    measure: &mut dyn Measure,
+    rec: &mut R,
 ) -> PassResult {
     let topo = objective.topology();
     let base = objective.base_config().clone();
@@ -252,7 +269,7 @@ pub fn run_pass_with(
 
     for step in 0..opts.max_steps {
         let t0 = Instant::now();
-        let Some(config) = strategy.propose(topo, &base, step) else {
+        let Some(config) = strategy.propose_traced(topo, &base, step, rec) else {
             break;
         };
         let optimizer_time_s = t0.elapsed().as_secs_f64();
@@ -269,7 +286,16 @@ pub fn run_pass_with(
                     rep,
                     kind: TrialKind::Step,
                 };
-                measure.measure(objective, &config, &ctx)
+                let y = measure.measure(objective, &config, &ctx);
+                if R::ENABLED {
+                    rec.record(Event::Trial {
+                        step,
+                        rep,
+                        run_id: ctx.run_id(),
+                        y: finite_or_zero(y),
+                    });
+                }
+                y
             })
             .sum::<f64>()
             / reps as f64;

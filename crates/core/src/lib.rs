@@ -46,9 +46,9 @@ pub mod strategy;
 pub mod weights;
 
 pub use experiment::{
-    confirm_run_id, pass_seed, run_experiment, run_pass, run_pass_with, select_best_pass,
-    step_run_id, DirectMeasure, ExperimentResult, Measure, PassResult, RunOptions, StepRecord,
-    TrialCtx, TrialKind,
+    confirm_run_id, pass_seed, run_experiment, run_pass, run_pass_traced, run_pass_with,
+    select_best_pass, step_run_id, DirectMeasure, ExperimentResult, Measure, PassResult,
+    RunOptions, StepRecord, TrialCtx, TrialKind,
 };
 pub use objective::Objective;
 pub use paramsets::ParamSet;

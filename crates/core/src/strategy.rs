@@ -2,6 +2,7 @@
 
 use mtm_bayesopt::{BayesOpt, BoConfig, Candidate};
 use mtm_gp::FitOptions;
+use mtm_obs::{Event, NullRecorder, Recorder};
 use mtm_stormsim::{StormConfig, Topology};
 
 use crate::paramsets::{ParamSet, HINT_MAX};
@@ -129,6 +130,21 @@ impl Strategy {
         base: &StormConfig,
         step: usize,
     ) -> Option<StormConfig> {
+        self.propose_traced(topo, base, step, &mut NullRecorder)
+    }
+
+    /// [`propose`](Self::propose) with instrumentation: BO strategies
+    /// trace their surrogate decisions through
+    /// [`BayesOpt::propose_recorded`]; the linear schedules emit a
+    /// `path: "linear"` marker. The proposal is bitwise identical with
+    /// any recorder.
+    pub fn propose_traced<R: Recorder>(
+        &mut self,
+        topo: &Topology,
+        base: &StormConfig,
+        step: usize,
+        rec: &mut R,
+    ) -> Option<StormConfig> {
         match self {
             Strategy::Pla => {
                 let hint = step as i64 + 1;
@@ -137,6 +153,9 @@ impl Strategy {
                 }
                 let mut c = base.clone();
                 c.parallelism_hints = vec![hint as u32; topo.n_nodes()];
+                if R::ENABLED {
+                    rec.record(linear_propose_event(step));
+                }
                 Some(c)
             }
             Strategy::Ipla { weights } => {
@@ -146,6 +165,9 @@ impl Strategy {
                 }
                 let mut c = base.clone();
                 c.parallelism_hints = hints_from_weights(weights, mult);
+                if R::ENABLED {
+                    rec.record(linear_propose_event(step));
+                }
                 Some(c)
             }
             Strategy::Bo { opt, set, pending } => {
@@ -156,7 +178,7 @@ impl Strategy {
                 // A surrogate failure (degenerate data the jitter ladder
                 // cannot rescue) ends the schedule instead of panicking;
                 // the experiment loop records the steps taken so far.
-                let cand = opt.propose().ok()?;
+                let cand = opt.propose_recorded(rec).ok()?;
                 let config = set.to_config(topo, base, &cand.values);
                 *pending = Some(cand);
                 Some(config)
@@ -179,6 +201,20 @@ impl Strategy {
                 debug_assert!(false, "rejected observation: {e}");
             }
         }
+    }
+}
+
+/// The trace line for a linear-schedule proposal: the next configuration
+/// is fixed by the step index, so there is no pool, margin, or refit.
+fn linear_propose_event(step: usize) -> Event {
+    Event::Propose {
+        step,
+        path: "linear".into(),
+        refit: false,
+        pool: 1,
+        margin: 0.0,
+        polish_moves: 0,
+        wall_ns: None,
     }
 }
 

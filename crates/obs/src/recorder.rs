@@ -1,0 +1,387 @@
+//! Recorder implementations and the trace-file loader.
+//!
+//! [`NullRecorder`] is the zero-cost default: its `ENABLED` constant is
+//! `false`, so instrumentation guarded by `R::ENABLED` compiles to
+//! nothing. [`MemRecorder`] buffers events for later splicing (the
+//! runner uses one per parallel unit so trace bytes stay order-stable).
+//! [`JsonlRecorder`] appends one JSON line per record and flushes it,
+//! mirroring the runner journal's crash discipline; [`load_trace`] reads
+//! back the longest valid prefix, so a torn tail is indistinguishable
+//! from a clean stop.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, Write};
+use std::path::Path;
+
+use crate::event::{Event, Header, Record, TRACE_VERSION};
+
+/// An observability error (I/O or serialization).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsError(pub String);
+
+impl std::fmt::Display for ObsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "obs: {}", self.0)
+    }
+}
+
+impl std::error::Error for ObsError {}
+
+/// A passive consumer of trace [`Event`]s.
+///
+/// The contract instrumented code relies on:
+///
+/// * recording is **inert** — a recorder never influences the values
+///   being recorded (asserted by the determinism probe);
+/// * `ENABLED` is `false` only for recorders that discard everything,
+///   so hot paths may skip collection work entirely;
+/// * [`wallclock`](Recorder::wallclock) defaults to `false`; only when
+///   it returns `true` may instrumentation capture wall-clock durations
+///   (the one sanctioned nondeterminism in the trace schema).
+pub trait Recorder {
+    /// `false` only when every event is discarded ([`NullRecorder`]):
+    /// instrumentation guarded by `R::ENABLED` is then compiled away.
+    const ENABLED: bool = true;
+
+    /// Should instrumentation capture wall-clock durations? Defaults to
+    /// `false`; deterministic traces (golden tests, the determinism
+    /// probe) rely on that default.
+    fn wallclock(&self) -> bool {
+        false
+    }
+
+    /// Consume one event. Infallible by design — recorders buffer their
+    /// first I/O error internally (see [`JsonlRecorder::finish`]) so
+    /// instrumented hot paths never grow an error branch.
+    fn record(&mut self, event: Event);
+}
+
+impl<R: Recorder> Recorder for &mut R {
+    const ENABLED: bool = R::ENABLED;
+    fn wallclock(&self) -> bool {
+        (**self).wallclock()
+    }
+    fn record(&mut self, event: Event) {
+        (**self).record(event);
+    }
+}
+
+/// The default recorder: discards everything, compiles away.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    const ENABLED: bool = false;
+    fn record(&mut self, _event: Event) {}
+}
+
+/// Buffers events in memory, in arrival order.
+#[derive(Debug, Clone, Default)]
+pub struct MemRecorder {
+    /// The buffered events.
+    pub events: Vec<Event>,
+    wallclock: bool,
+}
+
+impl MemRecorder {
+    /// An empty buffer with wall-clock capture off.
+    pub fn new() -> MemRecorder {
+        MemRecorder::default()
+    }
+
+    /// Enable wall-clock capture for instrumentation feeding this buffer.
+    pub fn with_wallclock(mut self, on: bool) -> MemRecorder {
+        self.wallclock = on;
+        self
+    }
+
+    /// Move the buffered events out.
+    pub fn drain(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl Recorder for MemRecorder {
+    fn wallclock(&self) -> bool {
+        self.wallclock
+    }
+    fn record(&mut self, event: Event) {
+        self.events.push(event);
+    }
+}
+
+/// Append-only JSONL trace writer: one record per line, flushed as
+/// written, so a crash loses at most the in-flight line.
+#[derive(Debug)]
+pub struct JsonlRecorder {
+    file: File,
+    wallclock: bool,
+    error: Option<ObsError>,
+}
+
+impl JsonlRecorder {
+    /// Create (truncating) a trace at `path` and write its header line.
+    /// `source` is a logical label, never a path — trace bytes must not
+    /// depend on where they are written.
+    pub fn create(path: &Path, source: &str, seed: u64) -> Result<JsonlRecorder, ObsError> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)
+                .map_err(|e| ObsError(format!("mkdir {}: {e}", parent.display())))?;
+        }
+        let file =
+            File::create(path).map_err(|e| ObsError(format!("create {}: {e}", path.display())))?;
+        let mut rec = JsonlRecorder {
+            file,
+            wallclock: false,
+            error: None,
+        };
+        rec.append(&Record::Header(Header {
+            version: TRACE_VERSION,
+            source: source.to_string(),
+            seed,
+        }))?;
+        Ok(rec)
+    }
+
+    /// Reopen `path` for appending after truncating it to `valid_len`
+    /// (the loader's longest-valid-prefix length) — the same torn-tail
+    /// recovery the runner journal performs.
+    pub fn append_after(path: &Path, valid_len: u64) -> Result<JsonlRecorder, ObsError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(path)
+            .map_err(|e| ObsError(format!("open {}: {e}", path.display())))?;
+        file.set_len(valid_len)
+            .map_err(|e| ObsError(format!("truncate {}: {e}", path.display())))?;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::End(0))
+            .map_err(|e| ObsError(format!("seek {}: {e}", path.display())))?;
+        Ok(JsonlRecorder {
+            file,
+            wallclock: false,
+            error: None,
+        })
+    }
+
+    /// Enable wall-clock capture (`wall_ns` fields). Off by default;
+    /// turning it on forfeits byte-identical traces.
+    pub fn with_wallclock(mut self, on: bool) -> JsonlRecorder {
+        self.wallclock = on;
+        self
+    }
+
+    fn append(&mut self, record: &Record) -> Result<(), ObsError> {
+        let json = serde_json::to_string(record)
+            .map_err(|e| ObsError(format!("serialize record: {e}")))?;
+        self.file
+            .write_all(json.as_bytes())
+            .and_then(|()| self.file.write_all(b"\n"))
+            .and_then(|()| self.file.flush())
+            .map_err(|e| ObsError(format!("append: {e}")))
+    }
+
+    /// Surface the first buffered I/O error, if any. Call after a
+    /// recorded run; a trace whose writer errored is incomplete.
+    pub fn finish(self) -> Result<(), ObsError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn wallclock(&self) -> bool {
+        self.wallclock
+    }
+    fn record(&mut self, event: Event) {
+        if self.error.is_none() {
+            if let Err(e) = self.append(&Record::Event(event)) {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Parsed view of a trace file: the longest valid record prefix.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct TraceData {
+    /// The header, when the first line parsed as one.
+    pub header: Option<Header>,
+    /// Events of the valid prefix, in file order.
+    pub events: Vec<Event>,
+    /// Byte length of the valid prefix (append after truncating to it).
+    pub valid_len: u64,
+}
+
+impl TraceData {
+    /// Re-serialize the parsed records to canonical JSONL bytes. A trace
+    /// written by [`JsonlRecorder`] round-trips byte-identically through
+    /// [`load_trace`] + this — the golden tests' schema-stability check.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        if let Some(h) = &self.header {
+            out.push_str(&serde_json::to_string(&Record::Header(h.clone())).unwrap_or_default());
+            out.push('\n');
+        }
+        for ev in &self.events {
+            out.push_str(&serde_json::to_string(&Record::Event(ev.clone())).unwrap_or_default());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Load a trace. `Ok(None)` when the file does not exist; torn or
+/// foreign trailing bytes are excluded from `valid_len` rather than
+/// reported as errors — identical discipline to the runner journal.
+pub fn load_trace(path: &Path) -> Result<Option<TraceData>, ObsError> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(ObsError(format!("read {}: {e}", path.display()))),
+    };
+    Ok(Some(parse_trace(&text)))
+}
+
+/// Parse trace text into its longest valid record prefix.
+pub fn parse_trace(text: &str) -> TraceData {
+    let mut data = TraceData::default();
+    let mut offset = 0usize;
+    for line in text.split_inclusive('\n') {
+        let complete = line.ends_with('\n');
+        let body = line.trim_end();
+        if body.is_empty() {
+            if complete {
+                offset += line.len();
+                continue;
+            }
+            break;
+        }
+        let Ok(record) = serde_json::from_str::<Record>(body) else {
+            break; // torn write or foreign bytes: stop at the valid prefix
+        };
+        if !complete {
+            break; // a record without its newline may still be mid-write
+        }
+        offset += line.len();
+        match record {
+            Record::Header(h) => {
+                if data.header.is_none() {
+                    data.header = Some(h);
+                }
+            }
+            Record::Event(ev) => data.events.push(ev),
+        }
+    }
+    data.valid_len = offset as u64;
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mtm-obs-recorder-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn note(text: &str) -> Event {
+        Event::Note { text: text.into() }
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        assert!(!NullRecorder::ENABLED);
+        assert!(MemRecorder::ENABLED);
+        let mut r = NullRecorder;
+        assert!(!r.wallclock());
+        r.record(note("dropped"));
+    }
+
+    #[test]
+    fn mem_recorder_buffers_in_order() {
+        let mut r = MemRecorder::new();
+        r.record(note("a"));
+        r.record(note("b"));
+        assert_eq!(r.events.len(), 2);
+        let drained = r.drain();
+        assert_eq!(drained[1], note("b"));
+        assert!(r.events.is_empty());
+    }
+
+    #[test]
+    fn jsonl_trace_round_trips() {
+        let path = tmpfile("roundtrip.jsonl");
+        let _ = fs::remove_file(&path);
+        let mut rec = JsonlRecorder::create(&path, "test/roundtrip", 42).unwrap();
+        rec.record(note("one"));
+        rec.record(note("two"));
+        rec.finish().unwrap();
+
+        let data = load_trace(&path).unwrap().unwrap();
+        let h = data.header.clone().unwrap();
+        assert_eq!(h.version, TRACE_VERSION);
+        assert_eq!(h.source, "test/roundtrip");
+        assert_eq!(h.seed, 42);
+        assert_eq!(data.events, vec![note("one"), note("two")]);
+
+        // Canonical re-serialization reproduces the file bytes exactly.
+        let bytes = fs::read_to_string(&path).unwrap();
+        assert_eq!(data.to_jsonl(), bytes);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_reappendable() {
+        let path = tmpfile("torn.jsonl");
+        let _ = fs::remove_file(&path);
+        let mut rec = JsonlRecorder::create(&path, "test/torn", 1).unwrap();
+        rec.record(note("kept"));
+        rec.record(note("torn-away"));
+        rec.finish().unwrap();
+
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+        let data = load_trace(&path).unwrap().unwrap();
+        assert_eq!(data.events, vec![note("kept")], "torn record excluded");
+        assert!(data.valid_len < (bytes.len() - 7) as u64);
+
+        let mut rec = JsonlRecorder::append_after(&path, data.valid_len).unwrap();
+        rec.record(note("appended"));
+        rec.finish().unwrap();
+        let data = load_trace(&path).unwrap().unwrap();
+        assert_eq!(data.events, vec![note("kept"), note("appended")]);
+    }
+
+    #[test]
+    fn identical_runs_produce_identical_bytes() {
+        let write = |name: &str| {
+            let path = tmpfile(name);
+            let _ = fs::remove_file(&path);
+            let mut rec = JsonlRecorder::create(&path, "test/bitwise", 7).unwrap();
+            for i in 0..5u64 {
+                rec.record(Event::Trial {
+                    step: i as usize,
+                    rep: 0,
+                    run_id: i * 31,
+                    y: (i as f64) * 0.1,
+                });
+            }
+            rec.finish().unwrap();
+            fs::read(&path).unwrap()
+        };
+        assert_eq!(write("bit_a.jsonl"), write("bit_b.jsonl"));
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        assert!(load_trace(Path::new("/nonexistent/nope.jsonl"))
+            .unwrap()
+            .is_none());
+    }
+}

@@ -1,0 +1,460 @@
+//! Trace aggregation: the layer behind the `mtm-obs` CLI.
+//!
+//! [`summarize`] folds a parsed trace into per-operator tables,
+//! bottleneck/constraint tallies, and propose-path statistics (with a
+//! latency histogram when the trace captured wall-clock durations).
+//! [`diff_traces`] locates the first diverging record of two traces —
+//! the debugging view for a failed golden test.
+
+use std::fmt;
+
+use crate::event::{Event, Header, Record};
+use crate::recorder::TraceData;
+
+/// Aggregated per-operator counters (summed across simulator runs,
+/// keyed by label).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorStat {
+    /// Operator label (node name, or `ackers`).
+    pub label: String,
+    /// Node id of the first occurrence; `None` for aggregates.
+    pub node: Option<usize>,
+    /// Task count of the last occurrence.
+    pub tasks: usize,
+    /// Total tuples processed across runs.
+    pub processed: u64,
+    /// Highest queue high-water mark seen.
+    pub queue_hwm: usize,
+}
+
+/// Propose-path statistics across every [`Event::Propose`] in the trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProposeStats {
+    /// Total proposals.
+    pub count: usize,
+    /// `(path, occurrences)` in first-seen order.
+    pub by_path: Vec<(String, usize)>,
+    /// Proposals that re-optimized surrogate hyperparameters.
+    pub refits: usize,
+    /// Mean acquisition argmax margin over non-design proposals.
+    pub mean_margin: f64,
+    /// Total coordinate-descent polish moves.
+    pub polish_moves: usize,
+    /// Power-of-two latency histogram over `wall_ns`:
+    /// `(bucket_floor_ns, count)`. Empty when the trace is deterministic
+    /// (no wall-clock capture).
+    pub wall_hist: Vec<(u64, usize)>,
+}
+
+/// The folded view of one trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    /// Trace header, when present.
+    pub header: Option<Header>,
+    /// Total events in the valid prefix.
+    pub events: usize,
+    /// Simulator runs (`SimStart` count).
+    pub sim_runs: usize,
+    /// Per-operator aggregates, in first-seen order.
+    pub operators: Vec<OperatorStat>,
+    /// `(bottleneck_label, occurrences)` from `SimEnd`, first-seen order.
+    pub bottlenecks: Vec<(String, usize)>,
+    /// `(constraint_kind, occurrences, tightest_bound)` first-seen order.
+    pub constraints: Vec<(String, usize, f64)>,
+    /// Propose statistics.
+    pub propose: ProposeStats,
+    /// Measured trials (`Trial` count).
+    pub trials: usize,
+    /// Best trial throughput seen (0 when no trials).
+    pub best_y: f64,
+    /// Passes completed (`PassEnd` count).
+    pub passes: usize,
+    /// Confirmation runs.
+    pub confirms: usize,
+}
+
+fn bump<K: PartialEq>(v: &mut Vec<(K, usize)>, key: K) {
+    match v.iter_mut().find(|(k, _)| *k == key) {
+        Some((_, n)) => *n += 1,
+        None => v.push((key, 1)),
+    }
+}
+
+/// Fold a parsed trace into a [`Summary`].
+pub fn summarize(trace: &TraceData) -> Summary {
+    let mut s = Summary {
+        header: trace.header.clone(),
+        events: trace.events.len(),
+        ..Summary::default()
+    };
+    let mut margin_sum = 0.0;
+    let mut margin_n = 0usize;
+    for ev in &trace.events {
+        match ev {
+            Event::SimStart { .. } => s.sim_runs += 1,
+            Event::Constraint { kind, bound, .. } => {
+                match s.constraints.iter_mut().find(|(k, _, _)| k == kind) {
+                    Some((_, n, tightest)) => {
+                        *n += 1;
+                        if *bound < *tightest {
+                            *tightest = *bound;
+                        }
+                    }
+                    None => s.constraints.push((kind.clone(), 1, *bound)),
+                }
+            }
+            Event::Operator {
+                node,
+                label,
+                tasks,
+                processed,
+                queue_hwm,
+            } => match s.operators.iter_mut().find(|o| o.label == *label) {
+                Some(op) => {
+                    op.tasks = *tasks;
+                    op.processed += *processed;
+                    op.queue_hwm = op.queue_hwm.max(*queue_hwm);
+                }
+                None => s.operators.push(OperatorStat {
+                    label: label.clone(),
+                    node: *node,
+                    tasks: *tasks,
+                    processed: *processed,
+                    queue_hwm: *queue_hwm,
+                }),
+            },
+            Event::Engine { .. } => {}
+            Event::SimEnd { bottleneck, .. } => bump(&mut s.bottlenecks, bottleneck.clone()),
+            Event::Propose {
+                path,
+                refit,
+                margin,
+                polish_moves,
+                wall_ns,
+                ..
+            } => {
+                s.propose.count += 1;
+                bump(&mut s.propose.by_path, path.clone());
+                if *refit {
+                    s.propose.refits += 1;
+                }
+                if path != "design" {
+                    margin_sum += margin;
+                    margin_n += 1;
+                }
+                s.propose.polish_moves += polish_moves;
+                if let Some(ns) = wall_ns {
+                    // Power-of-two buckets keyed by their floor.
+                    let floor = if *ns == 0 {
+                        0
+                    } else {
+                        1u64 << (63 - ns.leading_zeros())
+                    };
+                    match s.propose.wall_hist.iter_mut().find(|(f, _)| *f == floor) {
+                        Some((_, n)) => *n += 1,
+                        None => s.propose.wall_hist.push((floor, 1)),
+                    }
+                }
+            }
+            Event::Trial { y, .. } => {
+                s.trials += 1;
+                if *y > s.best_y {
+                    s.best_y = *y;
+                }
+            }
+            Event::PassStart { .. } | Event::Note { .. } | Event::ExperimentEnd { .. } => {}
+            Event::PassEnd { .. } => s.passes += 1,
+            Event::Confirm { .. } => s.confirms += 1,
+        }
+    }
+    if margin_n > 0 {
+        s.propose.mean_margin = margin_sum / margin_n as f64;
+    }
+    s.propose.wall_hist.sort_by_key(|&(floor, _)| floor);
+    s
+}
+
+impl Summary {
+    /// The `n` operators with the most processed tuples, busiest first.
+    pub fn top_operators(&self, n: usize) -> Vec<&OperatorStat> {
+        let mut ops: Vec<&OperatorStat> = self.operators.iter().collect();
+        ops.sort_by(|a, b| b.processed.cmp(&a.processed).then(a.label.cmp(&b.label)));
+        ops.truncate(n);
+        ops
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(h) = &self.header {
+            writeln!(
+                f,
+                "trace v{}  source={}  seed={}",
+                h.version, h.source, h.seed
+            )?;
+        }
+        writeln!(
+            f,
+            "events={}  sim_runs={}  trials={}  passes={}  confirms={}",
+            self.events, self.sim_runs, self.trials, self.passes, self.confirms
+        )?;
+        if self.trials > 0 {
+            writeln!(f, "best_y={:.3}", self.best_y)?;
+        }
+        if !self.operators.is_empty() {
+            writeln!(f, "\noperator            tasks   processed  queue_hwm")?;
+            for op in &self.operators {
+                writeln!(
+                    f,
+                    "{:<18} {:>6} {:>11} {:>10}",
+                    op.label, op.tasks, op.processed, op.queue_hwm
+                )?;
+            }
+        }
+        if !self.bottlenecks.is_empty() {
+            writeln!(f, "\nbottlenecks:")?;
+            for (label, n) in &self.bottlenecks {
+                writeln!(f, "  {label:<16} x{n}")?;
+            }
+        }
+        if !self.constraints.is_empty() {
+            writeln!(f, "\nconstraint    seen   tightest bound (tps)")?;
+            for (kind, n, tightest) in &self.constraints {
+                writeln!(f, "  {kind:<10} {n:>5}   {tightest:.3}")?;
+            }
+        }
+        if self.propose.count > 0 {
+            writeln!(
+                f,
+                "\nproposals={}  refits={}  mean_margin={:.4}  polish_moves={}",
+                self.propose.count,
+                self.propose.refits,
+                self.propose.mean_margin,
+                self.propose.polish_moves
+            )?;
+            for (path, n) in &self.propose.by_path {
+                writeln!(f, "  path {path:<12} x{n}")?;
+            }
+            if !self.propose.wall_hist.is_empty() {
+                writeln!(f, "propose latency (wall):")?;
+                let max = self
+                    .propose
+                    .wall_hist
+                    .iter()
+                    .map(|&(_, n)| n)
+                    .max()
+                    .unwrap_or(1);
+                for &(floor, n) in &self.propose.wall_hist {
+                    let bar = "#".repeat((n * 40).div_ceil(max));
+                    writeln!(f, "  >= {:>9.1} us  {n:>5} {bar}", floor as f64 / 1e3)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of comparing two traces record-by-record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDiff {
+    /// Record counts of the two traces (header included).
+    pub len_a: usize,
+    /// See `len_a`.
+    pub len_b: usize,
+    /// First diverging record: `(index, rendering_of_a, rendering_of_b)`
+    /// where a missing record renders as `<end of trace>`. `None` when
+    /// the traces are identical.
+    pub first_divergence: Option<(usize, String, String)>,
+}
+
+impl TraceDiff {
+    /// `true` when the traces matched record-for-record.
+    pub fn identical(&self) -> bool {
+        self.first_divergence.is_none()
+    }
+}
+
+impl fmt::Display for TraceDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.first_divergence {
+            None => write!(f, "traces identical ({} records)", self.len_a),
+            Some((idx, a, b)) => {
+                writeln!(f, "traces diverge at record {idx}:")?;
+                writeln!(f, "  a: {a}")?;
+                write!(f, "  b: {b}")
+            }
+        }
+    }
+}
+
+fn records(t: &TraceData) -> Vec<Record> {
+    let mut out = Vec::with_capacity(t.events.len() + 1);
+    if let Some(h) = &t.header {
+        out.push(Record::Header(h.clone()));
+    }
+    out.extend(t.events.iter().cloned().map(Record::Event));
+    out
+}
+
+/// Compare two traces record-by-record and report the first divergence.
+pub fn diff_traces(a: &TraceData, b: &TraceData) -> TraceDiff {
+    let ra = records(a);
+    let rb = records(b);
+    let mut diff = TraceDiff {
+        len_a: ra.len(),
+        len_b: rb.len(),
+        first_divergence: None,
+    };
+    let render = |r: Option<&Record>| match r {
+        Some(rec) => serde_json::to_string(rec).unwrap_or_else(|_| format!("{rec:?}")),
+        None => "<end of trace>".to_string(),
+    };
+    for i in 0..ra.len().max(rb.len()) {
+        if ra.get(i) != rb.get(i) {
+            diff.first_divergence = Some((i, render(ra.get(i)), render(rb.get(i))));
+            break;
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Header, TRACE_VERSION};
+
+    fn sample() -> TraceData {
+        TraceData {
+            header: Some(Header {
+                version: TRACE_VERSION,
+                source: "test/summary".into(),
+                seed: 3,
+            }),
+            events: vec![
+                Event::SimStart {
+                    sim: "flow".into(),
+                    topo: "chain".into(),
+                    nodes: 2,
+                    window_s: 120.0,
+                },
+                Event::Constraint {
+                    kind: "cpu".into(),
+                    node: Some(0),
+                    bound: 900.0,
+                },
+                Event::Constraint {
+                    kind: "cpu".into(),
+                    node: Some(1),
+                    bound: 500.0,
+                },
+                Event::Operator {
+                    node: Some(0),
+                    label: "src".into(),
+                    tasks: 2,
+                    processed: 100,
+                    queue_hwm: 4,
+                },
+                Event::Operator {
+                    node: Some(0),
+                    label: "src".into(),
+                    tasks: 2,
+                    processed: 50,
+                    queue_hwm: 9,
+                },
+                Event::SimEnd {
+                    throughput: 500.0,
+                    bottleneck: "cpu".into(),
+                    committed: 10,
+                },
+                Event::Propose {
+                    step: 0,
+                    path: "design".into(),
+                    refit: false,
+                    pool: 1,
+                    margin: 0.0,
+                    polish_moves: 0,
+                    wall_ns: None,
+                },
+                Event::Propose {
+                    step: 1,
+                    path: "incremental".into(),
+                    refit: true,
+                    pool: 64,
+                    margin: 0.5,
+                    polish_moves: 2,
+                    wall_ns: Some(3000),
+                },
+                Event::Trial {
+                    step: 1,
+                    rep: 0,
+                    run_id: 9,
+                    y: 432.1,
+                },
+            ],
+            valid_len: 0,
+        }
+    }
+
+    #[test]
+    fn summarize_aggregates() {
+        let s = summarize(&sample());
+        assert_eq!(s.sim_runs, 1);
+        assert_eq!(s.trials, 1);
+        assert!((s.best_y - 432.1).abs() < 1e-12);
+        // Operators merged by label; hwm is the max, processed the sum.
+        assert_eq!(s.operators.len(), 1);
+        assert_eq!(s.operators[0].processed, 150);
+        assert_eq!(s.operators[0].queue_hwm, 9);
+        // Tightest cpu bound wins.
+        assert_eq!(s.constraints, vec![("cpu".to_string(), 2, 500.0)]);
+        assert_eq!(s.bottlenecks, vec![("cpu".to_string(), 1)]);
+        // Design proposals excluded from margin mean.
+        assert_eq!(s.propose.count, 2);
+        assert_eq!(s.propose.refits, 1);
+        assert!((s.propose.mean_margin - 0.5).abs() < 1e-12);
+        // 3000ns lands in the 2048 bucket.
+        assert_eq!(s.propose.wall_hist, vec![(2048, 1)]);
+        // Display renders without panicking and mentions the operator.
+        let text = format!("{s}");
+        assert!(text.contains("src"), "{text}");
+        assert!(text.contains("bottlenecks"), "{text}");
+    }
+
+    #[test]
+    fn top_operators_orders_by_processed() {
+        let mut t = sample();
+        t.events.push(Event::Operator {
+            node: Some(1),
+            label: "sink".into(),
+            tasks: 1,
+            processed: 9999,
+            queue_hwm: 0,
+        });
+        let s = summarize(&t);
+        let top = s.top_operators(1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].label, "sink");
+    }
+
+    #[test]
+    fn diff_finds_first_divergence() {
+        let a = sample();
+        assert!(diff_traces(&a, &a.clone()).identical());
+
+        let mut b = a.clone();
+        b.events[3] = Event::Note {
+            text: "swap".into(),
+        };
+        let d = diff_traces(&a, &b);
+        // Index 4 = header + 3 preceding events.
+        assert_eq!(d.first_divergence.as_ref().unwrap().0, 4);
+        assert!(format!("{d}").contains("diverge"));
+
+        let mut c = a.clone();
+        c.events.pop();
+        let d = diff_traces(&a, &c);
+        let (idx, _, rb) = d.first_divergence.unwrap();
+        assert_eq!(idx, a.events.len()); // header shifts indices by one
+        assert_eq!(rb, "<end of trace>");
+    }
+}

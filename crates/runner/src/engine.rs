@@ -27,9 +27,11 @@ use std::path::Path;
 use std::time::Instant;
 
 use mtm_core::{
-    confirm_run_id, pass_seed, run_pass_with, select_best_pass, ExperimentResult, Measure,
+    confirm_run_id, pass_seed, run_pass_traced, select_best_pass, ExperimentResult, Measure,
     Objective, PassResult, RunOptions, Strategy, TrialCtx,
 };
+use mtm_obs::event::finite_or_zero;
+use mtm_obs::{Event, MemRecorder, NullRecorder, Recorder};
 use mtm_stormsim::StormConfig;
 use serde::Serialize;
 
@@ -332,7 +334,41 @@ pub fn run_experiment_journaled(
     segment: Option<&Path>,
     resume: bool,
 ) -> Result<Outcome, RunnerError> {
+    run_experiment_traced(
+        exp_id,
+        make_strategy,
+        objective,
+        opts,
+        ropts,
+        segment,
+        resume,
+        &mut NullRecorder,
+    )
+}
+
+/// [`run_experiment_journaled`] with instrumentation: per-pass spans
+/// ([`Event::PassStart`]/[`Event::PassEnd`]), per-trial events carrying
+/// the journal run ids, confirmation runs, and a closing
+/// [`Event::ExperimentEnd`] go to `rec`.
+///
+/// Trace bytes are independent of the thread count: each parallel unit
+/// (pass or confirmation rep) records into its own buffer, and the
+/// buffers are spliced into `rec` in unit-index order — the same order a
+/// serial run would have produced. The experiment result is bitwise
+/// identical with any recorder.
+#[allow(clippy::too_many_arguments)] // mirrors run_experiment_journaled + rec
+pub fn run_experiment_traced<R: Recorder>(
+    exp_id: &str,
+    make_strategy: &(dyn Fn(u64) -> Strategy + Sync),
+    objective: &Objective,
+    opts: &RunOptions,
+    ropts: &RunnerOptions,
+    segment: Option<&Path>,
+    resume: bool,
+    rec: &mut R,
+) -> Result<Outcome, RunnerError> {
     let fp = fingerprint(exp_id, opts, ropts);
+    let wallclock = rec.wallclock();
 
     // Load and validate any existing segment.
     let mut existing: Option<SegmentData> = None;
@@ -362,6 +398,15 @@ pub fn run_experiment_journaled(
                 replayed: data.n_records() as u64,
                 ..TrialStats::default()
             };
+            if R::ENABLED {
+                rec.record(Event::Note {
+                    text: format!("{exp_id}: finished journal segment, nothing re-run"),
+                });
+                rec.record(Event::ExperimentEnd {
+                    exp_id: exp_id.to_string(),
+                    best_pass: done.best_pass,
+                });
+            }
             return Ok(Outcome {
                 result: done.clone(),
                 stats,
@@ -389,15 +434,32 @@ pub fn run_experiment_journaled(
     // across the pool; completed passes come straight from the journal.
     let n_passes = opts.passes.max(1);
     let pass_outcomes = pool::run_indexed(n_passes, ropts.threads, |p| {
+        let seed = pass_seed(opts.seed, p);
+        // Each unit records into its own buffer; the buffers are spliced
+        // into `rec` in pass order below, so trace bytes never depend on
+        // worker interleaving.
+        let mut unit = MemRecorder::new().with_wallclock(wallclock);
+        if R::ENABLED {
+            unit.record(Event::PassStart { pass: p, seed });
+        }
         if let Some(done) = existing.passes.get(&p) {
             let replayed = existing.trials.keys().filter(|(pp, _, _)| *pp == p).count();
             let stats = TrialStats {
                 replayed: replayed as u64,
                 ..TrialStats::default()
             };
-            return Ok((done.clone(), stats));
+            if R::ENABLED {
+                unit.record(Event::Note {
+                    text: format!("pass {p}: replayed from journal"),
+                });
+                unit.record(Event::PassEnd {
+                    pass: p,
+                    best_step: done.best_step,
+                    best_y: finite_or_zero(done.best_throughput),
+                });
+            }
+            return Ok((done.clone(), stats, unit.drain()));
         }
-        let seed = pass_seed(opts.seed, p);
         let mut strategy = make_strategy(seed);
         let replay: BTreeMap<(usize, usize), TrialRecord> = existing
             .trials
@@ -410,7 +472,13 @@ pub fn run_experiment_journaled(
             seed,
             ..opts.clone()
         };
-        let result = run_pass_with(&mut strategy, objective, &pass_opts, &mut measure);
+        let result = run_pass_traced(
+            &mut strategy,
+            objective,
+            &pass_opts,
+            &mut measure,
+            &mut unit,
+        );
         if let Some(e) = measure.io_error.take() {
             return Err(e);
         }
@@ -418,15 +486,25 @@ pub fn run_experiment_journaled(
             pass: p,
             result: result.clone(),
         }))?;
-        Ok((result, measure.stats))
+        if R::ENABLED {
+            unit.record(Event::PassEnd {
+                pass: p,
+                best_step: result.best_step,
+                best_y: finite_or_zero(result.best_throughput),
+            });
+        }
+        Ok((result, measure.stats, unit.drain()))
     });
 
     let mut passes: Vec<PassResult> = Vec::with_capacity(n_passes);
     let mut stats = TrialStats::default();
     for outcome in pass_outcomes {
-        let (pass, pass_stats) = outcome?;
+        let (pass, pass_stats, events) = outcome?;
         stats.merge(&pass_stats);
         passes.push(pass);
+        for event in events {
+            rec.record(event);
+        }
     }
 
     let best_pass = select_best_pass(&passes);
@@ -436,13 +514,22 @@ pub fn run_experiment_journaled(
     // Confirmation runs: independent units keyed by repetition index.
     // Journaled confirms only replay while they confirm the same winner.
     let confirm_outcomes = pool::run_indexed(opts.confirm_reps, ropts.threads, |rep| {
-        if let Some(rec) = existing.confirms.get(&rep) {
-            if rec.config_hash == best_hash {
+        if let Some(journaled) = existing.confirms.get(&rep) {
+            if journaled.config_hash == best_hash {
                 let unit_stats = TrialStats {
                     replayed: 1,
                     ..TrialStats::default()
                 };
-                return Ok::<(f64, TrialStats), RunnerError>((rec.throughput, unit_stats));
+                let confirm_event = Event::Confirm {
+                    rep,
+                    run_id: journaled.run_id,
+                    y: finite_or_zero(journaled.throughput),
+                };
+                return Ok::<(f64, TrialStats, Event), RunnerError>((
+                    journaled.throughput,
+                    unit_stats,
+                    confirm_event,
+                ));
             }
         }
         let base_id = confirm_run_id(opts.seed, rep as u64);
@@ -460,14 +547,22 @@ pub fn run_experiment_journaled(
             retries_exhausted: exhausted as u64,
             ..TrialStats::default()
         };
-        Ok((value, unit_stats))
+        let confirm_event = Event::Confirm {
+            rep,
+            run_id,
+            y: finite_or_zero(value),
+        };
+        Ok((value, unit_stats, confirm_event))
     });
 
     let mut confirmation: Vec<f64> = Vec::with_capacity(opts.confirm_reps);
     for outcome in confirm_outcomes {
-        let (value, unit_stats) = outcome?;
+        let (value, unit_stats, confirm_event) = outcome?;
         stats.merge(&unit_stats);
         confirmation.push(value);
+        if R::ENABLED {
+            rec.record(confirm_event);
+        }
     }
 
     let result = ExperimentResult {
@@ -477,6 +572,12 @@ pub fn run_experiment_journaled(
         confirmation,
     };
     journal.append(&Record::Done(result.clone()))?;
+    if R::ENABLED {
+        rec.record(Event::ExperimentEnd {
+            exp_id: exp_id.to_string(),
+            best_pass,
+        });
+    }
 
     Ok(Outcome {
         result,
@@ -661,5 +762,188 @@ mod tests {
         );
         // Threads are explicitly NOT fingerprinted.
         assert_eq!(base, fingerprint("x", &o, &RunnerOptions::parallel(8)));
+    }
+
+    #[test]
+    fn tracing_is_inert_and_thread_invariant() {
+        let obj = objective();
+        let make = bo_factory();
+        let plain = run_experiment_journaled(
+            "test/trace",
+            &make,
+            &obj,
+            &opts(),
+            &RunnerOptions::serial(),
+            None,
+            false,
+        )
+        .unwrap();
+        let mut serial_rec = MemRecorder::new();
+        let traced = run_experiment_traced(
+            "test/trace",
+            &make,
+            &obj,
+            &opts(),
+            &RunnerOptions::serial(),
+            None,
+            false,
+            &mut serial_rec,
+        )
+        .unwrap();
+        assert_eq!(
+            canonical_result_json(&plain.result),
+            canonical_result_json(&traced.result),
+            "recording must not perturb the experiment"
+        );
+        let serial_events = serial_rec.drain();
+        assert!(
+            matches!(
+                serial_events.first(),
+                Some(Event::PassStart { pass: 0, .. })
+            ),
+            "trace opens with the first pass span"
+        );
+        assert!(matches!(
+            serial_events.last(),
+            Some(Event::ExperimentEnd { .. })
+        ));
+        let trials = serial_events
+            .iter()
+            .filter(|e| matches!(e, Event::Trial { .. }))
+            .count();
+        assert!(trials > 0, "per-trial spans must be present");
+        let confirms = serial_events
+            .iter()
+            .filter(|e| matches!(e, Event::Confirm { .. }))
+            .count();
+        assert_eq!(confirms, opts().confirm_reps);
+
+        let mut par_rec = MemRecorder::new();
+        let par = run_experiment_traced(
+            "test/trace",
+            &make,
+            &obj,
+            &opts(),
+            &RunnerOptions::parallel(4),
+            None,
+            false,
+            &mut par_rec,
+        )
+        .unwrap();
+        assert_eq!(
+            canonical_result_json(&traced.result),
+            canonical_result_json(&par.result)
+        );
+        assert_eq!(
+            serial_events,
+            par_rec.drain(),
+            "trace events must not depend on the thread count"
+        );
+    }
+
+    #[test]
+    fn identical_runs_write_byte_identical_trace_files() {
+        use mtm_obs::JsonlRecorder;
+        let dir = std::env::temp_dir().join("mtm-runner-trace-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pid = std::process::id();
+        let path_a = dir.join(format!("bytes-a-{pid}.jsonl"));
+        let path_b = dir.join(format!("bytes-b-{pid}.jsonl"));
+        let obj = objective();
+        let make = bo_factory();
+        for (path, ropts) in [
+            (&path_a, RunnerOptions::serial()),
+            (&path_b, RunnerOptions::parallel(4)),
+        ] {
+            let mut rec = JsonlRecorder::create(path, "test/bytes", opts().seed).unwrap();
+            run_experiment_traced(
+                "test/bytes",
+                &make,
+                &obj,
+                &opts(),
+                &ropts,
+                None,
+                false,
+                &mut rec,
+            )
+            .unwrap();
+            rec.finish().unwrap();
+        }
+        let a = std::fs::read(&path_a).unwrap();
+        let b = std::fs::read(&path_b).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "serial and parallel traces must be byte-identical");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+    }
+
+    #[test]
+    fn trace_file_torn_tail_survives_truncation_and_resume() {
+        use mtm_obs::{load_trace, JsonlRecorder};
+        let dir = std::env::temp_dir().join("mtm-runner-trace-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pid = std::process::id();
+        let trace_path = dir.join(format!("torn-{pid}.jsonl"));
+        let seg_path = dir.join(format!("torn-seg-{pid}.jsonl"));
+        let _ = std::fs::remove_file(&trace_path);
+        let _ = std::fs::remove_file(&seg_path);
+        let obj = objective();
+        let make = bo_factory();
+
+        let mut rec = JsonlRecorder::create(&trace_path, "test/torn", opts().seed).unwrap();
+        run_experiment_traced(
+            "test/torn",
+            &make,
+            &obj,
+            &opts(),
+            &RunnerOptions::serial(),
+            Some(&seg_path),
+            false,
+            &mut rec,
+        )
+        .unwrap();
+        rec.finish().unwrap();
+        let full = load_trace(&trace_path).unwrap().unwrap();
+        assert!(matches!(
+            full.events.last(),
+            Some(Event::ExperimentEnd { .. })
+        ));
+
+        // Tear the tail mid-record, the way a kill -9 would.
+        let bytes = std::fs::read(&trace_path).unwrap();
+        std::fs::write(&trace_path, &bytes[..bytes.len() - 17]).unwrap();
+        let torn = load_trace(&trace_path).unwrap().unwrap();
+        assert!(torn.events.len() < full.events.len());
+        assert_eq!(torn.header, full.header, "header survives the tear");
+        assert_eq!(
+            torn.events[..],
+            full.events[..torn.events.len()],
+            "the longest valid prefix is exactly the untorn events"
+        );
+
+        // Resume appends after the valid prefix; the finished journal
+        // short-circuits, so the tail is a replay marker + experiment end.
+        let mut rec = JsonlRecorder::append_after(&trace_path, torn.valid_len).unwrap();
+        run_experiment_traced(
+            "test/torn",
+            &make,
+            &obj,
+            &opts(),
+            &RunnerOptions::serial(),
+            Some(&seg_path),
+            true,
+            &mut rec,
+        )
+        .unwrap();
+        rec.finish().unwrap();
+        let resumed = load_trace(&trace_path).unwrap().unwrap();
+        assert_eq!(resumed.header, full.header);
+        assert_eq!(resumed.events[..torn.events.len()], torn.events[..]);
+        assert!(matches!(
+            resumed.events.last(),
+            Some(Event::ExperimentEnd { .. })
+        ));
+        let _ = std::fs::remove_file(&trace_path);
+        let _ = std::fs::remove_file(&seg_path);
     }
 }

@@ -41,8 +41,8 @@ pub mod progress;
 pub mod scale;
 
 pub use engine::{
-    canonical_result_json, fingerprint, run_experiment_journaled, Outcome, RunnerOptions,
-    TrialStats,
+    canonical_result_json, fingerprint, run_experiment_journaled, run_experiment_traced, Outcome,
+    RunnerOptions, TrialStats,
 };
 pub use error::RunnerError;
 pub use fault::FaultPlan;

@@ -15,6 +15,7 @@ pub struct EventQueue<E> {
     now: f64,
     popped: u64,
     pushed: u64,
+    peak: usize,
 }
 
 #[derive(Debug)]
@@ -59,6 +60,7 @@ impl<E> EventQueue<E> {
             now: 0.0,
             popped: 0,
             pushed: 0,
+            peak: 0,
         }
     }
 
@@ -88,6 +90,9 @@ impl<E> EventQueue<E> {
         });
         self.seq += 1;
         self.pushed += 1;
+        if self.heap.len() > self.peak {
+            self.peak = self.heap.len();
+        }
     }
 
     /// Schedule `event` `delay` seconds from now.
@@ -125,6 +130,11 @@ impl<E> EventQueue<E> {
     /// Total events ever scheduled (diagnostics).
     pub fn events_scheduled(&self) -> u64 {
         self.pushed
+    }
+
+    /// Highest pending-event count the queue ever reached (diagnostics).
+    pub fn peak_len(&self) -> usize {
+        self.peak
     }
 }
 
@@ -175,6 +185,7 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.events_processed(), 3);
         assert_eq!(q.events_scheduled(), 3);
+        assert_eq!(q.peak_len(), 2, "two events were pending at once");
     }
 
     #[test]

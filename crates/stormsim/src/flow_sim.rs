@@ -26,6 +26,9 @@
 //!    timeout measure *zero* (replay storm), which is how degenerate
 //!    configurations failed on the paper's cluster.
 
+use mtm_obs::event::finite_or_zero;
+use mtm_obs::{Event, NullRecorder, Recorder};
+
 use crate::cluster::ClusterSpec;
 use crate::config::StormConfig;
 use crate::flow::{self, FlowAnalysis};
@@ -42,23 +45,54 @@ pub fn simulate_flow(
     cluster: &ClusterSpec,
     window_s: f64,
 ) -> SimResult {
-    assert!(window_s > 0.0, "window must be positive");
-    if let Err(_e) = config.validate(topo) {
-        return SimResult::failed(window_s, 0, 0);
-    }
-    let tasks = config.normalized_tasks(topo);
-    let ackers = config.effective_ackers(
-        tasks
-            .iter()
-            .map(|&t| t as usize)
-            .sum::<usize>()
-            .min(cluster.machines),
-    );
-    let placement = place_even(topo, &tasks, ackers, cluster);
-    let flows = flow::analyze(topo);
+    simulate_flow_with(topo, config, cluster, window_s, &mut NullRecorder)
+}
 
-    let model = ConstraintModel::build(topo, config, cluster, &tasks, placement, flows);
-    let result = model.solve(window_s);
+/// [`simulate_flow`] with instrumentation: every constraint bound the
+/// model considers, per-operator steady-state counters, and start/end
+/// markers go to `rec`. With [`NullRecorder`] (what `simulate_flow`
+/// passes) the instrumentation compiles away; the returned result is
+/// bitwise identical either way — recording is a passive observer.
+pub fn simulate_flow_with<R: Recorder>(
+    topo: &Topology,
+    config: &StormConfig,
+    cluster: &ClusterSpec,
+    window_s: f64,
+    rec: &mut R,
+) -> SimResult {
+    assert!(window_s > 0.0, "window must be positive");
+    if R::ENABLED {
+        rec.record(Event::SimStart {
+            sim: "flow".into(),
+            topo: topo.name().into(),
+            nodes: topo.n_nodes(),
+            window_s,
+        });
+    }
+    let result = if config.validate(topo).is_err() {
+        SimResult::failed(window_s, 0, 0)
+    } else {
+        let tasks = config.normalized_tasks(topo);
+        let ackers = config.effective_ackers(
+            tasks
+                .iter()
+                .map(|&t| t as usize)
+                .sum::<usize>()
+                .min(cluster.machines),
+        );
+        let placement = place_even(topo, &tasks, ackers, cluster);
+        let flows = flow::analyze(topo);
+
+        let model = ConstraintModel::build(topo, config, cluster, &tasks, placement, flows);
+        model.solve(window_s, rec)
+    };
+    if R::ENABLED {
+        rec.record(Event::SimEnd {
+            throughput: finite_or_zero(result.throughput_tps),
+            bottleneck: result.bottleneck.label(),
+            committed: result.committed_batches,
+        });
+    }
     #[cfg(feature = "strict-invariants")]
     crate::invariants::assert_finite(
         "flow-sim metrics (throughput, net, cpu)",
@@ -69,6 +103,37 @@ pub fn simulate_flow(
         ],
     );
     result
+}
+
+/// Running minimum over constraint bounds, with bottleneck attribution
+/// and (when recording) a [`Event::Constraint`] line per bound — the
+/// trace that makes the winning bottleneck explainable.
+struct Tracker {
+    best: f64,
+    bottleneck: Bottleneck,
+}
+
+impl Tracker {
+    fn consider<R: Recorder>(
+        &mut self,
+        rec: &mut R,
+        kind: &str,
+        node: Option<usize>,
+        bound: f64,
+        what: Bottleneck,
+    ) {
+        if R::ENABLED {
+            rec.record(Event::Constraint {
+                kind: kind.into(),
+                node,
+                bound: finite_or_zero(bound),
+            });
+        }
+        if bound < self.best {
+            self.best = bound;
+            self.bottleneck = what;
+        }
+    }
 }
 
 /// Intermediate per-configuration constraint data.
@@ -132,20 +197,16 @@ impl<'a> ConstraintModel<'a> {
         }
     }
 
-    fn solve(&self, window_s: f64) -> SimResult {
+    fn solve<R: Recorder>(&self, window_s: f64, rec: &mut R) -> SimResult {
         let cl = self.cluster;
         let total_tasks = self.placement.total_tasks();
         let workers = self.placement.workers;
         let remote = self.placement.remote_fraction();
         let ackers = self.placement.acker_worker.len().max(1);
 
-        let mut best = f64::INFINITY;
-        let mut bottleneck = Bottleneck::ClusterCpu;
-        let mut consider = |bound: f64, what: Bottleneck| {
-            if bound < best {
-                best = bound;
-                bottleneck = what;
-            }
+        let mut tr = Tracker {
+            best: f64::INFINITY,
+            bottleneck: Bottleneck::ClusterCpu,
         };
 
         // 1. Node capacity: R * f_v * cost_v <= eff_tasks_v * unit_rate.
@@ -154,7 +215,10 @@ impl<'a> ConstraintModel<'a> {
             if f <= 0.0 {
                 continue;
             }
-            consider(
+            tr.consider(
+                rec,
+                "node",
+                Some(v),
                 self.eff_tasks[v] * cl.unit_rate / (f * self.node_cost[v]),
                 Bottleneck::NodeCapacity(v),
             );
@@ -199,7 +263,13 @@ impl<'a> ConstraintModel<'a> {
                 continue;
             }
             if machine_demand[m] > 0.0 {
-                consider((cap - spin) / machine_demand[m], Bottleneck::ClusterCpu);
+                tr.consider(
+                    rec,
+                    "cpu",
+                    Some(m),
+                    (cap - spin) / machine_demand[m],
+                    Bottleneck::ClusterCpu,
+                );
             }
             // Executor work is additionally limited by the worker's
             // thread pool: at most min(worker_threads, tasks) bolt/spout
@@ -209,7 +279,10 @@ impl<'a> ConstraintModel<'a> {
             if exec_demand > 0.0 {
                 let exec_threads = (self.placement.tasks_per_worker[m] as u32)
                     .min(self.config.worker_threads) as f64;
-                consider(
+                tr.consider(
+                    rec,
+                    "exec",
+                    Some(m),
                     exec_threads * cl.unit_rate / exec_demand,
                     Bottleneck::ClusterCpu,
                 );
@@ -223,7 +296,10 @@ impl<'a> ConstraintModel<'a> {
         // task is one thread (at most one core).
         let ack_demand_per_r = self.flows.total_processing * cl.acker_cost_units;
         if ack_demand_per_r > 0.0 {
-            consider(
+            tr.consider(
+                rec,
+                "ackers",
+                None,
                 ackers as f64 * cl.unit_rate / ack_demand_per_r,
                 Bottleneck::Ackers,
             );
@@ -233,7 +309,10 @@ impl<'a> ConstraintModel<'a> {
         let edge_tuples_per_unit: f64 = self.flows.edge_flow.iter().sum();
         let inbound_per_worker = edge_tuples_per_unit * remote / workers as f64;
         if inbound_per_worker > 0.0 {
-            consider(
+            tr.consider(
+                rec,
+                "receivers",
+                None,
                 self.config.receiver_threads as f64 * cl.receiver_tuple_rate / inbound_per_worker,
                 Bottleneck::Receivers,
             );
@@ -242,9 +321,16 @@ impl<'a> ConstraintModel<'a> {
         // 5. Network bandwidth per worker.
         let bytes_per_worker = self.flows.bytes_per_unit * remote / workers as f64;
         if bytes_per_worker > 0.0 {
-            consider(cl.net_bandwidth_bps / bytes_per_worker, Bottleneck::Network);
+            tr.consider(
+                rec,
+                "network",
+                None,
+                cl.net_bandwidth_bps / bytes_per_worker,
+                Bottleneck::Network,
+            );
         }
 
+        let (best, mut bottleneck) = (tr.best, tr.bottleneck);
         if !best.is_finite() || best <= 0.0 {
             return SimResult::failed(window_s, workers, total_tasks);
         }
@@ -257,6 +343,13 @@ impl<'a> ConstraintModel<'a> {
         let t_commit =
             cl.batch_overhead_s + cl.batch_coord_per_task_s * (total_tasks + ackers) as f64;
         let r_commit = s / t_commit;
+        if R::ENABLED {
+            rec.record(Event::Constraint {
+                kind: "commit".into(),
+                node: None,
+                bound: finite_or_zero(r_commit),
+            });
+        }
         let mut r = r_proc.min(r_commit);
         if r_commit < r_proc {
             bottleneck = Bottleneck::BatchPipeline;
@@ -314,12 +407,34 @@ impl<'a> ConstraintModel<'a> {
         let avg_worker_net_mbps =
             measured * self.flows.bytes_per_unit * remote / workers as f64 / (1024.0 * 1024.0);
 
+        if R::ENABLED {
+            // Steady-state per-operator expectation over the window: the
+            // flow model has no real queues, so queue_hwm is 0 here (the
+            // tuple sim reports actual high-water marks).
+            for v in 0..self.topo.n_nodes() {
+                rec.record(Event::Operator {
+                    node: Some(v),
+                    label: self.topo.node(v).name.clone(),
+                    tasks: self.tasks[v] as usize,
+                    processed: (measured * self.flows.node_flow[v] * window_s).max(0.0) as u64,
+                    queue_hwm: 0,
+                });
+            }
+            rec.record(Event::Operator {
+                node: None,
+                label: "ackers".into(),
+                tasks: ackers,
+                processed: (measured * self.flows.total_processing * window_s).max(0.0) as u64,
+                queue_hwm: 0,
+            });
+        }
+
         SimResult {
             throughput_tps: measured,
             committed_batches,
             duration_s: window_s,
             avg_worker_net_mbps,
-            batch_latency_s: batch_latency,
+            batch_latency_s: Some(batch_latency),
             cpu_utilization,
             workers_used: workers,
             total_tasks,
@@ -369,7 +484,7 @@ mod tests {
         let topo = chain(&[10.0, 20.0, 20.0]);
         let r = eval(&topo, &StormConfig::baseline(3));
         assert!(r.throughput_tps > 0.0 && r.throughput_tps.is_finite());
-        assert!(r.batch_latency_s > 0.0);
+        assert!(r.batch_latency_s.expect("healthy run has a latency") > 0.0);
         assert!(r.cpu_utilization > 0.0 && r.cpu_utilization <= 1.0);
     }
 
@@ -539,6 +654,51 @@ mod tests {
         let a = eval(&topo, &c);
         let b = eval(&topo, &c);
         assert_eq!(a.throughput_tps, b.throughput_tps);
+    }
+
+    #[test]
+    fn recording_is_inert_and_explains_the_bottleneck() {
+        let topo = chain(&[10.0, 20.0, 20.0]);
+        let c = StormConfig::baseline(3);
+        let plain = eval(&topo, &c);
+        let mut rec = mtm_obs::MemRecorder::new();
+        let recorded =
+            simulate_flow_with(&topo, &c, &ClusterSpec::paper_cluster(), 120.0, &mut rec);
+        assert_eq!(
+            plain.throughput_tps.to_bits(),
+            recorded.throughput_tps.to_bits(),
+            "recording must not perturb the result"
+        );
+        assert_eq!(plain.committed_batches, recorded.committed_batches);
+
+        // The trace starts and ends a sim run...
+        assert!(matches!(rec.events.first(), Some(Event::SimStart { sim, .. }) if sim == "flow"));
+        assert!(matches!(rec.events.last(), Some(Event::SimEnd { .. })));
+        // ...names one operator per node plus the acker aggregate...
+        let ops = rec
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Operator { .. }))
+            .count();
+        assert_eq!(ops, topo.n_nodes() + 1);
+        // ...and contains a constraint line whose bound equals the raw
+        // processing limit, tying the SimEnd bottleneck to its cause.
+        let bounds: Vec<f64> = rec
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Constraint { bound, .. } => Some(*bound),
+                _ => None,
+            })
+            .collect();
+        assert!(!bounds.is_empty(), "constraints must be traced");
+        let tightest = bounds.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            tightest >= recorded.throughput_tps,
+            "no constraint bound may lie below the measured throughput: \
+             tightest={tightest} measured={}",
+            recorded.throughput_tps
+        );
     }
 
     #[test]

@@ -43,10 +43,10 @@ pub mod tuple_sim;
 
 pub use cluster::ClusterSpec;
 pub use config::StormConfig;
-pub use flow_sim::simulate_flow;
+pub use flow_sim::{simulate_flow, simulate_flow_with};
 pub use metrics::SimResult;
 pub use topology::{Grouping, NodeId, NodeKind, RoutePolicy, Topology, TopologyBuilder};
-pub use tuple_sim::{simulate_tuples, TupleSimOptions};
+pub use tuple_sim::{simulate_tuples, simulate_tuples_with, TupleSimOptions};
 
 // Runtime invariant guards, available to callers when the
 // `strict-invariants` feature is on.

@@ -15,6 +15,8 @@
 
 use std::collections::VecDeque;
 
+use mtm_obs::{Event, NullRecorder, Recorder};
+
 use crate::cluster::ClusterSpec;
 use crate::config::StormConfig;
 use crate::engine::EventQueue;
@@ -92,17 +94,57 @@ pub fn simulate_tuples(
     cluster: &ClusterSpec,
     opts: &TupleSimOptions,
 ) -> SimResult {
+    simulate_tuples_with(topo, config, cluster, opts, &mut NullRecorder)
+}
+
+/// [`simulate_tuples`] with instrumentation: per-operator processed
+/// counters and queue high-water marks, event-engine statistics, and
+/// start/end markers go to `rec`. With [`NullRecorder`] (what
+/// `simulate_tuples` passes) the high-water-mark bookkeeping is skipped
+/// entirely; the returned result is bitwise identical either way —
+/// recording is a passive observer.
+pub fn simulate_tuples_with<R: Recorder>(
+    topo: &Topology,
+    config: &StormConfig,
+    cluster: &ClusterSpec,
+    opts: &TupleSimOptions,
+    rec: &mut R,
+) -> SimResult {
+    if R::ENABLED {
+        rec.record(Event::SimStart {
+            sim: "tuple".into(),
+            topo: topo.name().into(),
+            nodes: topo.n_nodes(),
+            window_s: opts.window_s,
+        });
+    }
     if config.validate(topo).is_err() {
-        return SimResult::failed(opts.window_s, 0, 0);
+        let result = SimResult::failed(opts.window_s, 0, 0);
+        if R::ENABLED {
+            rec.record(Event::SimEnd {
+                throughput: result.throughput_tps,
+                bottleneck: result.bottleneck.label(),
+                committed: result.committed_batches,
+            });
+        }
+        return result;
     }
     let tasks_per_node = config.normalized_tasks(topo);
     let total_topo_tasks: usize = tasks_per_node.iter().map(|&t| t as usize).sum();
     let ackers = config.effective_ackers(total_topo_tasks.min(cluster.machines));
     let placement = place_even(topo, &tasks_per_node, ackers, cluster);
 
-    let mut sim = Sim::new(topo, config, cluster, &placement, opts);
+    let mut sim = Sim::new(topo, config, cluster, &placement, opts, R::ENABLED);
     sim.run();
     let result = sim.result();
+    if R::ENABLED {
+        sim.emit_stats(rec);
+        rec.record(Event::SimEnd {
+            throughput: result.throughput_tps,
+            bottleneck: result.bottleneck.label(),
+            committed: result.committed_batches,
+        });
+    }
     #[cfg(feature = "strict-invariants")]
     crate::invariants::assert_finite(
         "tuple-sim metrics (throughput, net, cpu)",
@@ -132,6 +174,9 @@ struct Sim<'a> {
     committed: u64,
     next_spout_rr: u64,
     aborted: bool,
+    /// When recording: per-task queue high-water marks (empty otherwise,
+    /// so the unrecorded hot path skips the bookkeeping entirely).
+    queue_hwm: Vec<usize>,
 }
 
 impl<'a> Sim<'a> {
@@ -141,6 +186,7 @@ impl<'a> Sim<'a> {
         cluster: &'a ClusterSpec,
         placement: &'a Placement,
         opts: &'a TupleSimOptions,
+        track_stats: bool,
     ) -> Self {
         let mut tasks = Vec::with_capacity(placement.tasks.len() + placement.acker_worker.len());
         let mut node_tasks = vec![Vec::new(); topo.n_nodes()];
@@ -197,6 +243,11 @@ impl<'a> Sim<'a> {
             })
             .collect();
 
+        let queue_hwm = if track_stats {
+            vec![0; tasks.len()]
+        } else {
+            Vec::new()
+        };
         Sim {
             topo,
             config,
@@ -213,6 +264,7 @@ impl<'a> Sim<'a> {
             committed: 0,
             next_spout_rr: 0,
             aborted: false,
+            queue_hwm,
         }
     }
 
@@ -260,6 +312,12 @@ impl<'a> Sim<'a> {
 
     fn deliver(&mut self, task: usize, batch: u32) {
         self.tasks[task].queue.push_back(batch);
+        if !self.queue_hwm.is_empty() {
+            let depth = self.tasks[task].queue.len();
+            if depth > self.queue_hwm[task] {
+                self.queue_hwm[task] = depth;
+            }
+        }
         self.try_start(task);
     }
 
@@ -453,10 +511,12 @@ impl<'a> Sim<'a> {
             avg_worker_net_mbps: avg_net,
             batch_latency_s: if self.committed > 0 {
                 // Little's law estimate over the run.
-                self.config.batch_parallelism as f64 * self.config.batch_size as f64
-                    / throughput.max(1e-9)
+                Some(
+                    self.config.batch_parallelism as f64 * self.config.batch_size as f64
+                        / throughput.max(1e-9),
+                )
             } else {
-                f64::INFINITY
+                None
             },
             cpu_utilization: (work_units / capacity.max(1e-9)).clamp(0.0, 1.0),
             workers_used: self.placement.workers,
@@ -467,6 +527,46 @@ impl<'a> Sim<'a> {
                 Bottleneck::ClusterCpu
             },
         }
+    }
+
+    /// Emit the per-operator and engine statistics collected during a
+    /// recorded run (requires `track_stats` at construction).
+    fn emit_stats<R: Recorder>(&self, rec: &mut R) {
+        for v in 0..self.topo.n_nodes() {
+            let mut processed = 0u64;
+            let mut hwm = 0usize;
+            for &t in &self.node_tasks[v] {
+                processed += self.tasks[t].processed;
+                hwm = hwm.max(self.queue_hwm.get(t).copied().unwrap_or(0));
+            }
+            rec.record(Event::Operator {
+                node: Some(v),
+                label: self.topo.node(v).name.clone(),
+                tasks: self.node_tasks[v].len(),
+                processed,
+                queue_hwm: hwm,
+            });
+        }
+        if !self.acker_tasks.is_empty() {
+            let mut processed = 0u64;
+            let mut hwm = 0usize;
+            for &t in &self.acker_tasks {
+                processed += self.tasks[t].processed;
+                hwm = hwm.max(self.queue_hwm.get(t).copied().unwrap_or(0));
+            }
+            rec.record(Event::Operator {
+                node: None,
+                label: "ackers".into(),
+                tasks: self.acker_tasks.len(),
+                processed,
+                queue_hwm: hwm,
+            });
+        }
+        rec.record(Event::Engine {
+            scheduled: self.queue.events_scheduled(),
+            processed: self.queue.events_processed(),
+            queue_peak: self.queue.peak_len(),
+        });
     }
 }
 
@@ -508,6 +608,51 @@ mod tests {
         assert!(
             (r.throughput_tps - r.committed_batches as f64 * 200.0 / r.duration_s).abs() < 1e-9
         );
+    }
+
+    #[test]
+    fn recording_is_inert_and_reports_operator_stats() {
+        let topo = small_chain();
+        let plain = simulate_tuples(&topo, &small_config(), &ClusterSpec::tiny(), &fast_opts());
+        let mut rec = mtm_obs::MemRecorder::new();
+        let recorded = simulate_tuples_with(
+            &topo,
+            &small_config(),
+            &ClusterSpec::tiny(),
+            &fast_opts(),
+            &mut rec,
+        );
+        assert_eq!(
+            plain.throughput_tps.to_bits(),
+            recorded.throughput_tps.to_bits(),
+            "recording must not perturb the result"
+        );
+        assert_eq!(plain.committed_batches, recorded.committed_batches);
+
+        assert!(matches!(rec.events.first(), Some(Event::SimStart { sim, .. }) if sim == "tuple"));
+        assert!(matches!(rec.events.last(), Some(Event::SimEnd { .. })));
+        let ops: Vec<_> = rec
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Operator {
+                    processed,
+                    queue_hwm,
+                    ..
+                } => Some((*processed, *queue_hwm)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ops.len(), topo.n_nodes() + 1, "per node + acker aggregate");
+        assert!(ops.iter().any(|&(p, _)| p > 0), "work must be counted");
+        assert!(
+            ops.iter().any(|&(_, hwm)| hwm > 0),
+            "queues must have backed up somewhere: {ops:?}"
+        );
+        assert!(rec.events.iter().any(
+            |e| matches!(e, Event::Engine { scheduled, processed, queue_peak }
+                if *scheduled > 0 && *processed > 0 && *queue_peak > 0)
+        ));
     }
 
     #[test]

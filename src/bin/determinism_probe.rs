@@ -10,10 +10,14 @@
 
 use mtm_core::objective::synthetic_base;
 use mtm_core::{run_pass, Objective, ParamSet, RunOptions, Strategy};
-use mtm_runner::engine::{canonical_result_json, run_experiment_journaled};
+use mtm_obs::{JsonlRecorder, MemRecorder, NullRecorder};
+use mtm_runner::engine::{canonical_result_json, run_experiment_journaled, run_experiment_traced};
 use mtm_runner::RunnerOptions;
 use mtm_stormsim::noise::MeasurementNoise;
-use mtm_stormsim::{simulate_flow, simulate_tuples, ClusterSpec, StormConfig, TupleSimOptions};
+use mtm_stormsim::{
+    simulate_flow, simulate_flow_with, simulate_tuples, simulate_tuples_with, ClusterSpec,
+    StormConfig, TupleSimOptions,
+};
 use mtm_topogen::{make_condition, sundog_topology, Condition, SizeClass};
 
 fn main() {
@@ -79,6 +83,108 @@ fn main() {
     // AND be bit-identical across probe invocations — scratch paths stay
     // on stderr-free temp storage and never reach stdout.
     journal_replay_section(&objective);
+
+    // Recording-is-inert: every instrumented path re-run with a live
+    // recorder must reproduce the unrecorded result bit for bit, and two
+    // recorded runs must write byte-identical trace files.
+    recording_inert_section(&objective);
+}
+
+/// Re-run the probe's simulator workloads and a short experiment with
+/// recording enabled; print bitwise-equality verdicts and the trace sizes
+/// (both deterministic, so they diff cleanly across invocations).
+fn recording_inert_section(objective: &Objective) {
+    let cluster = ClusterSpec::paper_cluster();
+    let contended = objective.topology();
+    let config_c = StormConfig::uniform_hints(contended.n_nodes(), 5);
+
+    let plain = simulate_flow(contended, &config_c, &cluster, 120.0);
+    let mut mem = MemRecorder::new();
+    let recorded = simulate_flow_with(contended, &config_c, &cluster, 120.0, &mut mem);
+    println!(
+        "obs/flow inert={} events={}",
+        render(&plain) == render(&recorded),
+        mem.events.len()
+    );
+
+    let opts = TupleSimOptions {
+        window_s: 20.0,
+        max_events: 2_000_000,
+        ..Default::default()
+    };
+    let plain = simulate_tuples(contended, &config_c, &cluster, &opts);
+    let mut mem = MemRecorder::new();
+    let recorded = simulate_tuples_with(contended, &config_c, &cluster, &opts, &mut mem);
+    println!(
+        "obs/tuples inert={} events={}",
+        render(&plain) == render(&recorded),
+        mem.events.len()
+    );
+
+    // A short traced experiment: result bitwise-equal to the untraced run,
+    // trace files from two identical runs byte-identical.
+    let dir = std::env::temp_dir()
+        .join("mtm-determinism-probe-obs")
+        .join(std::process::id().to_string());
+    let _ = std::fs::remove_dir_all(&dir);
+    if std::fs::create_dir_all(&dir).is_err() {
+        println!("obs/experiment <scratch dir unavailable>");
+        return;
+    }
+    let topo = contended.clone();
+    let make = move |seed: u64| Strategy::bo(&topo, ParamSet::Hints, seed);
+    let run_opts = RunOptions {
+        max_steps: 5,
+        confirm_reps: 2,
+        passes: 1,
+        seed: 0xB0,
+        ..Default::default()
+    };
+    let ropts = RunnerOptions::serial();
+    let untraced = run_experiment_traced(
+        "probe/obs",
+        &make,
+        objective,
+        &run_opts,
+        &ropts,
+        None,
+        false,
+        &mut NullRecorder,
+    );
+    let run_once = |i: usize| -> (Vec<u8>, bool) {
+        let path = dir.join(format!("trace-{i}.jsonl"));
+        let mut rec = match JsonlRecorder::create(&path, "probe/obs", run_opts.seed) {
+            Ok(r) => r,
+            Err(_) => return (Vec::new(), false),
+        };
+        let traced = run_experiment_traced(
+            "probe/obs",
+            &make,
+            objective,
+            &run_opts,
+            &ropts,
+            None,
+            false,
+            &mut rec,
+        );
+        if rec.finish().is_err() {
+            return (Vec::new(), false);
+        }
+        let inert = match (&untraced, &traced) {
+            (Ok(a), Ok(b)) => canonical_result_json(&a.result) == canonical_result_json(&b.result),
+            _ => false,
+        };
+        (std::fs::read(&path).unwrap_or_default(), inert)
+    };
+    let (trace_a, inert) = run_once(0);
+    let (trace_b, _) = run_once(1);
+    println!("obs/experiment inert={inert}");
+    println!(
+        "obs/trace identical={} bytes={}",
+        !trace_a.is_empty() && trace_a == trace_b,
+        trace_a.len()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Run + truncate + resume one journaled experiment and print the

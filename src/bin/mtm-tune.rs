@@ -197,7 +197,10 @@ fn main() -> ExitCode {
     println!("\nsimulator attribution:");
     println!("  bottleneck   : {}", detail.bottleneck.label());
     println!("  cpu util     : {:.1}%", detail.cpu_utilization * 100.0);
-    println!("  batch latency: {:.2}s", detail.batch_latency_s);
+    match detail.batch_latency_s {
+        Some(lat) => println!("  batch latency: {lat:.2}s"),
+        None => println!("  batch latency: n/a (run failed)"),
+    }
     println!("  net/worker   : {:.2} MB/s", detail.avg_worker_net_mbps);
     ExitCode::SUCCESS
 }

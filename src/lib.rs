@@ -13,7 +13,9 @@
 //!   80-machine testbed),
 //! * [`topogen`] — benchmark topology generation (GGen presets, Sundog),
 //! * [`core`] — the auto-configuration strategies and the §V experiment
-//!   protocol.
+//!   protocol,
+//! * [`obs`] — deterministic structured tracing (`Recorder`, JSONL
+//!   traces, the `mtm-obs` CLI).
 //!
 //! See `examples/quickstart.rs` for a three-minute tour, and the
 //! `mtm-bench` crate for the binaries that regenerate every table and
@@ -41,6 +43,7 @@ pub use mtm_bayesopt as bayesopt;
 pub use mtm_core as core;
 pub use mtm_gp as gp;
 pub use mtm_linalg as linalg;
+pub use mtm_obs as obs;
 pub use mtm_stats as stats;
 pub use mtm_stormsim as stormsim;
 pub use mtm_topogen as topogen;

@@ -368,6 +368,12 @@ impl Surrogate for SurrogateBox {
             SurrogateBox::Exact(s) => s.predict_many(xs),
         }
     }
+    fn predict_many_into(&self, xs: &[Vec<f64>], out: &mut Vec<mtm_gp::Prediction>) {
+        match self {
+            SurrogateBox::Incremental(s) => Surrogate::predict_many_into(s, xs, out),
+            SurrogateBox::Exact(s) => Surrogate::predict_many_into(s, xs, out),
+        }
+    }
     fn refit(&mut self) -> Result<(), mtm_gp::GpError> {
         match self {
             SurrogateBox::Incremental(s) => Surrogate::refit(s),
@@ -413,6 +419,7 @@ impl Surrogate for SurrogateBox {
 /// same within-chunk order, bitwise-identical results. (Per-element
 /// parallel reductions like `par_iter().sum()` would not be: float
 /// addition is not associative.)
+// mtm-hot: acq-score
 fn accumulate_scores<S: Surrogate + ?Sized>(
     sur: &S,
     acq: &Acquisition,
@@ -422,22 +429,32 @@ fn accumulate_scores<S: Surrogate + ?Sized>(
     parallel: bool,
 ) {
     debug_assert_eq!(pool.len(), scores.len());
-    let score_chunk = |out: &mut [f64], cands: &[Vec<f64>]| {
-        let preds = sur.predict_many(cands);
-        for (s, p) in out.iter_mut().zip(preds) {
-            *s += acq.score(p.mean, p.std(), z_best);
-        }
-    };
+    // Each chunk predicts into a reused scratch buffer instead of
+    // collecting a fresh `Vec<Prediction>`: the serial path threads one
+    // buffer through every chunk, the parallel path gives each rayon
+    // worker its own via `for_each_init`. Scratch capacity plateaus at
+    // `SCORE_CHUNK` after the first chunk.
+    let score_chunk =
+        |scratch: &mut Vec<mtm_gp::Prediction>, out: &mut [f64], cands: &[Vec<f64>]| {
+            sur.predict_many_into(cands, scratch);
+            for (s, p) in out.iter_mut().zip(scratch.iter()) {
+                *s += acq.score(p.mean, p.std(), z_best);
+            }
+        };
     if parallel {
         scores
             .par_chunks_mut(SCORE_CHUNK)
             .zip(pool.par_chunks(SCORE_CHUNK))
-            .for_each(|(out, cands)| score_chunk(out, cands));
+            .for_each_init(
+                || Vec::with_capacity(SCORE_CHUNK),
+                |scratch, (out, cands)| score_chunk(scratch, out, cands),
+            );
     } else {
+        let mut scratch = Vec::with_capacity(SCORE_CHUNK);
         scores
             .chunks_mut(SCORE_CHUNK)
             .zip(pool.chunks(SCORE_CHUNK))
-            .for_each(|(out, cands)| score_chunk(out, cands));
+            .for_each(|(out, cands)| score_chunk(&mut scratch, out, cands));
     }
 }
 
@@ -642,6 +659,7 @@ impl BayesOpt {
         if !y.is_finite() {
             return Err(BoError::NonFiniteObjective(y));
         }
+        // mtm-allow: alloc -- amortized history append; one per measured trial
         self.observations.push(Observation {
             unit: candidate.unit,
             values: candidate.values,
@@ -1095,7 +1113,7 @@ mod tests {
         assert_eq!(plain, recorded, "recording must not perturb proposals");
 
         let proposes: Vec<(usize, String, Option<u64>)> = mem
-            .events
+            .events()
             .iter()
             .filter_map(|e| match e {
                 Event::Propose {
@@ -1103,7 +1121,7 @@ mod tests {
                     path,
                     wall_ns,
                     ..
-                } => Some((*step, path.clone(), *wall_ns)),
+                } => Some((*step, path.to_string(), *wall_ns)),
                 _ => None,
             })
             .collect();
@@ -1134,7 +1152,7 @@ mod tests {
         let mut mem = mtm_obs::MemRecorder::new().with_wallclock(true);
         let c = opt.propose_recorded(&mut mem).unwrap();
         opt.observe(c, 1.0).unwrap();
-        match &mem.events[..] {
+        match mem.events() {
             [Event::Propose { wall_ns, .. }] => {
                 assert!(wall_ns.is_some(), "wall-clock opt-in must time proposals");
             }

@@ -18,3 +18,11 @@ pub fn record(throughput: f64) -> TrialRecord {
 pub fn pick(xs: &[f64], i: usize) -> f64 {
     xs[i].max(0.0)
 }
+
+// mtm-hot: score-loop
+pub fn accumulate(xs: &[f64], out: &mut Vec<f64>) {
+    for &x in xs {
+        // mtm-allow: alloc -- amortized: capacity reserved by the caller
+        out.push(x * 2.0);
+    }
+}

@@ -24,3 +24,24 @@ pub fn converged(residual: f64) -> bool {
 pub fn missing_reason() -> u32 {
     1
 }
+
+// mtm-hot: inner-loop
+pub fn hot_loop(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    apply(xs, |x| acc += x);
+    acc
+}
+
+pub fn apply(xs: &[f64], mut f: impl FnMut(f64)) {
+    for &x in xs {
+        f(x);
+    }
+}
+
+/// Cold on its face, but it hands a closure to the hot `apply`, so the
+/// seam drags the closure body into the hot scan.
+pub fn labels(xs: &[f64]) -> Vec<String> {
+    let mut out = Vec::with_capacity(xs.len());
+    apply(xs, |x| out.push(format!("{x}")));
+    out
+}

@@ -15,6 +15,10 @@
 //!    legacy `lint:allow(float_cmp)` honored), `partial_cmp().unwrap()`
 //!    on possibly-NaN keys, and order-sensitive reductions after a
 //!    `par_iter` (`float-ord`).
+//! 4. **Hot-path allocations** ([`crate::hotpath`]) — allocation, lock
+//!    and IO sites reachable from `// mtm-hot: <key>` roots (cut at
+//!    `// mtm-cold: <reason>` seams, `mtm-allow: alloc` adjudicated),
+//!    ratcheted in the `[alloc_hot]` table.
 //!
 //! Statements gated on `#[cfg(feature = "strict-invariants")]` are the
 //! assertion layer and are skipped, exactly like `#[cfg(test)]` items.
@@ -34,9 +38,12 @@ use crate::taint::{self, Allow};
 pub struct Analysis {
     /// Hard findings: taint, float, annotation and module diagnostics.
     pub report: Report,
-    /// Per-unit panic/index/div counts (the ratchet input). Units with
-    /// all-zero counts are omitted, matching the ratchet file.
+    /// Per-unit panic/index/div/alloc-hot counts (the ratchet input).
+    /// Units with all-zero counts are omitted, matching the ratchet file.
     pub counts: std::collections::BTreeMap<String, SiteCounts>,
+    /// Hot-path pass output: roots, reach, unsuppressed sites (drives
+    /// `mtm-check analyze --hot`).
+    pub hot: crate::hotpath::HotSummary,
 }
 
 /// Parse every workspace crate: `crates/*/src` plus the root `src/`.
@@ -152,6 +159,15 @@ pub fn analyze_crates(crates: &[CrateAst]) -> Analysis {
             ));
         }
     }
+
+    analysis.hot = crate::hotpath::run(
+        &graph,
+        crates,
+        &mut allows,
+        &mut analysis.report,
+        &mut analysis.counts,
+    );
+
     analysis.counts.retain(|_, c| !c.is_zero());
 
     for allow in &allows {
@@ -340,7 +356,7 @@ struct BodyScan<'a> {
 }
 
 /// Is the attribute group a `#[cfg(feature = "strict-invariants")]` gate?
-fn attr_is_strict_gate(g: &ast::Group) -> bool {
+pub(crate) fn attr_is_strict_gate(g: &ast::Group) -> bool {
     let text = ast::flatten(&g.trees);
     text.starts_with("cfg") && text.contains("strict-invariants")
 }

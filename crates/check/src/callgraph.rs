@@ -13,7 +13,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::ast::{CrateAst, FnItem, Tree};
+use crate::ast::{CrateAst, Delim, FnItem, Tok, TokKind, Tree};
 
 /// Index of one function in [`CallGraph::fns`].
 pub type FnId = usize;
@@ -33,6 +33,8 @@ pub struct CallGraph {
     by_name: BTreeMap<String, Vec<FnId>>,
     /// `Type::name` → candidate fn ids.
     by_qual: BTreeMap<String, Vec<FnId>>,
+    /// Every `impl`/`trait` type name seen in the workspace.
+    impl_types: BTreeSet<String>,
 }
 
 impl CallGraph {
@@ -52,6 +54,7 @@ impl CallGraph {
                             .entry(format!("{ty}::{}", f.name))
                             .or_default()
                             .push(id);
+                        g.impl_types.insert(ty.clone());
                     }
                     g.fns.push(f.clone());
                     g.units.push(krate.unit.clone());
@@ -107,6 +110,41 @@ impl CallGraph {
         }
         seen
     }
+
+    /// Every closure literal passed as a call argument, with the call's
+    /// candidate callees. Closure bodies live in their *defining*
+    /// function's token trees, so a body-level walk attributes their
+    /// contents to the definer — but the code actually *runs* wherever
+    /// the callee invokes it. Seams let the hot-path pass follow that
+    /// indirection: when a callee is hot but the definer is not, the
+    /// closure body still gets scanned (see [`crate::hotpath`]).
+    pub fn closure_seams(&self) -> Vec<ClosureSeam> {
+        let mut out = Vec::new();
+        for (owner, f) in self.fns.iter().enumerate() {
+            collect_seams(&f.body, self, owner, &mut out);
+        }
+        out
+    }
+
+    /// Resolve every call in arbitrary token trees (a closure body) to
+    /// candidate fn ids, with the same rules as graph construction.
+    pub fn calls_in(&self, trees: &[Tree]) -> BTreeSet<FnId> {
+        let mut out = BTreeSet::new();
+        collect_calls(trees, self, &mut out);
+        out
+    }
+}
+
+/// A closure literal passed as a call argument (see
+/// [`CallGraph::closure_seams`]).
+#[derive(Debug)]
+pub struct ClosureSeam {
+    /// Function whose body textually contains the closure.
+    pub owner: FnId,
+    /// Candidate callees the closure is handed to (never the owner).
+    pub callees: Vec<FnId>,
+    /// Token trees of the closure argument: params and body.
+    pub body: Vec<Tree>,
 }
 
 /// Scan a token-tree body for call sites and record resolved targets.
@@ -121,36 +159,188 @@ fn collect_calls(trees: &[Tree], g: &CallGraph, out: &mut BTreeSet<FnId>) {
         match &trees[i] {
             Tree::Group(grp) => collect_calls(&grp.trees, g, out),
             Tree::Tok(tok) => {
-                let is_call = tok.kind == crate::ast::TokKind::Ident
-                    && matches!(trees.get(i + 1), Some(Tree::Group(p)) if p.delim == crate::ast::Delim::Paren);
+                let is_call = tok.kind == TokKind::Ident
+                    && matches!(trees.get(i + 1), Some(Tree::Group(p)) if p.delim == Delim::Paren);
                 if is_call {
-                    let prev = i.checked_sub(1).and_then(|j| trees[j].tok());
-                    let name = tok.text.as_str();
-                    if prev.is_some_and(|p| p.is_punct("::")) {
-                        // Qualified: look two back for the type segment.
-                        let ty = i
-                            .checked_sub(2)
-                            .and_then(|j| trees[j].tok())
-                            .filter(|t| t.kind == crate::ast::TokKind::Ident)
-                            .map(|t| t.text.clone());
-                        let qual_hits: &[FnId] = match &ty {
-                            Some(ty) => g.resolve_qual(&format!("{ty}::{name}")),
-                            None => &[],
-                        };
-                        if qual_hits.is_empty() {
-                            out.extend(g.resolve_name(name).iter().copied());
-                        } else {
-                            out.extend(qual_hits.iter().copied());
+                    resolve_call(trees, i, tok, g, out);
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Resolve the single call site at index `i` (ident `tok` followed by a
+/// paren group) into candidate targets.
+fn resolve_call(trees: &[Tree], i: usize, tok: &Tok, g: &CallGraph, out: &mut BTreeSet<FnId>) {
+    let prev = i.checked_sub(1).and_then(|j| trees[j].tok());
+    let name = tok.text.as_str();
+    if prev.is_some_and(|p| p.is_punct("::")) {
+        // Qualified: look two back for the type segment.
+        let ty = i
+            .checked_sub(2)
+            .and_then(|j| trees[j].tok())
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone());
+        let qual_hits: &[FnId] = match &ty {
+            Some(ty) => g.resolve_qual(&format!("{ty}::{name}")),
+            None => &[],
+        };
+        if !qual_hits.is_empty() {
+            out.extend(qual_hits.iter().copied());
+        } else {
+            // A capitalized segment the workspace has no impl for is an
+            // external type (`Vec::new`, `Instant::now`): its methods
+            // can never land in workspace code, so the bare-name
+            // fallback would only fabricate edges to every same-named
+            // constructor. Module paths (lowercase) and `Self`/generic
+            // receivers keep the conservative fallback.
+            let external_type = ty.as_deref().is_some_and(|t| {
+                t != "Self"
+                    && t.chars().next().is_some_and(char::is_uppercase)
+                    && t.len() > 2
+                    && !g.impl_types.contains(t)
+            });
+            if !external_type {
+                out.extend(g.resolve_name(name).iter().copied());
+            }
+        }
+    } else {
+        // Method or free call: bare-name resolution.
+        out.extend(g.resolve_name(name).iter().copied());
+    }
+}
+
+/// Std iterator/`Option`/`Result` adaptors: method calls with these
+/// names overwhelmingly dispatch to the standard library, not to a
+/// same-named workspace method, so closures handed to them stay
+/// attributed to their textual owner instead of fanning out through
+/// bare-name collisions (e.g. every `.map(…)` edging into `Mat::map`).
+const STD_ADAPTORS: &[&str] = &[
+    "map",
+    "map_or",
+    "map_or_else",
+    "map_err",
+    "map_while",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "for_each",
+    "fold",
+    "try_fold",
+    "scan",
+    "inspect",
+    "and_then",
+    "or_else",
+    "unwrap_or_else",
+    "ok_or_else",
+    "take_while",
+    "skip_while",
+    "position",
+    "rposition",
+    "find",
+    "find_map",
+    "any",
+    "all",
+    "min_by",
+    "min_by_key",
+    "max_by",
+    "max_by_key",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "binary_search_by",
+    "binary_search_by_key",
+    "dedup_by",
+    "dedup_by_key",
+    "retain",
+    "partition",
+    "then",
+    "is_some_and",
+    "is_none_or",
+    "get_or_insert_with",
+    "resize_with",
+];
+
+/// Scan a body for call sites that pass closure literals and record one
+/// seam per closure argument.
+fn collect_seams(trees: &[Tree], g: &CallGraph, owner: FnId, out: &mut Vec<ClosureSeam>) {
+    let mut i = 0usize;
+    while i < trees.len() {
+        match &trees[i] {
+            Tree::Group(grp) => collect_seams(&grp.trees, g, owner, out),
+            Tree::Tok(tok) => {
+                let args = match trees.get(i + 1) {
+                    Some(Tree::Group(p)) if p.delim == Delim::Paren => Some(p),
+                    _ => None,
+                };
+                let std_adaptor = i
+                    .checked_sub(1)
+                    .and_then(|j| trees[j].tok())
+                    .is_some_and(|p| p.is_punct("."))
+                    && STD_ADAPTORS.contains(&tok.text.as_str());
+                if std_adaptor {
+                    i += 1;
+                    continue;
+                }
+                if let (true, Some(args)) = (tok.kind == TokKind::Ident, args) {
+                    let spans = closure_spans(&args.trees);
+                    if !spans.is_empty() {
+                        let mut callees = BTreeSet::new();
+                        resolve_call(trees, i, tok, g, &mut callees);
+                        callees.remove(&owner);
+                        if !callees.is_empty() {
+                            let callees: Vec<FnId> = callees.into_iter().collect();
+                            for body in spans {
+                                out.push(ClosureSeam {
+                                    owner,
+                                    callees: callees.clone(),
+                                    body,
+                                });
+                            }
                         }
-                    } else {
-                        // Method or free call: bare-name resolution.
-                        out.extend(g.resolve_name(name).iter().copied());
                     }
                 }
             }
         }
         i += 1;
     }
+}
+
+/// Top-level closure literals inside a call's argument trees: each span
+/// runs from its opening `|`/`||` to the next top-level comma. Bitwise
+/// `|` between arguments would over-match — the conservative direction
+/// for this pass, and the workspace style keeps bit-ops parenthesised.
+fn closure_spans(trees: &[Tree]) -> Vec<Vec<Tree>> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < trees.len() {
+        let (pipe, empty_params) = match &trees[i] {
+            Tree::Tok(t) if t.kind == TokKind::Punct => (t.text == "|", t.text == "||"),
+            _ => (false, false),
+        };
+        if !(pipe || empty_params) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + 1;
+        if pipe {
+            // Skip the parameter list: commas before the closing `|`
+            // belong to it, not to the argument list.
+            while j < trees.len() && !matches!(&trees[j], Tree::Tok(t) if t.is_punct("|")) {
+                j += 1;
+            }
+            j += 1;
+        }
+        while j < trees.len() && !matches!(&trees[j], Tree::Tok(t) if t.is_punct(",")) {
+            j += 1;
+        }
+        out.push(trees[start..j].to_vec());
+        i = j;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -222,6 +412,73 @@ fn build() { let _ = A::make(); }
         let g = graph_of("#[cfg(test)]\nmod tests { fn t() {} }\nfn real() {}");
         assert_eq!(g.fns.len(), 1);
         assert_eq!(g.fns[0].name, "real");
+    }
+
+    #[test]
+    fn external_type_constructors_do_not_fan_out() {
+        let g = graph_of(
+            r#"
+struct Sim;
+impl Sim { fn new() -> Sim { Sim } }
+fn hot() { let _v: Vec<u32> = Vec::new(); }
+fn generic<T: Default>() { let _ = T::default(); }
+fn default() {}
+"#,
+        );
+        let hot = g.fns.iter().position(|f| f.name == "hot").unwrap();
+        let sim_new = g
+            .fns
+            .iter()
+            .position(|f| f.name == "new" && f.impl_type.as_deref() == Some("Sim"))
+            .unwrap();
+        // `Vec::new` is an external constructor: no edge to `Sim::new`.
+        assert!(!g.callees[hot].contains(&sim_new));
+        // Short generic receivers keep the conservative bare fallback.
+        let generic = g.fns.iter().position(|f| f.name == "generic").unwrap();
+        let default = g.fns.iter().position(|f| f.name == "default").unwrap();
+        assert!(g.callees[generic].contains(&default));
+    }
+
+    #[test]
+    fn closure_seams_link_definer_to_callee() {
+        let g = graph_of(
+            r#"
+fn apply(f: impl Fn()) { f(); }
+fn definer() { apply(|| helper()); }
+fn helper() {}
+"#,
+        );
+        let apply = g.fns.iter().position(|f| f.name == "apply").unwrap();
+        let definer = g.fns.iter().position(|f| f.name == "definer").unwrap();
+        let helper = g.fns.iter().position(|f| f.name == "helper").unwrap();
+        let seams = g.closure_seams();
+        let seam = seams
+            .iter()
+            .find(|s| s.owner == definer)
+            .expect("seam recorded");
+        assert_eq!(seam.callees, vec![apply]);
+        assert!(g.calls_in(&seam.body).contains(&helper));
+    }
+
+    #[test]
+    fn closure_spans_handle_params_and_multiple_args() {
+        let g = graph_of(
+            r#"
+fn zip_with(f: impl Fn(u32, u32)) { f(1, 2); }
+fn caller() { zip_with(|a, b| { combine(a, b); }); }
+fn combine(_a: u32, _b: u32) {}
+fn plain() { zip_with(noop_named); }
+fn noop_named(_a: u32, _b: u32) {}
+"#,
+        );
+        let caller = g.fns.iter().position(|f| f.name == "caller").unwrap();
+        let plain = g.fns.iter().position(|f| f.name == "plain").unwrap();
+        let combine = g.fns.iter().position(|f| f.name == "combine").unwrap();
+        let seams = g.closure_seams();
+        let seam = seams.iter().find(|s| s.owner == caller).expect("seam");
+        assert!(g.calls_in(&seam.body).contains(&combine));
+        // A named-function argument is not a closure literal.
+        assert!(!seams.iter().any(|s| s.owner == plain));
     }
 
     #[test]

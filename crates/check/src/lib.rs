@@ -5,12 +5,15 @@
 //!
 //! * [`analyze`] — the AST-backed static analyzer: a self-contained
 //!   parser ([`ast`]) feeds a workspace call graph ([`callgraph`]) and
-//!   three analyses — determinism taint ([`taint`]: nondeterminism
+//!   four analyses — determinism taint ([`taint`]: nondeterminism
 //!   sources reaching journaled/measured values, adjudicated by
 //!   `// mtm-allow: <key> -- <reason>` annotations), panic-path counting
 //!   (`.unwrap()`/indexing/integer-div budgets in `check/ratchet.toml`,
-//!   counts only go down), and float sanity (`==`/`!=` on floats,
-//!   `partial_cmp().unwrap()`, order-sensitive parallel reductions).
+//!   counts only go down), float sanity (`==`/`!=` on floats,
+//!   `partial_cmp().unwrap()`, order-sensitive parallel reductions), and
+//!   the hot-path allocation pass ([`hotpath`]: alloc/lock/IO sites
+//!   reachable from `// mtm-hot: <key>` roots, ratcheted per crate in
+//!   the `[alloc_hot]` table).
 //! * [`lint`] — the comment-driven rules that stay text-based: `unsafe`
 //!   requires a `// SAFETY:` comment, and panicking `pub fn`s in
 //!   `linalg`/`gp` must carry a `# Panics` doc section.
@@ -29,6 +32,7 @@ pub mod callgraph;
 pub mod coverage;
 pub mod determinism;
 pub mod diag;
+pub mod hotpath;
 pub mod invariants;
 pub mod lint;
 pub mod ratchet;

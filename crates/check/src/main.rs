@@ -1,7 +1,7 @@
 //! The `mtm-check` command-line tool.
 //!
 //! ```text
-//! cargo run -p mtm-check -- analyze [--update-ratchet]
+//! cargo run -p mtm-check -- analyze [--update-ratchet] [--hot]
 //! cargo run -p mtm-check -- lint
 //! cargo run -p mtm-check -- invariants
 //! cargo run -p mtm-check -- determinism
@@ -10,10 +10,11 @@
 //! ```
 //!
 //! * `analyze` — AST-backed static analysis: determinism taint (with
-//!   `mtm-allow` annotation adjudication), panic/index/div budgets
-//!   against `check/ratchet.toml`, float sanity. `--update-ratchet`
-//!   rewrites the budget file from current counts (only do this after
-//!   *reducing* sites).
+//!   `mtm-allow` annotation adjudication), panic/index/div/alloc-hot
+//!   budgets against `check/ratchet.toml`, float sanity, and the
+//!   hot-path allocation pass. `--update-ratchet` rewrites the budget
+//!   file from current counts (only do this after *reducing* sites);
+//!   `--hot` prints the hot-path roots and every flagged site.
 //! * `lint` — comment-driven rules (`// SAFETY:`, `# Panics` docs).
 //! * `invariants` — run guarded crate test suites with
 //!   `--features strict-invariants`.
@@ -53,13 +54,17 @@ fn main() -> ExitCode {
         }
     };
     let ok = match cmd {
-        "analyze" => run_analyze(&root, rest.contains(&"--update-ratchet")),
+        "analyze" => run_analyze(
+            &root,
+            rest.contains(&"--update-ratchet"),
+            rest.contains(&"--hot"),
+        ),
         "lint" => run_lint(&root),
         "invariants" => run_invariants(),
         "determinism" => run_determinism(),
         "coverage" => run_coverage(&root),
         "all" => {
-            let analyze_ok = run_analyze(&root, false);
+            let analyze_ok = run_analyze(&root, false, false);
             let lint_ok = run_lint(&root);
             let inv_ok = run_invariants();
             let det_ok = run_determinism();
@@ -68,7 +73,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: mtm-check <analyze [--update-ratchet] | lint | invariants | determinism | coverage | all>"
+                "usage: mtm-check <analyze [--update-ratchet] [--hot] | lint | invariants | determinism | coverage | all>"
             );
             return ExitCode::from(2);
         }
@@ -99,8 +104,8 @@ fn workspace_root() -> Result<PathBuf, String> {
 }
 
 /// The AST pass: taint + float findings are hard failures; panic/index/
-/// div counts ratchet against `check/ratchet.toml`.
-fn run_analyze(root: &Path, update_ratchet: bool) -> bool {
+/// div/alloc-hot counts ratchet against `check/ratchet.toml`.
+fn run_analyze(root: &Path, update_ratchet: bool, show_hot: bool) -> bool {
     println!(
         "mtm-check analyze: parsing workspace crates under {}",
         root.display()
@@ -112,6 +117,23 @@ fn run_analyze(root: &Path, update_ratchet: bool) -> bool {
             return false;
         }
     };
+
+    if show_hot {
+        println!(
+            "mtm-check analyze: hot-path pass — {} root(s), {} function(s) reached",
+            analysis.hot.roots.len(),
+            analysis.hot.reached
+        );
+        for (key, qual) in &analysis.hot.roots {
+            println!("  hot root [{key}] {qual}");
+        }
+        for site in &analysis.hot.sites {
+            println!(
+                "  hot site [{}] {}:{}: {} in `{}`",
+                site.unit, site.file, site.line, site.what, site.in_fn
+            );
+        }
+    }
 
     let mut ok = true;
     if !analysis.report.is_empty() {
@@ -167,20 +189,28 @@ fn run_analyze(root: &Path, update_ratchet: bool) -> bool {
     }
     if !failures.is_empty() {
         println!(
-            "mtm-check analyze: panic-path ratchet violated — remove the new \
-             sites or justify lowering elsewhere"
+            "mtm-check analyze: ratchet violated — remove the new sites or \
+             justify lowering elsewhere (`analyze --hot` lists hot-path sites)"
         );
         ok = false;
     }
     if ok {
-        let totals: (usize, usize, usize) =
-            analysis.counts.values().fold((0, 0, 0), |(p, x, d), c| {
-                (p + c.panic_sites, x + c.index_sites, d + c.div_sites)
-            });
+        let totals: (usize, usize, usize, usize) =
+            analysis
+                .counts
+                .values()
+                .fold((0, 0, 0, 0), |(p, x, d, a), c| {
+                    (
+                        p + c.panic_sites,
+                        x + c.index_sites,
+                        d + c.div_sites,
+                        a + c.alloc_hot,
+                    )
+                });
         println!(
             "mtm-check analyze: OK (0 taint/float findings; within ratchet: \
-             {} panic, {} index, {} div sites)",
-            totals.0, totals.1, totals.2
+             {} panic, {} index, {} div, {} hot-alloc sites)",
+            totals.0, totals.1, totals.2, totals.3
         );
     }
     ok

@@ -1,13 +1,16 @@
 //! The panic-path ratchet.
 //!
 //! `check/ratchet.toml` records per-crate budgets for the sites the AST
-//! pass ([`crate::analyze`]) counts, in three tables:
+//! pass ([`crate::analyze`]) counts, in four tables:
 //!
 //! * `[panic_sites]` — `.unwrap()` / `.expect(` / `panic!` outside tests
 //! * `[index_sites]` — postfix indexing (`xs[i]`), which panics out of
 //!   bounds
 //! * `[div_sites]` — integer `/`/`%` with a non-constant divisor, which
 //!   panics on zero
+//! * `[alloc_hot]` — allocation/lock/IO sites reachable from `mtm-hot`
+//!   roots and not sanctioned by an `mtm-allow: alloc` annotation
+//!   ([`crate::hotpath`]); units absent from the table are held at zero
 //!
 //! `mtm-check analyze` fails when any count *rises* above its recorded
 //! value; falling counts are reported so the file can be tightened with
@@ -19,7 +22,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// The table names, in file order.
-pub const TABLES: &[&str] = &["panic_sites", "index_sites", "div_sites"];
+pub const TABLES: &[&str] = &["panic_sites", "index_sites", "div_sites", "alloc_hot"];
 
 /// Per-unit site counts produced by the analyzer.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,12 +33,15 @@ pub struct SiteCounts {
     pub index_sites: usize,
     /// Unguarded integer division/remainder sites.
     pub div_sites: usize,
+    /// Allocation/lock/IO sites reachable from `mtm-hot` roots and not
+    /// covered by an `alloc` allow (see [`crate::hotpath`]).
+    pub alloc_hot: usize,
 }
 
 impl SiteCounts {
-    /// All three counts are zero.
+    /// All counts are zero.
     pub fn is_zero(&self) -> bool {
-        self.panic_sites == 0 && self.index_sites == 0 && self.div_sites == 0
+        self.panic_sites == 0 && self.index_sites == 0 && self.div_sites == 0 && self.alloc_hot == 0
     }
 
     /// The count for a named table.
@@ -44,6 +50,7 @@ impl SiteCounts {
             "panic_sites" => self.panic_sites,
             "index_sites" => self.index_sites,
             "div_sites" => self.div_sites,
+            "alloc_hot" => self.alloc_hot,
             _ => 0,
         }
     }
@@ -119,6 +126,8 @@ impl Ratchet {
              #   panic_sites — `.unwrap()` / `.expect(` / `panic!`\n\
              #   index_sites — postfix indexing `xs[i]` (panics out of bounds)\n\
              #   div_sites   — integer `/` `%` with non-constant divisor\n\
+             #   alloc_hot   — alloc/lock/IO sites reachable from `mtm-hot`\n\
+             #                 roots, minus `mtm-allow: alloc` sanctioned ones\n\
              # `mtm-check analyze` fails if any count rises; regenerate after\n\
              # *reducing* sites with:\n\
              #\n\
@@ -191,6 +200,7 @@ mod tests {
                         panic_sites: p,
                         index_sites: x,
                         div_sites: d,
+                        ..SiteCounts::default()
                     },
                 )
             })

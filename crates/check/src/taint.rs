@@ -53,6 +53,10 @@ pub const TAINT_KEYS: &[&str] = &["wall-clock", "rng", "hash-iter", "thread-id",
 /// [`crate::analyze`]).
 pub const FLOAT_KEYS: &[&str] = &["float-eq", "float-ord"];
 
+/// Allow keys adjudicated by the hot-path allocation pass (see
+/// [`crate::hotpath`]).
+pub const ALLOC_KEYS: &[&str] = &["alloc"];
+
 /// Struct types whose construction marks a function as a sink.
 pub const SINK_TYPES: &[&str] = &[
     "Header",
@@ -103,7 +107,12 @@ pub struct Allow {
 /// annotations are still returned so they don't double-report as stale.
 pub fn collect_allows(file: &FileAst, report: &mut Report) -> Vec<Allow> {
     let mut out = Vec::new();
-    let valid: Vec<&str> = TAINT_KEYS.iter().chain(FLOAT_KEYS).copied().collect();
+    let valid: Vec<&str> = TAINT_KEYS
+        .iter()
+        .chain(FLOAT_KEYS)
+        .chain(ALLOC_KEYS)
+        .copied()
+        .collect();
     for c in &file.comments {
         let text = c.text.trim();
         let Some(rest) = text.strip_prefix("mtm-allow:") else {

@@ -31,6 +31,8 @@ fn clean_workspace_exits_zero() {
         String::from_utf8_lossy(&out.stderr)
     );
     assert!(stdout.contains("OK (0 taint/float findings"), "{stdout}");
+    // The hot root's allowed `push` must neither count nor go stale.
+    assert!(stdout.contains("0 hot-alloc sites"), "{stdout}");
 }
 
 #[test]
@@ -49,6 +51,27 @@ fn planted_workspace_exits_one_with_exact_diagnostics() {
     }
     // Exactly the five planted findings, no more.
     assert!(stdout.contains("5 finding(s)"), "{stdout}");
+}
+
+#[test]
+fn hot_closure_chain_is_caught_and_ratcheted() {
+    // `labels` never runs hot itself, but it hands a closure to the hot
+    // `apply`; the seam must charge the closure's allocations to
+    // `labels (closure)` and the un-budgeted count must fail the ratchet.
+    let out = run_in("tainted_ws", &["analyze", "--hot"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("hot root [inner-loop] hot_loop"),
+        "{stdout}"
+    );
+    for needle in [
+        "`.push(…)` may allocate in `labels (closure)`",
+        "`format!` allocates in `labels (closure)`",
+        "ratchet: [alloc_hot] crates/demo: 2 sites, not present",
+    ] {
+        assert!(stdout.contains(needle), "missing `{needle}` in:\n{stdout}");
+    }
 }
 
 #[test]

@@ -126,6 +126,8 @@ pub trait Measure {
 pub struct DirectMeasure;
 
 impl Measure for DirectMeasure {
+    // mtm-cold: one simulated two-minute run per trial; sim *setup*
+    // allocates by design, and the solver loop has its own hot root.
     fn measure(&mut self, objective: &Objective, config: &StormConfig, ctx: &TrialCtx) -> f64 {
         objective.measure(config, ctx.run_id())
     }
@@ -252,6 +254,7 @@ pub fn run_pass_with(
 /// any recorder.
 // mtm-allow: wall-clock -- optimizer_time_s is the paper's Fig. 7 cost
 // metric: it is recorded per step but never fed back into any decision.
+// mtm-hot: trial-loop
 pub fn run_pass_traced<R: Recorder>(
     strategy: &mut Strategy,
     objective: &Objective,
@@ -260,9 +263,11 @@ pub fn run_pass_traced<R: Recorder>(
     rec: &mut R,
 ) -> PassResult {
     let topo = objective.topology();
+    // mtm-allow: alloc -- one baseline copy per pass, before the loop.
     let base = objective.base_config().clone();
     let mut steps = Vec::with_capacity(opts.max_steps);
     let mut best_throughput = f64::NEG_INFINITY;
+    // mtm-allow: alloc -- one incumbent copy per pass, before the loop.
     let mut best_config = base.clone();
     let mut best_step = 0;
     let mut consecutive_zero = 0;
@@ -300,6 +305,7 @@ pub fn run_pass_traced<R: Recorder>(
             .sum::<f64>()
             / reps as f64;
         strategy.observe(throughput);
+        // mtm-allow: alloc -- appends into capacity reserved for max_steps above
         steps.push(StepRecord {
             step,
             throughput,
@@ -324,6 +330,7 @@ pub fn run_pass_traced<R: Recorder>(
     }
 
     PassResult {
+        // mtm-allow: alloc -- one label per completed pass.
         strategy: strategy.name().to_string(),
         steps,
         best_config,

@@ -3,7 +3,7 @@
 
 use mtm_stormsim::noise::MeasurementNoise;
 use mtm_stormsim::{simulate_flow, ClusterSpec, SimResult, StormConfig, Topology};
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// The fixed batch configuration the synthetic parallelism experiments
 /// run under (§V-A only tunes parallelism; batching stays put).
@@ -23,7 +23,10 @@ pub fn synthetic_base(topo: &Topology) -> StormConfig {
 }
 
 /// An evaluable tuning objective for one topology on one cluster.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialize-only, like [`Topology`]: objectives are constructed from
+/// generators and presets, never parsed back from a journal.
+#[derive(Debug, Clone, Serialize)]
 pub struct Objective {
     topo: Topology,
     cluster: ClusterSpec,
@@ -90,6 +93,8 @@ impl Objective {
     /// One measured evaluation run: returns noisy throughput in tuples/s.
     /// `run_id` individualizes the noise draw (use a distinct id per
     /// evaluation, as the experiment runner does).
+    // mtm-cold: a whole simulated evaluation run — its per-run setup
+    // allocates by design; the constraint solver has its own hot root.
     pub fn measure(&self, config: &StormConfig, run_id: u64) -> f64 {
         let result = simulate_flow(&self.topo, config, &self.cluster, self.window_s);
         self.noise.apply(result.throughput_tps, run_id)

@@ -38,6 +38,7 @@ impl Table {
         }
     }
 
+    // mtm-cold: report tables render after the trial loop finishes
     /// Append a row.
     pub fn push(&mut self, label: &str, values: Vec<f64>) {
         assert_eq!(

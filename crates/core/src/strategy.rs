@@ -138,6 +138,8 @@ impl Strategy {
     /// [`BayesOpt::propose_recorded`]; the linear schedules emit a
     /// `path: "linear"` marker. The proposal is bitwise identical with
     /// any recorder.
+    // mtm-cold: one proposal per optimization step; the chunked
+    // acquisition scorer inside carries its own `acq-score` hot root.
     pub fn propose_traced<R: Recorder>(
         &mut self,
         topo: &Topology,

@@ -264,8 +264,23 @@ impl<K: Kernel> GpRegression<K> {
     /// `predict` by rounding (use one or the other consistently when
     /// bitwise reproducibility matters).
     pub fn predict_many(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
+        let mut out = Vec::new();
+        self.predict_many_into(xs, &mut out);
+        out
+    }
+
+    /// [`predict_many`](Self::predict_many) into a caller-owned buffer.
+    ///
+    /// `out` is cleared and refilled; callers that score candidates in a
+    /// loop reuse one buffer and stop paying a fresh `Vec<Prediction>`
+    /// per batch. The cross-covariance block and its whitened copy are
+    /// still built per call (they depend on the training-set size `n`),
+    /// which is why the gp crate carries an `[alloc_hot]` budget rather
+    /// than a zero.
+    pub fn predict_many_into(&self, xs: &[Vec<f64>], out: &mut Vec<Prediction>) {
+        out.clear();
         if xs.is_empty() {
-            return Vec::new();
+            return;
         }
         debug_assert!(xs.iter().all(|x| x.len() == self.kernel.input_dim()));
         let n = self.xs.len();
@@ -273,13 +288,14 @@ impl<K: Kernel> GpRegression<K> {
         let kstar = Mat::from_fn(n, m, |i, j| self.kernel.eval(&self.xs[i], &xs[j]));
         let w = mtm_linalg::triangular::solve_lower_mat(self.chol.l(), &kstar);
         let diag = self.kernel.diag();
-        let mut out = vec![
+        // mtm-allow: alloc -- fills caller scratch; capacity plateaus at chunk width
+        out.resize(
+            m,
             Prediction {
                 mean: self.mean,
                 var: diag,
-            };
-            m
-        ];
+            },
+        );
         // Row sweeps keep both kstar and w accesses contiguous.
         for i in 0..n {
             let a = self.alpha[i];
@@ -290,12 +306,11 @@ impl<K: Kernel> GpRegression<K> {
                 p.var -= wv * wv;
             }
         }
-        for p in &mut out {
+        for p in out.iter_mut() {
             #[cfg(feature = "strict-invariants")]
             mtm_linalg::invariants::assert_finite("GP batched posterior", &[p.mean, p.var]);
             p.var = p.var.max(0.0);
         }
-        out
     }
 
     /// Log marginal likelihood of the current hyperparameters.

@@ -37,7 +37,20 @@ pub trait Surrogate: Send + Sync {
     /// Posterior predictions at many inputs. Implementations may batch;
     /// the default maps [`predict`](Self::predict).
     fn predict_many(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        let mut out = Vec::new();
+        self.predict_many_into(xs, &mut out);
+        out
+    }
+
+    /// [`predict_many`](Self::predict_many) into a caller-owned buffer,
+    /// which is cleared and refilled. The acquisition scorer calls this
+    /// once per candidate chunk with a reused scratch vector so steady
+    /// state proposal scoring stops allocating a fresh prediction vector
+    /// per chunk.
+    fn predict_many_into(&self, xs: &[Vec<f64>], out: &mut Vec<Prediction>) {
+        out.clear();
+        // mtm-allow: alloc -- fallback grows caller scratch once, then reuses it
+        out.extend(xs.iter().map(|x| self.predict(x)));
     }
 
     /// Rebuild internal state from scratch at the current
@@ -76,6 +89,10 @@ impl<K: Kernel> Surrogate for GpRegression<K> {
 
     fn predict_many(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
         GpRegression::predict_many(self, xs)
+    }
+
+    fn predict_many_into(&self, xs: &[Vec<f64>], out: &mut Vec<Prediction>) {
+        GpRegression::predict_many_into(self, xs, out)
     }
 
     fn refit(&mut self) -> Result<(), GpError> {
@@ -158,6 +175,10 @@ impl<K: Kernel> Surrogate for ExactGp<K> {
 
     fn predict_many(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
         self.0.predict_many(xs)
+    }
+
+    fn predict_many_into(&self, xs: &[Vec<f64>], out: &mut Vec<Prediction>) {
+        self.0.predict_many_into(xs, out)
     }
 
     fn refit(&mut self) -> Result<(), GpError> {

@@ -13,9 +13,19 @@
 //! serializer emits `null` for NaN/±inf, which would corrupt the
 //! round-trip, so producers clamp or omit instead.
 
+use std::borrow::Cow;
+
 use serde::{Deserialize, Serialize};
 
 /// Trace schema version; the first line of every trace records it.
+///
+/// Label-ish fields are `Cow<'static, str>` rather than `String`: the
+/// hot emitters (`sim`, `kind`, `bottleneck`, `path`) are fixed
+/// vocabularies that record as `Cow::Borrowed` without allocating,
+/// while dynamic labels (topology and operator names) stay owned. The
+/// serialized bytes are identical either way, so this is not a schema
+/// change and traces round-trip unchanged (deserialization always
+/// yields the owned variant).
 pub const TRACE_VERSION: u32 = 1;
 
 /// First line of every trace: where it came from and under which seed.
@@ -37,9 +47,9 @@ pub enum Event {
     /// A simulator run begins (`sim` is `"flow"` or `"tuple"`).
     SimStart {
         /// Which simulator.
-        sim: String,
+        sim: Cow<'static, str>,
         /// Topology name.
-        topo: String,
+        topo: Cow<'static, str>,
         /// Node count.
         nodes: usize,
         /// Measurement window in virtual seconds.
@@ -51,7 +61,7 @@ pub enum Event {
     Constraint {
         /// Constraint family (`node`, `cpu`, `exec`, `ackers`,
         /// `receivers`, `network`, `commit`).
-        kind: String,
+        kind: Cow<'static, str>,
         /// The node this bound belongs to, for per-node constraints.
         node: Option<usize>,
         /// The throughput bound (tuples/s) this constraint imposes.
@@ -62,7 +72,7 @@ pub enum Event {
         /// Node id; `None` for the acker aggregate.
         node: Option<usize>,
         /// Node label (topology name of the node, or `ackers`).
-        label: String,
+        label: Cow<'static, str>,
         /// Task instances deployed for this operator.
         tasks: usize,
         /// Tuples processed (tuple sim: actual; flow sim: steady-state
@@ -86,7 +96,7 @@ pub enum Event {
         /// Measured throughput, tuples/s.
         throughput: f64,
         /// Winning bottleneck label.
-        bottleneck: String,
+        bottleneck: Cow<'static, str>,
         /// Mini-batches committed.
         committed: u64,
     },
@@ -99,7 +109,7 @@ pub enum Event {
         /// (surrogate rebuilt by replaying the history), `fresh`
         /// (legacy full refit), `uniform` (degenerate-data fallback),
         /// or `linear` (pla/ipla schedules).
-        path: String,
+        path: Cow<'static, str>,
         /// `true` when this step re-optimized surrogate hyperparameters.
         refit: bool,
         /// Candidate-pool size scored by the acquisition.
@@ -154,14 +164,14 @@ pub enum Event {
     /// The experiment completed.
     ExperimentEnd {
         /// Experiment id.
-        exp_id: String,
+        exp_id: Cow<'static, str>,
         /// Index of the winning pass.
         best_pass: usize,
     },
     /// Free-form marker (kept out of hot paths).
     Note {
         /// The marker text.
-        text: String,
+        text: Cow<'static, str>,
     },
 }
 

@@ -1,0 +1,53 @@
+//! A global string intern pool for trace labels.
+//!
+//! Dynamic labels (topology and operator names) are the one event field
+//! that would otherwise allocate per record: `Event` fields are
+//! `Cow<'static, str>`, so an owned `String` must be cloned into every
+//! event that carries it. Interning trades that per-event allocation for
+//! a one-time leak per *distinct* label: [`intern`] returns a
+//! `&'static str` that emitters wrap in `Cow::Borrowed`, which
+//! serializes byte-identically to the owned form.
+//!
+//! The pool deduplicates, so repeated construction of the same topology
+//! (property tests build thousands) does not grow it. Call it from
+//! construction-time code only — it takes a global lock, which is
+//! exactly the kind of site the hot-path analyzer exists to flag.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+static POOL: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+
+/// Return a `&'static str` equal to `s`, leaking at most once per
+/// distinct string. On a poisoned lock it degrades to a plain leak
+/// (correct, merely un-deduplicated).
+pub fn intern(s: &str) -> &'static str {
+    let leak = |s: &str| -> &'static str { Box::leak(s.to_owned().into_boxed_str()) };
+    let Ok(mut pool) = POOL.lock() else {
+        return leak(s);
+    };
+    if let Some(hit) = pool.get(s) {
+        return hit;
+    }
+    let owned = leak(s);
+    pool.insert(owned);
+    owned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::intern;
+
+    #[test]
+    fn interning_dedupes_to_the_same_pointer() {
+        let a = intern("sundog-bolt-3");
+        let b = intern(&format!("sundog-bolt-{}", 3));
+        assert_eq!(a, "sundog-bolt-3");
+        assert!(std::ptr::eq(a, b), "same label must intern to one leak");
+    }
+
+    #[test]
+    fn distinct_labels_stay_distinct() {
+        assert_ne!(intern("spout"), intern("bolt"));
+    }
+}

@@ -32,11 +32,13 @@
 //! [`Recorder::wallclock`], and every recorder defaults to *off*.
 
 pub mod event;
+pub mod intern;
 pub mod recorder;
 pub mod summary;
 
 pub use event::{Event, Header, Record, TRACE_VERSION};
 pub use recorder::{
     load_trace, JsonlRecorder, MemRecorder, NullRecorder, ObsError, Recorder, TraceData,
+    MEM_RECORDER_CAPACITY,
 };
 pub use summary::{diff_traces, summarize, Summary};

@@ -75,18 +75,48 @@ impl Recorder for NullRecorder {
     fn record(&mut self, _event: Event) {}
 }
 
-/// Buffers events in memory, in arrival order.
-#[derive(Debug, Clone, Default)]
+/// Buffers events in memory, in arrival order, in a preallocated slot
+/// arena.
+///
+/// Unlike a grow-on-push `Vec`, recording into a warm arena allocates
+/// nothing: slots up to the high-water mark are overwritten in place,
+/// and [`clear`](MemRecorder::clear) resets the live length without
+/// releasing them, so a recorder reused across runs reaches a steady
+/// state where [`record`](Recorder::record) never touches the heap.
+/// The heap is involved only when the live length exceeds every
+/// previously written slot (the `grow` cold path) and on
+/// [`drain`](MemRecorder::drain), which moves the arena out.
+#[derive(Debug, Clone)]
 pub struct MemRecorder {
-    /// The buffered events.
-    pub events: Vec<Event>,
+    /// Slot arena: `..len` are live events, the rest are dead slots
+    /// kept for reuse.
+    buf: Vec<Event>,
+    /// Live prefix length.
+    len: usize,
     wallclock: bool,
 }
 
+/// Default arena capacity: several times the ~30 events one
+/// instrumented flow-sim run of the paper's Sundog topology emits
+/// (start/end, binding constraints, per-operator counters), so the
+/// common one-run-per-recorder call sites never hit the grow path.
+pub const MEM_RECORDER_CAPACITY: usize = 256;
+
 impl MemRecorder {
-    /// An empty buffer with wall-clock capture off.
+    /// An empty arena of [`MEM_RECORDER_CAPACITY`] slots, wall-clock
+    /// capture off.
     pub fn new() -> MemRecorder {
-        MemRecorder::default()
+        MemRecorder::with_capacity(MEM_RECORDER_CAPACITY)
+    }
+
+    /// An empty arena with room for `capacity` events before the first
+    /// grow.
+    pub fn with_capacity(capacity: usize) -> MemRecorder {
+        MemRecorder {
+            buf: Vec::with_capacity(capacity),
+            len: 0,
+            wallclock: false,
+        }
     }
 
     /// Enable wall-clock capture for instrumentation feeding this buffer.
@@ -95,9 +125,50 @@ impl MemRecorder {
         self
     }
 
-    /// Move the buffered events out.
+    /// The recorded events, in arrival order.
+    pub fn events(&self) -> &[Event] {
+        self.buf.get(..self.len).unwrap_or(&[])
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing has been recorded since the last reset.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Forget the recorded events but keep their slots: the next run
+    /// recorded into this arena overwrites them without allocating.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Move the buffered events out, leaving an empty (capacity-less)
+    /// recorder behind. End-of-life operation — prefer
+    /// [`clear`](MemRecorder::clear) when the recorder will be reused.
     pub fn drain(&mut self) -> Vec<Event> {
-        std::mem::take(&mut self.events)
+        let mut events = std::mem::take(&mut self.buf);
+        events.truncate(self.len);
+        self.len = 0;
+        events
+    }
+
+    /// Cold growth path: the live length passed the arena high-water
+    /// mark, so this event needs a fresh slot.
+    #[cold]
+    // mtm-allow: alloc -- growth past the preallocated arena is the one
+    // sanctioned allocation; warm recorders never reach it.
+    fn grow(&mut self, event: Event) {
+        self.buf.push(event);
+    }
+}
+
+impl Default for MemRecorder {
+    fn default() -> MemRecorder {
+        MemRecorder::new()
     }
 }
 
@@ -105,8 +176,13 @@ impl Recorder for MemRecorder {
     fn wallclock(&self) -> bool {
         self.wallclock
     }
+    // mtm-hot: recorder
     fn record(&mut self, event: Event) {
-        self.events.push(event);
+        match self.buf.get_mut(self.len) {
+            Some(slot) => *slot = event,
+            None => self.grow(event),
+        }
+        self.len += 1;
     }
 }
 
@@ -172,6 +248,8 @@ impl JsonlRecorder {
         self
     }
 
+    // mtm-allow: alloc -- a jsonl trace writer serializes and flushes by
+    // design; attaching one is an explicit opt-in to per-event I/O.
     fn append(&mut self, record: &Record) -> Result<(), ObsError> {
         let json = serde_json::to_string(record)
             .map_err(|e| ObsError(format!("serialize record: {e}")))?;
@@ -198,6 +276,7 @@ impl Recorder for JsonlRecorder {
     }
     fn record(&mut self, event: Event) {
         if self.error.is_none() {
+            // mtm-allow: alloc -- journaling recorder buffers and writes by design; MemRecorder is the zero-alloc path
             if let Err(e) = self.append(&Record::Event(event)) {
                 self.error = Some(e);
             }
@@ -291,7 +370,9 @@ mod tests {
     }
 
     fn note(text: &str) -> Event {
-        Event::Note { text: text.into() }
+        Event::Note {
+            text: text.to_string().into(),
+        }
     }
 
     #[test]
@@ -308,10 +389,41 @@ mod tests {
         let mut r = MemRecorder::new();
         r.record(note("a"));
         r.record(note("b"));
-        assert_eq!(r.events.len(), 2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.events().len(), 2);
         let drained = r.drain();
         assert_eq!(drained[1], note("b"));
-        assert!(r.events.is_empty());
+        assert!(r.is_empty());
+        assert!(r.events().is_empty());
+    }
+
+    #[test]
+    fn mem_recorder_arena_reuses_slots_across_clear() {
+        // Force the grow path with a zero-capacity arena, then verify a
+        // cleared recorder serves the same slots again: capacity must
+        // not shrink and the second run's events fully replace the
+        // first's.
+        let mut r = MemRecorder::with_capacity(0);
+        r.record(note("a"));
+        r.record(note("b"));
+        let cap = r.buf.capacity();
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.buf.capacity(), cap, "clear must keep the arena");
+        r.record(note("c"));
+        assert_eq!(r.events(), &[note("c")]);
+        assert_eq!(r.buf.capacity(), cap, "warm re-record must not grow");
+    }
+
+    #[test]
+    fn mem_recorder_drain_returns_only_live_prefix() {
+        let mut r = MemRecorder::new();
+        r.record(note("a"));
+        r.record(note("b"));
+        r.clear();
+        r.record(note("c"));
+        assert_eq!(r.drain(), vec![note("c")], "dead slots must not leak");
+        assert!(r.is_empty());
     }
 
     #[test]

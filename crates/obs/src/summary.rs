@@ -100,7 +100,7 @@ pub fn summarize(trace: &TraceData) -> Summary {
                             *tightest = *bound;
                         }
                     }
-                    None => s.constraints.push((kind.clone(), 1, *bound)),
+                    None => s.constraints.push((kind.to_string(), 1, *bound)),
                 }
             }
             Event::Operator {
@@ -116,7 +116,7 @@ pub fn summarize(trace: &TraceData) -> Summary {
                     op.queue_hwm = op.queue_hwm.max(*queue_hwm);
                 }
                 None => s.operators.push(OperatorStat {
-                    label: label.clone(),
+                    label: label.to_string(),
                     node: *node,
                     tasks: *tasks,
                     processed: *processed,
@@ -124,7 +124,7 @@ pub fn summarize(trace: &TraceData) -> Summary {
                 }),
             },
             Event::Engine { .. } => {}
-            Event::SimEnd { bottleneck, .. } => bump(&mut s.bottlenecks, bottleneck.clone()),
+            Event::SimEnd { bottleneck, .. } => bump(&mut s.bottlenecks, bottleneck.to_string()),
             Event::Propose {
                 path,
                 refit,
@@ -134,7 +134,7 @@ pub fn summarize(trace: &TraceData) -> Summary {
                 ..
             } => {
                 s.propose.count += 1;
-                bump(&mut s.propose.by_path, path.clone());
+                bump(&mut s.propose.by_path, path.to_string());
                 if *refit {
                     s.propose.refits += 1;
                 }

@@ -1,0 +1,95 @@
+//! A warm [`MemRecorder`] must record without touching the heap.
+//!
+//! This is the contract the hot-path analyzer enforces statically
+//! (`mtm-hot: recorder` reaches no unsanctioned allocation site) —
+//! here it is checked dynamically: a counting global allocator wraps
+//! the system allocator, the arena is warmed past its high-water mark,
+//! and a full batch of records must leave the allocation counter
+//! untouched. Lives in its own integration-test binary so the counting
+//! allocator cannot skew any other suite.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mtm_obs::event::Event;
+use mtm_obs::recorder::{MemRecorder, Recorder, MEM_RECORDER_CAPACITY};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the counter
+// is a relaxed atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One event of each hot-emitter shape, all labels `Cow::Borrowed` (the
+/// interned form the simulators record after this PR).
+fn sample_event(i: usize) -> Event {
+    Event::Constraint {
+        kind: "node".into(),
+        node: Some(i % 7),
+        bound: 1000.0 + i as f64,
+    }
+}
+
+#[test]
+fn warm_arena_records_without_allocating() {
+    let n = MEM_RECORDER_CAPACITY;
+    let mut rec = MemRecorder::new();
+    // Warm-up: push the high-water mark to `n`, then reset the live
+    // length. Slots stay owned by the arena.
+    for i in 0..n {
+        rec.record(sample_event(i));
+    }
+    rec.clear();
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..n {
+        rec.record(sample_event(i));
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(rec.len(), n);
+    assert_eq!(
+        after - before,
+        0,
+        "recording {n} events into a warm arena performed {} heap allocation(s)",
+        after - before
+    );
+}
+
+#[test]
+fn clear_and_rerecord_stays_allocation_free_across_runs() {
+    // The steady state bench_obs measures: one recorder reused across
+    // many runs, `clear` between them.
+    let mut rec = MemRecorder::new();
+    for i in 0..MEM_RECORDER_CAPACITY {
+        rec.record(sample_event(i));
+    }
+    rec.clear();
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _run in 0..100 {
+        rec.clear();
+        for i in 0..32 {
+            rec.record(sample_event(i));
+        }
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "clear/record cycles must not allocate");
+}

@@ -245,6 +245,7 @@ impl<'a> JournaledMeasure<'a> {
         }
     }
 
+    // mtm-cold: journal writes happen once per measured trial, behind the cold measure seam
     fn push(&mut self, record: Record) {
         if self.io_error.is_none() {
             if let Err(e) = self.journal.append(&record) {
@@ -255,6 +256,8 @@ impl<'a> JournaledMeasure<'a> {
 }
 
 impl Measure for JournaledMeasure<'_> {
+    // mtm-cold: one journaled two-minute evaluation run per trial;
+    // journal IO and memo inserts are the per-trial cost by design.
     fn measure(&mut self, objective: &Objective, config: &StormConfig, ctx: &TrialCtx) -> f64 {
         let hash = config_hash(config);
 
@@ -400,10 +403,10 @@ pub fn run_experiment_traced<R: Recorder>(
             };
             if R::ENABLED {
                 rec.record(Event::Note {
-                    text: format!("{exp_id}: finished journal segment, nothing re-run"),
+                    text: format!("{exp_id}: finished journal segment, nothing re-run").into(),
                 });
                 rec.record(Event::ExperimentEnd {
-                    exp_id: exp_id.to_string(),
+                    exp_id: exp_id.to_string().into(),
                     best_pass: done.best_pass,
                 });
             }
@@ -423,7 +426,7 @@ pub fn run_experiment_traced<R: Recorder>(
     if !resumed {
         journal.append(&Record::Header(Header {
             version: SCHEMA_VERSION,
-            exp_id: exp_id.to_string(),
+            exp_id: exp_id.to_string().into(),
             seed: opts.seed,
             fingerprint: fp,
         }))?;
@@ -450,7 +453,7 @@ pub fn run_experiment_traced<R: Recorder>(
             };
             if R::ENABLED {
                 unit.record(Event::Note {
-                    text: format!("pass {p}: replayed from journal"),
+                    text: format!("pass {p}: replayed from journal").into(),
                 });
                 unit.record(Event::PassEnd {
                     pass: p,
@@ -574,7 +577,7 @@ pub fn run_experiment_traced<R: Recorder>(
     journal.append(&Record::Done(result.clone()))?;
     if R::ENABLED {
         rec.record(Event::ExperimentEnd {
-            exp_id: exp_id.to_string(),
+            exp_id: exp_id.to_string().into(),
             best_pass,
         });
     }

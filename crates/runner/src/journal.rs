@@ -234,6 +234,7 @@ impl Journal {
         })
     }
 
+    // mtm-cold: journal IO runs per measured trial, never inside sim or scoring loops
     /// Append one record (one line) and flush it to the OS.
     pub fn append(&self, record: &Record) -> Result<(), RunnerError> {
         let Sink::File(file) = &self.sink else {

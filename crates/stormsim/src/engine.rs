@@ -83,6 +83,7 @@ impl<E> EventQueue<E> {
         );
         #[cfg(feature = "strict-invariants")]
         crate::invariants::check_monotonic_time("EventQueue::schedule", self.now, time);
+        // mtm-allow: alloc -- heap capacity plateaus at the pending high-water mark
         self.heap.push(Entry {
             time,
             seq: self.seq,

@@ -64,7 +64,7 @@ pub fn simulate_flow_with<R: Recorder>(
     if R::ENABLED {
         rec.record(Event::SimStart {
             sim: "flow".into(),
-            topo: topo.name().into(),
+            topo: topo.name_label().into(),
             nodes: topo.n_nodes(),
             window_s,
         });
@@ -84,7 +84,11 @@ pub fn simulate_flow_with<R: Recorder>(
         let flows = flow::analyze(topo);
 
         let model = ConstraintModel::build(topo, config, cluster, &tasks, placement, flows);
-        model.solve(window_s, rec)
+        let result = model.solve(window_s, rec);
+        if R::ENABLED && !matches!(result.bottleneck, Bottleneck::Failed) {
+            model.emit_operators(rec, &result, window_s);
+        }
+        result
     };
     if R::ENABLED {
         rec.record(Event::SimEnd {
@@ -106,8 +110,11 @@ pub fn simulate_flow_with<R: Recorder>(
 }
 
 /// Running minimum over constraint bounds, with bottleneck attribution
-/// and (when recording) a [`Event::Constraint`] line per bound — the
-/// trace that makes the winning bottleneck explainable.
+/// and (when recording) a [`Event::Constraint`] line for each bound that
+/// *tightens* the minimum — the descent chain ending at the winning
+/// bottleneck. Non-binding candidates are not recorded: nothing
+/// downstream reads them, and per-candidate emission costs more than the
+/// solve itself on small topologies.
 struct Tracker {
     best: f64,
     bottleneck: Bottleneck,
@@ -117,19 +124,19 @@ impl Tracker {
     fn consider<R: Recorder>(
         &mut self,
         rec: &mut R,
-        kind: &str,
+        kind: &'static str,
         node: Option<usize>,
         bound: f64,
         what: Bottleneck,
     ) {
-        if R::ENABLED {
-            rec.record(Event::Constraint {
-                kind: kind.into(),
-                node,
-                bound: finite_or_zero(bound),
-            });
-        }
         if bound < self.best {
+            if R::ENABLED {
+                rec.record(Event::Constraint {
+                    kind: kind.into(),
+                    node,
+                    bound: finite_or_zero(bound),
+                });
+            }
             self.best = bound;
             self.bottleneck = what;
         }
@@ -148,6 +155,11 @@ struct ConstraintModel<'a> {
     node_cost: Vec<f64>,
     /// Effective parallelism of node v after grouping caps.
     eff_tasks: Vec<f64>,
+    /// Aggregate demand units per spout tuple placed on each machine
+    /// (per-task coefficients `f_v * cost_v / tasks_v` plus acker shares).
+    machine_demand: Vec<f64>,
+    /// Acker demand units per spout tuple, per acker task.
+    ack_coef: f64,
 }
 
 impl<'a> ConstraintModel<'a> {
@@ -185,6 +197,29 @@ impl<'a> ConstraintModel<'a> {
                 eff.max(1.0)
             })
             .collect();
+        // Everything `solve` needs per machine is a pure function of
+        // the configuration, so it is all precomputed here: `solve`
+        // itself (a hot root of the allocation ratchet) runs over these
+        // buffers without touching the heap.
+        let ackers_n = placement.acker_worker.len().max(1);
+        let coef: Vec<f64> = (0..topo.n_nodes())
+            .map(|v| {
+                let f = flows.node_flow[v];
+                if tasks[v] == 0 {
+                    0.0
+                } else {
+                    f * node_cost[v] / tasks[v] as f64
+                }
+            })
+            .collect();
+        let ack_coef = flows.total_processing * cluster.acker_cost_units / ackers_n as f64;
+        let mut machine_demand = vec![0.0; placement.workers];
+        for (tid, task) in placement.tasks.iter().enumerate() {
+            machine_demand[placement.task_worker[tid]] += coef[task.node];
+        }
+        for &w in &placement.acker_worker {
+            machine_demand[w] += ack_coef;
+        }
         ConstraintModel {
             topo,
             config,
@@ -194,9 +229,12 @@ impl<'a> ConstraintModel<'a> {
             flows,
             node_cost,
             eff_tasks,
+            machine_demand,
+            ack_coef,
         }
     }
 
+    // mtm-hot: flow-sim
     fn solve<R: Recorder>(&self, window_s: f64, rec: &mut R) -> SimResult {
         let cl = self.cluster;
         let total_tasks = self.placement.total_tasks();
@@ -224,26 +262,9 @@ impl<'a> ConstraintModel<'a> {
             );
         }
 
-        // 2. Machine CPU. Per-task demand coefficient of node v (units per
-        // aggregate spout tuple): f_v * cost_v / tasks_v.
-        let coef: Vec<f64> = (0..self.topo.n_nodes())
-            .map(|v| {
-                let f = self.flows.node_flow[v];
-                if self.tasks[v] == 0 {
-                    0.0
-                } else {
-                    f * self.node_cost[v] / self.tasks[v] as f64
-                }
-            })
-            .collect();
-        let ack_coef = self.flows.total_processing * cl.acker_cost_units / ackers as f64;
-        let mut machine_demand = vec![0.0; workers];
-        for (tid, task) in self.placement.tasks.iter().enumerate() {
-            machine_demand[self.placement.task_worker[tid]] += coef[task.node];
-        }
-        for &w in &self.placement.acker_worker {
-            machine_demand[w] += ack_coef;
-        }
+        // 2. Machine CPU, over the demand buffers `build` precomputed.
+        let ack_coef = self.ack_coef;
+        let machine_demand = &self.machine_demand;
         let mut total_capacity = 0.0;
         let mut spin_total = 0.0;
         let mut failed = false;
@@ -343,7 +364,9 @@ impl<'a> ConstraintModel<'a> {
         let t_commit =
             cl.batch_overhead_s + cl.batch_coord_per_task_s * (total_tasks + ackers) as f64;
         let r_commit = s / t_commit;
-        if R::ENABLED {
+        // Same binding-only rule as `Tracker::consider`: the commit bound
+        // is recorded only when it is the new tightest constraint.
+        if R::ENABLED && r_commit < r_proc {
             rec.record(Event::Constraint {
                 kind: "commit".into(),
                 node: None,
@@ -407,28 +430,6 @@ impl<'a> ConstraintModel<'a> {
         let avg_worker_net_mbps =
             measured * self.flows.bytes_per_unit * remote / workers as f64 / (1024.0 * 1024.0);
 
-        if R::ENABLED {
-            // Steady-state per-operator expectation over the window: the
-            // flow model has no real queues, so queue_hwm is 0 here (the
-            // tuple sim reports actual high-water marks).
-            for v in 0..self.topo.n_nodes() {
-                rec.record(Event::Operator {
-                    node: Some(v),
-                    label: self.topo.node(v).name.clone(),
-                    tasks: self.tasks[v] as usize,
-                    processed: (measured * self.flows.node_flow[v] * window_s).max(0.0) as u64,
-                    queue_hwm: 0,
-                });
-            }
-            rec.record(Event::Operator {
-                node: None,
-                label: "ackers".into(),
-                tasks: ackers,
-                processed: (measured * self.flows.total_processing * window_s).max(0.0) as u64,
-                queue_hwm: 0,
-            });
-        }
-
         SimResult {
             throughput_tps: measured,
             committed_batches,
@@ -440,6 +441,31 @@ impl<'a> ConstraintModel<'a> {
             total_tasks,
             bottleneck,
         }
+    }
+
+    /// Per-operator steady-state counters for a successful run, emitted
+    /// by the wrapper *after* [`solve`](Self::solve) returns so the
+    /// solver loop itself stays allocation-free. The flow model has no
+    /// real queues, so `queue_hwm` is 0 here (the tuple sim reports
+    /// actual high-water marks).
+    fn emit_operators<R: Recorder>(&self, rec: &mut R, result: &SimResult, window_s: f64) {
+        let measured = result.throughput_tps;
+        for v in 0..self.topo.n_nodes() {
+            rec.record(Event::Operator {
+                node: Some(v),
+                label: self.topo.label(v).into(),
+                tasks: self.tasks[v] as usize,
+                processed: (measured * self.flows.node_flow[v] * window_s).max(0.0) as u64,
+                queue_hwm: 0,
+            });
+        }
+        rec.record(Event::Operator {
+            node: None,
+            label: "ackers".into(),
+            tasks: self.placement.acker_worker.len().max(1),
+            processed: (measured * self.flows.total_processing * window_s).max(0.0) as u64,
+            queue_hwm: 0,
+        });
     }
 
     /// Flow-weighted mean emitted-tuple size.
@@ -672,11 +698,11 @@ mod tests {
         assert_eq!(plain.committed_batches, recorded.committed_batches);
 
         // The trace starts and ends a sim run...
-        assert!(matches!(rec.events.first(), Some(Event::SimStart { sim, .. }) if sim == "flow"));
-        assert!(matches!(rec.events.last(), Some(Event::SimEnd { .. })));
+        assert!(matches!(rec.events().first(), Some(Event::SimStart { sim, .. }) if sim == "flow"));
+        assert!(matches!(rec.events().last(), Some(Event::SimEnd { .. })));
         // ...names one operator per node plus the acker aggregate...
         let ops = rec
-            .events
+            .events()
             .iter()
             .filter(|e| matches!(e, Event::Operator { .. }))
             .count();
@@ -684,7 +710,7 @@ mod tests {
         // ...and contains a constraint line whose bound equals the raw
         // processing limit, tying the SimEnd bottleneck to its cause.
         let bounds: Vec<f64> = rec
-            .events
+            .events()
             .iter()
             .filter_map(|e| match e {
                 Event::Constraint { bound, .. } => Some(*bound),

@@ -29,10 +29,14 @@ pub enum Bottleneck {
 }
 
 impl Bottleneck {
-    /// Short label for reports.
-    pub fn label(&self) -> String {
+    /// Short label for reports. `Cow` because every variant except the
+    /// per-node one is a fixed string — recording a `SimEnd` allocates
+    /// only when a specific node saturated.
+    // mtm-allow: alloc -- `node:<id>` is the one dynamic label; every
+    // other variant is borrowed and allocation-free.
+    pub fn label(&self) -> std::borrow::Cow<'static, str> {
         match self {
-            Bottleneck::NodeCapacity(n) => format!("node:{n}"),
+            Bottleneck::NodeCapacity(n) => format!("node:{n}").into(),
             Bottleneck::ClusterCpu => "cpu".into(),
             Bottleneck::Ackers => "ackers".into(),
             Bottleneck::Receivers => "receivers".into(),

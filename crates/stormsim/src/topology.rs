@@ -86,10 +86,19 @@ pub struct Edge {
 }
 
 /// A validated Storm topology (connected DAG with at least one spout).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: the interned label caches hold `&'static str`, which
+/// has no meaningful deserialization (and nothing round-trips a whole
+/// `Topology` — builders and generators are the only constructors).
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Topology {
     name: String,
+    /// Interned copy of `name` for zero-alloc trace labels.
+    name_label: &'static str,
     nodes: Vec<NodeSpec>,
+    /// Interned copies of the node names, same order as `nodes`, so
+    /// per-run `Operator` events record without cloning a `String`.
+    labels: Vec<&'static str>,
     edges: Vec<Edge>,
     /// Outgoing edge indices per node.
     out_edges: Vec<Vec<usize>>,
@@ -289,9 +298,16 @@ impl Topology {
         if topo_order.len() != n {
             return Err(TopologyError::Cyclic);
         }
+        let name_label = mtm_obs::intern::intern(&name);
+        let labels = nodes
+            .iter()
+            .map(|nd| mtm_obs::intern::intern(&nd.name))
+            .collect();
         Ok(Topology {
             name,
+            name_label,
             nodes,
+            labels,
             edges,
             out_edges,
             in_edges,
@@ -302,6 +318,16 @@ impl Topology {
     /// Topology name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Interned topology name for zero-alloc trace labels.
+    pub fn name_label(&self) -> &'static str {
+        self.name_label
+    }
+
+    /// Interned name of node `v` for zero-alloc trace labels.
+    pub fn label(&self, v: NodeId) -> &'static str {
+        self.labels[v]
     }
 
     /// Number of nodes.

@@ -113,7 +113,7 @@ pub fn simulate_tuples_with<R: Recorder>(
     if R::ENABLED {
         rec.record(Event::SimStart {
             sim: "tuple".into(),
-            topo: topo.name().into(),
+            topo: topo.name_label().into(),
             nodes: topo.n_nodes(),
             window_s: opts.window_s,
         });
@@ -169,6 +169,9 @@ struct Sim<'a> {
     /// Task ids per node (indices into `tasks`), then acker task ids.
     node_tasks: Vec<Vec<usize>>,
     acker_tasks: Vec<usize>,
+    /// Task ids of every spout task, in round-robin emission order —
+    /// precomputed so `launch_batch` never rebuilds it per batch.
+    spout_tasks: Vec<usize>,
     batches: Vec<BatchState>,
     launched: u32,
     committed: u64,
@@ -248,6 +251,11 @@ impl<'a> Sim<'a> {
         } else {
             Vec::new()
         };
+        let spout_tasks: Vec<usize> = topo
+            .spouts()
+            .iter()
+            .flat_map(|&s| node_tasks[s].iter().copied())
+            .collect();
         Sim {
             topo,
             config,
@@ -259,6 +267,7 @@ impl<'a> Sim<'a> {
             workers,
             node_tasks,
             acker_tasks,
+            spout_tasks,
             batches: Vec::new(),
             launched: 0,
             committed: 0,
@@ -285,21 +294,17 @@ impl<'a> Sim<'a> {
 
     fn launch_batch(&mut self) {
         let batch = self.batches.len() as u32;
+        // mtm-allow: alloc -- one entry per batch, amortized over batch_size tuples
         self.batches.push(BatchState {
             outstanding: self.config.batch_size as u64,
             emitted_all: true, // all emit jobs enqueued below, synchronously
         });
         self.launched += 1;
-        // Distribute the batch's emit jobs round-robin over spout tasks.
-        let spout_tasks: Vec<usize> = self
-            .topo
-            .spouts()
-            .iter()
-            .flat_map(|&s| self.node_tasks[s].iter().copied())
-            .collect();
-        debug_assert!(!spout_tasks.is_empty());
+        // Distribute the batch's emit jobs round-robin over the
+        // precomputed spout tasks.
+        debug_assert!(!self.spout_tasks.is_empty());
         for _ in 0..self.config.batch_size {
-            let t = spout_tasks[(self.next_spout_rr as usize) % spout_tasks.len()];
+            let t = self.spout_tasks[(self.next_spout_rr as usize) % self.spout_tasks.len()];
             self.next_spout_rr += 1;
             self.enqueue(t, batch, 0.0);
         }
@@ -311,6 +316,7 @@ impl<'a> Sim<'a> {
     }
 
     fn deliver(&mut self, task: usize, batch: u32) {
+        // mtm-allow: alloc -- task queues reuse capacity after warmup high-water
         self.tasks[task].queue.push_back(batch);
         if !self.queue_hwm.is_empty() {
             let depth = self.tasks[task].queue.len();
@@ -329,6 +335,7 @@ impl<'a> Sim<'a> {
         let w = t.worker;
         if self.workers[w].free_slots == 0 {
             if !self.workers[w].waiting.contains(&task) {
+                // mtm-allow: alloc -- waiting list bounded by the worker task count
                 self.workers[w].waiting.push_back(task);
             }
             return;
@@ -379,11 +386,16 @@ impl<'a> Sim<'a> {
     }
 
     fn emit_children(&mut self, task: usize, node: usize, batch: u32) {
-        let out: Vec<usize> = self.topo.out_edges(node).to_vec();
+        // Copy the topology reference out of `self` so iterating its
+        // edge list does not hold a borrow of `self` across the
+        // `send_on_edge` calls below — this used to `to_vec` the edge
+        // list on every processed tuple.
+        let topo = self.topo;
+        let out = topo.out_edges(node);
         if out.is_empty() {
             return;
         }
-        let spec = self.topo.node(node);
+        let spec = topo.node(node);
         let n_out = out.len();
         // Selectivity: how many child tuples this processing produces.
         for (slot, &ei) in out.iter().enumerate() {
@@ -445,6 +457,7 @@ impl<'a> Sim<'a> {
         }
     }
 
+    // mtm-hot: tuple-sim
     fn run(&mut self) {
         for _ in 0..self.config.batch_parallelism {
             self.launch_batch();
@@ -541,7 +554,7 @@ impl<'a> Sim<'a> {
             }
             rec.record(Event::Operator {
                 node: Some(v),
-                label: self.topo.node(v).name.clone(),
+                label: self.topo.label(v).into(),
                 tasks: self.node_tasks[v].len(),
                 processed,
                 queue_hwm: hwm,
@@ -629,10 +642,12 @@ mod tests {
         );
         assert_eq!(plain.committed_batches, recorded.committed_batches);
 
-        assert!(matches!(rec.events.first(), Some(Event::SimStart { sim, .. }) if sim == "tuple"));
-        assert!(matches!(rec.events.last(), Some(Event::SimEnd { .. })));
+        assert!(
+            matches!(rec.events().first(), Some(Event::SimStart { sim, .. }) if sim == "tuple")
+        );
+        assert!(matches!(rec.events().last(), Some(Event::SimEnd { .. })));
         let ops: Vec<_> = rec
-            .events
+            .events()
             .iter()
             .filter_map(|e| match e {
                 Event::Operator {
@@ -649,7 +664,7 @@ mod tests {
             ops.iter().any(|&(_, hwm)| hwm > 0),
             "queues must have backed up somewhere: {ops:?}"
         );
-        assert!(rec.events.iter().any(
+        assert!(rec.events().iter().any(
             |e| matches!(e, Event::Engine { scheduled, processed, queue_peak }
                 if *scheduled > 0 && *processed > 0 && *queue_peak > 0)
         ));

@@ -104,7 +104,7 @@ fn recording_inert_section(objective: &Objective) {
     println!(
         "obs/flow inert={} events={}",
         render(&plain) == render(&recorded),
-        mem.events.len()
+        mem.events().len()
     );
 
     let opts = TupleSimOptions {
@@ -118,7 +118,7 @@ fn recording_inert_section(objective: &Objective) {
     println!(
         "obs/tuples inert={} events={}",
         render(&plain) == render(&recorded),
-        mem.events.len()
+        mem.events().len()
     );
 
     // A short traced experiment: result bitwise-equal to the untraced run,

@@ -68,6 +68,27 @@ pub mod prelude {
             self.iter()
         }
     }
+
+    /// Mirror of `rayon::prelude::ParallelIterator::for_each_init`
+    /// (subset). Real rayon calls `init` once per worker and hands each
+    /// worker its own scratch value; sequentially there is exactly one
+    /// worker, so `init` runs once and that single scratch value threads
+    /// through every item.
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        /// Sequential stand-in for `for_each_init`.
+        fn for_each_init<T, INIT, OP>(self, init: INIT, mut op: OP)
+        where
+            INIT: Fn() -> T,
+            OP: FnMut(&mut T, Self::Item),
+        {
+            let mut scratch = init();
+            for item in self {
+                op(&mut scratch, item);
+            }
+        }
+    }
+
+    impl<I: Iterator> ParallelIteratorExt for I {}
 }
 
 /// Sequential stand-in for `rayon::join`: runs `a` then `b`.

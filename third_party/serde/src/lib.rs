@@ -221,6 +221,29 @@ impl Serialize for str {
     }
 }
 
+// `Cow` serializes exactly like its owned form (`Cow<str>` and `String`
+// produce the same `Value::Str`), so switching a field between the two
+// never changes serialized bytes. Deserialization always materializes
+// the owned variant.
+impl<T> Serialize for std::borrow::Cow<'_, T>
+where
+    T: Serialize + ToOwned + ?Sized,
+{
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T> Deserialize for std::borrow::Cow<'static, T>
+where
+    T: ToOwned + ?Sized,
+    T::Owned: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::Owned::from_value(v).map(std::borrow::Cow::Owned)
+    }
+}
+
 impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())

@@ -118,6 +118,20 @@ pub trait Measure {
     /// Measure `config` for the trial at `ctx`, returning throughput in
     /// tuples/s.
     fn measure(&mut self, objective: &Objective, config: &StormConfig, ctx: &TrialCtx) -> f64;
+
+    /// Session-scoped cancellation seam: the pass loop polls this once
+    /// per optimization step and stops the pass early when it returns
+    /// `true`. The default (`false`) keeps batch execution exactly as
+    /// before; a service layer (e.g. `mtm-serve`) wires it to a shared
+    /// abort flag so a long-lived session can be cancelled between
+    /// trials without tearing down the process. An aborted pass returns
+    /// the steps measured so far — it is the *caller's* job to treat the
+    /// pass as unfinished (the journaled engine refuses to mark an
+    /// aborted pass done, so a later resume replays and completes it
+    /// bitwise-identically).
+    fn poll_abort(&self) -> bool {
+        false
+    }
 }
 
 /// The plain measurement path: one simulator run per trial, keyed by the
@@ -273,6 +287,9 @@ pub fn run_pass_traced<R: Recorder>(
     let mut consecutive_zero = 0;
 
     for step in 0..opts.max_steps {
+        if measure.poll_abort() {
+            break; // session cancelled between trials — pass stays unfinished
+        }
         let t0 = Instant::now();
         let Some(config) = strategy.propose_traced(topo, &base, step, rec) else {
             break;

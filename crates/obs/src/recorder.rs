@@ -316,6 +316,8 @@ impl TraceData {
 /// Load a trace. `Ok(None)` when the file does not exist; torn or
 /// foreign trailing bytes are excluded from `valid_len` rather than
 /// reported as errors — identical discipline to the runner journal.
+// mtm-allow: alloc -- replay/inspection path, runs between measured
+// trials, never inside one
 pub fn load_trace(path: &Path) -> Result<Option<TraceData>, ObsError> {
     let text = match fs::read_to_string(path) {
         Ok(t) => t,
@@ -326,6 +328,8 @@ pub fn load_trace(path: &Path) -> Result<Option<TraceData>, ObsError> {
 }
 
 /// Parse trace text into its longest valid record prefix.
+// mtm-allow: alloc -- builds the in-memory trace it exists to return;
+// replay/inspection path only
 pub fn parse_trace(text: &str) -> TraceData {
     let mut data = TraceData::default();
     let mut offset = 0usize;

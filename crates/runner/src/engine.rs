@@ -24,6 +24,7 @@
 
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use mtm_core::{
@@ -213,6 +214,9 @@ struct JournaledMeasure<'a> {
     memoize: bool,
     faults: FaultPlan,
     stats: TrialStats,
+    /// Session abort flag ([`Measure::poll_abort`]); `None` for batch
+    /// execution.
+    abort: Option<&'a AtomicBool>,
     /// First journal-append failure; surfaced after the pass (the
     /// `Measure` trait has no error channel, and one lost record is
     /// recoverable — the run is only reported failed, not corrupted).
@@ -225,6 +229,7 @@ impl<'a> JournaledMeasure<'a> {
         pass: usize,
         replay: BTreeMap<(usize, usize), TrialRecord>,
         ropts: &RunnerOptions,
+        abort: Option<&'a AtomicBool>,
     ) -> Self {
         // Pre-populate the memo with replayed values: an uninterrupted
         // memoized run would hold exactly these entries by the time it
@@ -241,6 +246,7 @@ impl<'a> JournaledMeasure<'a> {
             memoize: ropts.memoize,
             faults: ropts.faults,
             stats: TrialStats::default(),
+            abort,
             io_error: None,
         }
     }
@@ -256,6 +262,10 @@ impl<'a> JournaledMeasure<'a> {
 }
 
 impl Measure for JournaledMeasure<'_> {
+    fn poll_abort(&self) -> bool {
+        self.abort.is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+
     // mtm-cold: one journaled two-minute evaluation run per trial;
     // journal IO and memo inserts are the per-trial cost by design.
     fn measure(&mut self, objective: &Objective, config: &StormConfig, ctx: &TrialCtx) -> f64 {
@@ -370,6 +380,38 @@ pub fn run_experiment_traced<R: Recorder>(
     resume: bool,
     rec: &mut R,
 ) -> Result<Outcome, RunnerError> {
+    run_experiment_session(
+        exp_id,
+        make_strategy,
+        objective,
+        opts,
+        ropts,
+        segment,
+        resume,
+        None,
+        rec,
+    )
+}
+
+/// [`run_experiment_traced`] with a **session abort flag** — the entry
+/// point `mtm-serve` drives long-lived sessions through. When `abort`
+/// flips to `true` the run stops at the next trial boundary and returns
+/// [`RunnerError::Canceled`]; journaled trials up to that point stay
+/// valid, no `PassDone`/`Done` record is written for interrupted phases,
+/// and a later resume completes the experiment bitwise-identically to an
+/// uninterrupted run. `abort: None` is exactly batch execution.
+#[allow(clippy::too_many_arguments)] // mirrors run_experiment_traced + abort
+pub fn run_experiment_session<R: Recorder>(
+    exp_id: &str,
+    make_strategy: &(dyn Fn(u64) -> Strategy + Sync),
+    objective: &Objective,
+    opts: &RunOptions,
+    ropts: &RunnerOptions,
+    segment: Option<&Path>,
+    resume: bool,
+    abort: Option<&AtomicBool>,
+    rec: &mut R,
+) -> Result<Outcome, RunnerError> {
     let fp = fingerprint(exp_id, opts, ropts);
     let wallclock = rec.wallclock();
 
@@ -426,7 +468,7 @@ pub fn run_experiment_traced<R: Recorder>(
     if !resumed {
         journal.append(&Record::Header(Header {
             version: SCHEMA_VERSION,
-            exp_id: exp_id.to_string().into(),
+            exp_id: exp_id.to_string(),
             seed: opts.seed,
             fingerprint: fp,
         }))?;
@@ -470,7 +512,7 @@ pub fn run_experiment_traced<R: Recorder>(
             .filter(|((pp, _, _), _)| *pp == p)
             .map(|(&(_, step, rep), rec)| ((step, rep), rec.clone()))
             .collect();
-        let mut measure = JournaledMeasure::new(&journal, p, replay, ropts);
+        let mut measure = JournaledMeasure::new(&journal, p, replay, ropts, abort);
         let pass_opts = RunOptions {
             seed,
             ..opts.clone()
@@ -484,6 +526,12 @@ pub fn run_experiment_traced<R: Recorder>(
         );
         if let Some(e) = measure.io_error.take() {
             return Err(e);
+        }
+        // An aborted pass must NOT be marked done: its journaled trials
+        // stay valid, and a later resume replays them and finishes the
+        // remaining steps bitwise-identically.
+        if abort.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+            return Err(RunnerError::Canceled);
         }
         journal.append(&Record::PassDone(PassDone {
             pass: p,
@@ -517,6 +565,9 @@ pub fn run_experiment_traced<R: Recorder>(
     // Confirmation runs: independent units keyed by repetition index.
     // Journaled confirms only replay while they confirm the same winner.
     let confirm_outcomes = pool::run_indexed(opts.confirm_reps, ropts.threads, |rep| {
+        if abort.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+            return Err(RunnerError::Canceled);
+        }
         if let Some(journaled) = existing.confirms.get(&rep) {
             if journaled.config_hash == best_hash {
                 let unit_stats = TrialStats {
@@ -574,6 +625,9 @@ pub fn run_experiment_traced<R: Recorder>(
         best_pass,
         confirmation,
     };
+    if abort.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+        return Err(RunnerError::Canceled);
+    }
     journal.append(&Record::Done(result.clone()))?;
     if R::ENABLED {
         rec.record(Event::ExperimentEnd {
@@ -948,5 +1002,91 @@ mod tests {
         ));
         let _ = std::fs::remove_file(&trace_path);
         let _ = std::fs::remove_file(&seg_path);
+    }
+
+    #[test]
+    fn cancel_then_resume_is_bitwise_identical_to_uninterrupted() {
+        use mtm_obs::NullRecorder;
+        let dir = std::env::temp_dir().join("mtm-runner-cancel-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let seg = dir.join(format!("cancel-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&seg);
+        let obj = objective();
+
+        // Baseline: the uninterrupted run.
+        let make = bo_factory();
+        let full = run_experiment_journaled(
+            "test/cancel",
+            &make,
+            &obj,
+            &opts(),
+            &RunnerOptions::serial(),
+            None,
+            false,
+        )
+        .unwrap();
+
+        // A strategy factory that flips the abort flag when pass 1 starts:
+        // pass 0 completes and is journaled, pass 1 cancels at its first
+        // trial boundary. Deterministic — no timing involved. The flag
+        // lives in a static so the closure stays `Fn + Sync` without
+        // capturing a non-`'static` reference.
+        fn abort_flag() -> &'static AtomicBool {
+            static FLAG: AtomicBool = AtomicBool::new(false);
+            &FLAG
+        }
+        let pass1_seed = pass_seed(opts().seed, 1);
+        let inner = bo_factory();
+        let make_canceling = move |seed: u64| {
+            if seed == pass1_seed {
+                abort_flag().store(true, Ordering::Relaxed);
+            }
+            inner(seed)
+        };
+        abort_flag().store(false, Ordering::Relaxed);
+
+        let err = run_experiment_session(
+            "test/cancel",
+            &make_canceling,
+            &obj,
+            &opts(),
+            &RunnerOptions::serial(),
+            Some(&seg),
+            false,
+            Some(abort_flag()),
+            &mut NullRecorder,
+        )
+        .unwrap_err();
+        assert_eq!(err, RunnerError::Canceled);
+        let data = load_segment(&seg).unwrap().unwrap();
+        assert!(data.done.is_none(), "canceled run must not journal Done");
+        assert!(
+            data.passes.contains_key(&0) && !data.passes.contains_key(&1),
+            "pass 0 finished, the aborted pass 1 must not be marked done"
+        );
+
+        // Resume with the abort flag cleared: replays pass 0, runs pass 1
+        // fresh, and lands bitwise on the uninterrupted result.
+        abort_flag().store(false, Ordering::Relaxed);
+        let make = bo_factory();
+        let resumed = run_experiment_session(
+            "test/cancel",
+            &make,
+            &obj,
+            &opts(),
+            &RunnerOptions::serial(),
+            Some(&seg),
+            true,
+            Some(abort_flag()),
+            &mut NullRecorder,
+        )
+        .unwrap();
+        assert!(resumed.resumed);
+        assert_eq!(
+            canonical_result_json(&full.result),
+            canonical_result_json(&resumed.result),
+            "cancel + resume must reproduce the uninterrupted run exactly"
+        );
+        let _ = std::fs::remove_file(&seg);
     }
 }

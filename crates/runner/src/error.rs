@@ -15,6 +15,10 @@ pub enum RunnerError {
     Corrupt(String),
     /// Invalid caller input (unknown strategy label, bad CLI argument).
     Invalid(String),
+    /// The run observed its session abort flag and stopped between
+    /// trials. Nothing is corrupted: journaled trials stay valid and a
+    /// later resume completes the experiment bitwise-identically.
+    Canceled,
 }
 
 impl fmt::Display for RunnerError {
@@ -23,6 +27,7 @@ impl fmt::Display for RunnerError {
             RunnerError::Io(m) => write!(f, "journal I/O: {m}"),
             RunnerError::Corrupt(m) => write!(f, "journal corrupt: {m}"),
             RunnerError::Invalid(m) => write!(f, "invalid input: {m}"),
+            RunnerError::Canceled => write!(f, "run canceled by session abort"),
         }
     }
 }

@@ -15,16 +15,14 @@
 //! the segment is discarded instead of silently served.
 
 use std::collections::BTreeMap;
-use std::fs::{self, File, OpenOptions};
-use std::io::Write;
 use std::path::Path;
-use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
 use mtm_core::{ExperimentResult, PassResult};
 
 use crate::error::RunnerError;
+use crate::segment::{self, SegmentWriter};
 
 /// Journal schema version. Bump on any record-shape change; old segments
 /// are then re-run rather than misread.
@@ -135,36 +133,14 @@ impl SegmentData {
     }
 }
 
-/// Load and index a segment. `Ok(None)` when the file does not exist;
-/// torn or trailing-garbage bytes are excluded from `valid_len` rather
-/// than reported as errors.
-pub fn load_segment(path: &Path) -> Result<Option<SegmentData>, RunnerError> {
-    let text = match fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => return Err(RunnerError::Io(format!("read {}: {e}", path.display()))),
+/// Index scanned records into a [`SegmentData`] (later records win on
+/// key collisions; the first header wins).
+pub fn index_records(records: Vec<Record>, valid_len: u64) -> SegmentData {
+    let mut data = SegmentData {
+        valid_len,
+        ..SegmentData::default()
     };
-    let mut data = SegmentData::default();
-    let mut offset = 0usize;
-    for line in text.split_inclusive('\n') {
-        let complete = line.ends_with('\n');
-        let body = line.trim_end();
-        if body.is_empty() {
-            if complete {
-                offset += line.len();
-                continue;
-            }
-            break;
-        }
-        let Ok(record) = serde_json::from_str::<Record>(body) else {
-            break; // torn write or foreign bytes: stop at the valid prefix
-        };
-        if !complete {
-            // A record without its newline may still be mid-write; treat
-            // it as torn so the writer re-appends it cleanly.
-            break;
-        }
-        offset += line.len();
+    for record in records {
         match record {
             Record::Header(h) => {
                 if data.header.is_none() {
@@ -185,78 +161,59 @@ pub fn load_segment(path: &Path) -> Result<Option<SegmentData>, RunnerError> {
             }
         }
     }
-    data.valid_len = offset as u64;
-    Ok(Some(data))
+    data
 }
 
-enum Sink {
-    File(Mutex<File>),
-    Null,
+/// Load and index a segment. `Ok(None)` when the file does not exist;
+/// torn or trailing-garbage bytes (including invalid UTF-8 a concurrent
+/// writer may be mid-way through flushing) are excluded from `valid_len`
+/// rather than reported as errors — loading never requires the writer to
+/// be stopped (see [`crate::segment::scan_prefix`]).
+pub fn load_segment(path: &Path) -> Result<Option<SegmentData>, RunnerError> {
+    let Some((lines, valid_len)) = segment::load_prefix::<Record>(path)? else {
+        return Ok(None);
+    };
+    Ok(Some(index_records(
+        lines.into_iter().map(|l| l.record).collect(),
+        valid_len,
+    )))
 }
 
-/// Append-only, internally synchronized record writer. Each `append`
-/// writes one full line and flushes, so at most the in-flight record is
-/// lost on a crash.
+/// Append-only, internally synchronized record writer over
+/// [`crate::segment::SegmentWriter`]. Each `append` writes one full line
+/// and flushes, so at most the in-flight record is lost on a crash.
 pub struct Journal {
-    sink: Sink,
+    writer: SegmentWriter,
 }
 
 impl Journal {
     /// A journal that discards everything — in-memory execution.
     pub fn null() -> Journal {
-        Journal { sink: Sink::Null }
+        Journal {
+            writer: SegmentWriter::null(),
+        }
     }
 
     /// Open `path` for appending after truncating it to `valid_len`
     /// (drops any torn trailing bytes a crash left behind). Creates the
     /// file and its parent directory as needed.
     pub fn open_append(path: &Path, valid_len: u64) -> Result<Journal, RunnerError> {
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent)
-                .map_err(|e| RunnerError::Io(format!("mkdir {}: {e}", parent.display())))?;
-        }
-        // Never truncate on open: the explicit `set_len(valid_len)` below
-        // is the only truncation — it keeps the journaled valid prefix.
-        let file = OpenOptions::new()
-            .create(true)
-            .truncate(false)
-            .write(true)
-            .open(path)
-            .map_err(|e| RunnerError::Io(format!("open {}: {e}", path.display())))?;
-        file.set_len(valid_len)
-            .map_err(|e| RunnerError::Io(format!("truncate {}: {e}", path.display())))?;
-        let mut file = file;
-        use std::io::Seek;
-        file.seek(std::io::SeekFrom::End(0))
-            .map_err(|e| RunnerError::Io(format!("seek {}: {e}", path.display())))?;
         Ok(Journal {
-            sink: Sink::File(Mutex::new(file)),
+            writer: SegmentWriter::open_append(path, valid_len)?,
         })
     }
 
     // mtm-cold: journal IO runs per measured trial, never inside sim or scoring loops
     /// Append one record (one line) and flush it to the OS.
     pub fn append(&self, record: &Record) -> Result<(), RunnerError> {
-        let Sink::File(file) = &self.sink else {
-            return Ok(());
-        };
-        let json = serde_json::to_string(record)
-            .map_err(|e| RunnerError::Io(format!("serialize record: {e}")))?;
-        let mut guard = match file.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        guard
-            .write_all(json.as_bytes())
-            .and_then(|()| guard.write_all(b"\n"))
-            .and_then(|()| guard.flush())
-            .map_err(|e| RunnerError::Io(format!("append: {e}")))
+        self.writer.append(record)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tmpfile(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("mtm-runner-journal-tests");
@@ -339,6 +296,24 @@ mod tests {
         drop(j);
         let data = load_segment(&path).unwrap().unwrap();
         assert_eq!(data.trials[&(0, 0, 0)].throughput, 2.0);
+    }
+
+    #[test]
+    fn live_segment_with_partial_utf8_tail_loads() {
+        // `mtm-runner status` against a journal a live daemon is
+        // appending to: the tail may hold a partially flushed multi-byte
+        // character. The loader must serve the valid prefix, not error.
+        let path = tmpfile("live-utf8.jsonl");
+        let _ = fs::remove_file(&path);
+        let j = Journal::open_append(&path, 0).unwrap();
+        j.append(&trial(0, 0, 100.0)).unwrap();
+        drop(j);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"Trial\":{\"pass\":0,\"step\":1,\"x\xC3"); // torn mid-'Ã©'
+        fs::write(&path, &bytes).unwrap();
+        let data = load_segment(&path).unwrap().unwrap();
+        assert_eq!(data.trials.len(), 1);
+        assert!(data.valid_len < bytes.len() as u64);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Blocking protocol client (CLI, tests, soak harness).
+
+use std::io::{Read, Write};
+
+use crate::daemon::{Conn, Endpoint};
+use crate::proto::{
+    decode_frame, encode_frame, request, FrameStatus, Request, Response, ResponseFrame,
+    SessionState, SessionView, PROTO_VERSION,
+};
+use crate::spec::SessionSpec;
+
+/// One connection to a daemon. Requests are answered in order, so a
+/// single buffered stream is all the state a client needs.
+pub struct Client {
+    conn: Conn,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect(endpoint: &Endpoint) -> Result<Client, String> {
+        Ok(Client {
+            conn: Conn::connect(endpoint)?,
+            buf: Vec::with_capacity(4096),
+        })
+    }
+
+    /// Send one request and read its response frame.
+    pub fn call(&mut self, req: Request) -> Result<Response, String> {
+        let frame = encode_frame(&request(req)).map_err(|e| format!("encode: {e}"))?;
+        self.conn
+            .write_all(&frame)
+            .and_then(|_| self.conn.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut chunk = [0u8; 4096];
+        loop {
+            match decode_frame::<ResponseFrame>(&self.buf) {
+                FrameStatus::Complete { value, consumed } => {
+                    self.buf.drain(..consumed);
+                    if value.v != PROTO_VERSION {
+                        return Err(format!(
+                            "daemon speaks protocol {} (client speaks {PROTO_VERSION})",
+                            value.v
+                        ));
+                    }
+                    return Ok(value.resp);
+                }
+                FrameStatus::Incomplete => match self.conn.read(&mut chunk) {
+                    Ok(0) => return Err("connection closed mid-response".to_string()),
+                    Ok(n) => {
+                        if let Some(read) = chunk.get(..n) {
+                            self.buf.extend_from_slice(read);
+                        }
+                    }
+                    Err(e) => return Err(format!("recv: {e}")),
+                },
+                FrameStatus::Malformed(m) => return Err(format!("malformed response: {m}")),
+            }
+        }
+    }
+
+    /// Submit a spec; returns the assigned session id.
+    pub fn submit(&mut self, spec: &SessionSpec) -> Result<String, String> {
+        match self.call(Request::Submit { spec: spec.clone() })? {
+            Response::Submitted { session } => Ok(session),
+            Response::Rejected { reason } => Err(format!("rejected: {reason}")),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    /// Poll a session once.
+    pub fn poll(&mut self, session: &str) -> Result<SessionView, String> {
+        match self.call(Request::Poll {
+            session: session.to_string(),
+        })? {
+            Response::Status(view) => Ok(view),
+            Response::Error { message } => Err(message),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    /// Poll until the session parks (done / canceled / failed), sleeping
+    /// `interval_ms` between polls, at most `max_polls` times.
+    pub fn wait(
+        &mut self,
+        session: &str,
+        interval_ms: u64,
+        max_polls: usize,
+    ) -> Result<SessionView, String> {
+        let mut polls = 0;
+        loop {
+            let view = self.poll(session)?;
+            match view.state {
+                SessionState::Done | SessionState::Canceled | SessionState::Failed => {
+                    return Ok(view)
+                }
+                SessionState::Queued | SessionState::Active => {
+                    polls += 1;
+                    if polls >= max_polls {
+                        return Err(format!(
+                            "session {session} still {:?} after {max_polls} polls",
+                            view.state
+                        ));
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The `mtm-serve` command-line tool.
+//!
+//! ```text
+//! mtm-serve serve    --root DIR --listen tcp:HOST:PORT|unix:PATH
+//!                    [--workers N] [--max-queued N] [--per-tenant N] [--trace]
+//! mtm-serve submit   --connect EP --tenant T --strategy S
+//!                    [--size small|medium|large] [--ti F] [--cont F]
+//!                    [--scale smoke|fast|paper] [--seed N]
+//! mtm-serve poll     --connect EP --session ID [--wait]
+//! mtm-serve steer    --connect EP --session ID --priority P
+//! mtm-serve cancel   --connect EP --session ID
+//! mtm-serve snapshot --connect EP --session ID
+//! mtm-serve shutdown --connect EP
+//! mtm-serve soak     --root DIR [--sessions N] [--workers N]
+//! ```
+//!
+//! `serve` runs the daemon until a `shutdown` request arrives. `soak`
+//! spins an in-process daemon on an ephemeral port, pushes `--sessions`
+//! concurrent sessions through submit → poll → complete over the real
+//! socket, and fails unless every one finishes.
+//!
+//! Exit code 0 on success, 1 on an execution error, 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mtm_runner::Scale;
+use mtm_serve::daemon::{Daemon, DaemonConfig, Endpoint};
+use mtm_serve::dispatch::{DispatchConfig, Quotas};
+use mtm_serve::proto::{Request, Response, SessionState};
+use mtm_serve::spec::SessionSpec;
+use mtm_serve::Client;
+use mtm_topogen::{Condition, SizeClass};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    let cmd = it.next().unwrap_or("");
+    let rest: Vec<&str> = it.collect();
+    let outcome = match cmd {
+        "serve" => cmd_serve(&rest),
+        "submit" => cmd_submit(&rest),
+        "poll" => cmd_poll(&rest),
+        "steer" => cmd_steer(&rest),
+        "cancel" => cmd_cancel(&rest),
+        "snapshot" => cmd_snapshot(&rest),
+        "shutdown" => cmd_shutdown(&rest),
+        "soak" => cmd_soak(&rest),
+        _ => return usage(),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("mtm-serve: {msg}");
+            if msg.starts_with("usage") {
+                ExitCode::from(2)
+            } else {
+                ExitCode::from(1)
+            }
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mtm-serve <serve | submit | poll | steer | cancel | snapshot | shutdown | soak> \
+         [--help for per-command flags]"
+    );
+    ExitCode::from(2)
+}
+
+/// Tiny flag scanner: `--name value` pairs plus boolean `--name` flags.
+struct Flags<'a> {
+    rest: &'a [&'a str],
+}
+
+impl<'a> Flags<'a> {
+    fn get(&self, name: &str) -> Option<&'a str> {
+        let mut it = self.rest.iter();
+        while let Some(flag) = it.next() {
+            if *flag == name {
+                return it.next().copied();
+            }
+        }
+        None
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.rest.contains(&name)
+    }
+
+    fn require(&self, name: &str) -> Result<&'a str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("usage: missing required flag {name} <value>"))
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| format!("usage: {name} got unparseable value '{text}'")),
+        }
+    }
+}
+
+fn connect(flags: &Flags) -> Result<Client, String> {
+    let endpoint = Endpoint::parse(flags.require("--connect")?)?;
+    Client::connect(&endpoint)
+}
+
+fn spec_from_flags(flags: &Flags) -> Result<SessionSpec, String> {
+    let size = match flags.get("--size").unwrap_or("small") {
+        "small" => SizeClass::Small,
+        "medium" => SizeClass::Medium,
+        "large" => SizeClass::Large,
+        other => return Err(format!("usage: unknown --size '{other}'")),
+    };
+    let scale = Scale::parse(flags.get("--scale").unwrap_or("smoke"))
+        .ok_or_else(|| "usage: --scale must be smoke|fast|paper".to_string())?;
+    let spec = SessionSpec {
+        tenant: flags.require("--tenant")?.to_string(),
+        size,
+        condition: Condition {
+            time_imbalance: flags.parsed("--ti", 0.0)?,
+            contention: flags.parsed("--cont", 0.0)?,
+        },
+        strategy: flags.require("--strategy")?.to_string(),
+        scale,
+        seed: flags.parsed("--seed", 0x2015)?,
+    };
+    spec.validate()?;
+    Ok(spec)
+}
+
+fn cmd_serve(rest: &[&str]) -> Result<(), String> {
+    let flags = Flags { rest };
+    let config = DaemonConfig {
+        root: PathBuf::from(flags.require("--root")?),
+        endpoint: Endpoint::parse(flags.require("--listen")?)?,
+        dispatch: DispatchConfig {
+            workers: flags.parsed("--workers", 4usize)?,
+            quotas: Quotas {
+                max_queued: flags.parsed("--max-queued", 4096usize)?,
+                per_tenant: flags.parsed("--per-tenant", 4096usize)?,
+            },
+            trace: flags.has("--trace"),
+        },
+    };
+    let daemon = Daemon::start(config).map_err(|e| e.to_string())?;
+    println!("mtm-serve: listening on {}", daemon.endpoint());
+    daemon.wait();
+    println!("mtm-serve: stopped");
+    Ok(())
+}
+
+fn cmd_submit(rest: &[&str]) -> Result<(), String> {
+    let flags = Flags { rest };
+    let spec = spec_from_flags(&flags)?;
+    let session = connect(&flags)?.submit(&spec)?;
+    println!("{session}");
+    Ok(())
+}
+
+fn cmd_poll(rest: &[&str]) -> Result<(), String> {
+    let flags = Flags { rest };
+    let session = flags.require("--session")?;
+    let mut client = connect(&flags)?;
+    let view = if flags.has("--wait") {
+        client.wait(session, 50, 20_000)?
+    } else {
+        client.poll(session)?
+    };
+    println!(
+        "{} tenant={} state={:?} priority={}",
+        view.session, view.tenant, view.state, view.priority
+    );
+    if let Some(result) = &view.result {
+        println!("{result}");
+    }
+    if let Some(error) = &view.error {
+        println!("error: {error}");
+    }
+    Ok(())
+}
+
+fn cmd_steer(rest: &[&str]) -> Result<(), String> {
+    let flags = Flags { rest };
+    let session = flags.require("--session")?.to_string();
+    let priority = flags.parsed("--priority", 0i32)?;
+    match connect(&flags)?.call(Request::Steer { session, priority })? {
+        Response::Ack => Ok(()),
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
+fn cmd_cancel(rest: &[&str]) -> Result<(), String> {
+    let flags = Flags { rest };
+    let session = flags.require("--session")?.to_string();
+    match connect(&flags)?.call(Request::Cancel { session })? {
+        Response::Ack => Ok(()),
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
+fn cmd_snapshot(rest: &[&str]) -> Result<(), String> {
+    let flags = Flags { rest };
+    let session = flags.require("--session")?.to_string();
+    match connect(&flags)?.call(Request::Snapshot { session })? {
+        Response::Snapshot(stats) => {
+            println!(
+                "records {} -> {} ({} passes compacted)",
+                stats.records_before, stats.records_after, stats.passes_compacted
+            );
+            Ok(())
+        }
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
+fn cmd_shutdown(rest: &[&str]) -> Result<(), String> {
+    let flags = Flags { rest };
+    match connect(&flags)?.call(Request::Shutdown)? {
+        Response::ShuttingDown => Ok(()),
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
+/// In-process end-to-end soak: an ephemeral daemon, `--sessions`
+/// concurrent smoke-scale sessions through the real socket, every one
+/// polled to completion.
+fn cmd_soak(rest: &[&str]) -> Result<(), String> {
+    let flags = Flags { rest };
+    let sessions: usize = flags.parsed("--sessions", 1000usize)?;
+    let workers: usize = flags.parsed("--workers", 8usize)?;
+    let root = match flags.get("--root") {
+        Some(dir) => PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("mtm-serve-soak-{}", std::process::id())),
+    };
+    let daemon = Daemon::start(DaemonConfig {
+        root: root.clone(),
+        endpoint: Endpoint::parse("tcp:127.0.0.1:0")?,
+        dispatch: DispatchConfig {
+            workers,
+            quotas: Quotas {
+                max_queued: sessions + 16,
+                per_tenant: sessions + 16,
+            },
+            trace: false,
+        },
+    })
+    .map_err(|e| e.to_string())?;
+    let endpoint = daemon.endpoint().clone();
+    println!("soak: {sessions} sessions over {endpoint} ({workers} workers)");
+    let started = std::time::Instant::now();
+    let mut client = Client::connect(&endpoint)?;
+    let strategies = ["pla", "bo", "ipla", "ibo"];
+    let mut ids = Vec::with_capacity(sessions);
+    for i in 0..sessions {
+        let strategy = strategies.get(i & 0x3).copied().unwrap_or("bo");
+        let tenant = format!("tenant-{}", i & 0x7);
+        let spec = SessionSpec::smoke(&tenant, strategy, 0x2015 + i as u64);
+        ids.push(client.submit(&spec)?);
+    }
+    let submitted_s = started.elapsed().as_secs_f64();
+    let mut done = 0usize;
+    for id in &ids {
+        let view = client.wait(id, 20, 60_000)?;
+        if view.state == SessionState::Done {
+            done += 1;
+        } else {
+            return Err(format!("session {id} ended {:?}", view.state));
+        }
+    }
+    let total_s = started.elapsed().as_secs_f64();
+    daemon.shutdown();
+    println!(
+        "soak: {done}/{sessions} done; submit {submitted_s:.2}s, total {total_s:.2}s \
+         ({:.0} sessions/s)",
+        done as f64 / total_s.max(1e-9)
+    );
+    if flags.get("--root").is_none() {
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    if done == sessions {
+        Ok(())
+    } else {
+        Err(format!("{done}/{sessions} sessions completed"))
+    }
+}

@@ -1,0 +1,254 @@
+//! Length-prefixed JSONL wire protocol.
+//!
+//! Every frame is one line: the ASCII decimal byte length of the JSON
+//! payload, a single space, the payload, `\n` —
+//!
+//! ```text
+//! 23 {"v":1,"req":{"Poll":…}}\n
+//! ```
+//!
+//! The explicit length lets the reader distinguish **incomplete** (bytes
+//! still in flight — wait for more) from **malformed** (the peer is
+//! broken — fail the connection), the same torn-tail discipline the
+//! journal applies to files. Payloads are schema-versioned: every frame
+//! carries [`PROTO_VERSION`] and the daemon rejects mismatches instead of
+//! misreading a future shape.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::SessionSpec;
+
+/// Wire schema version. Bump on any frame-shape change.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Refuse to buffer frames past this payload size (a garbage length
+/// prefix must not look like an instruction to allocate gigabytes).
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Client → daemon requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit a session for execution.
+    Submit {
+        /// What to run.
+        spec: SessionSpec,
+    },
+    /// Ask for a session's current state (and result when finished).
+    Poll {
+        /// Session id returned by submit.
+        session: String,
+    },
+    /// Re-prioritize a queued session. Never changes results — only the
+    /// order the queue drains in.
+    Steer {
+        /// Session id.
+        session: String,
+        /// New priority (higher runs earlier; submit default is 0).
+        priority: i32,
+    },
+    /// Cancel a session. Active runs stop at the next trial boundary;
+    /// their journal stays valid for a later resubmission to resume.
+    Cancel {
+        /// Session id.
+        session: String,
+    },
+    /// Compact the session's journal segment (drop trial rows already
+    /// summarized by a completed pass) and report store-side stats.
+    Snapshot {
+        /// Session id.
+        session: String,
+    },
+    /// Stop the daemon: abort active sessions at their next trial
+    /// boundary and exit. Everything resumes on restart.
+    Shutdown,
+}
+
+/// Lifecycle state of a session, as reported by poll.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Active,
+    /// Finished; the canonical result is available.
+    Done,
+    /// Canceled by request before finishing.
+    Canceled,
+    /// Execution failed (journal I/O or corruption); message attached.
+    Failed,
+}
+
+/// Poll response body: where the session is and what it produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionView {
+    /// Session id.
+    pub session: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Lifecycle state.
+    pub state: SessionState,
+    /// Queue priority (steerable while queued).
+    pub priority: i32,
+    /// Canonical result JSON (see
+    /// [`mtm_runner::canonical_result_json`]) once `state` is `Done`.
+    pub result: Option<String>,
+    /// Failure detail when `state` is `Failed`.
+    pub error: Option<String>,
+}
+
+/// Store-side statistics reported by snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentStats {
+    /// Journal records before compaction.
+    pub records_before: usize,
+    /// Journal records after compaction.
+    pub records_after: usize,
+    /// Completed passes whose trial rows were dropped.
+    pub passes_compacted: usize,
+}
+
+/// Daemon → client responses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Session admitted and queued (or already running).
+    Submitted {
+        /// Assigned session id.
+        session: String,
+    },
+    /// Session refused: quota, backpressure, or an invalid spec.
+    Rejected {
+        /// Why.
+        reason: String,
+    },
+    /// Poll result.
+    Status(SessionView),
+    /// Steer/cancel acknowledged.
+    Ack,
+    /// Snapshot result.
+    Snapshot(SegmentStats),
+    /// The daemon is shutting down.
+    ShuttingDown,
+    /// Protocol-level failure (unknown session, version mismatch …).
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// Versioned request envelope — what actually crosses the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestFrame {
+    /// Protocol version ([`PROTO_VERSION`]).
+    pub v: u32,
+    /// The request.
+    pub req: Request,
+}
+
+/// Versioned response envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseFrame {
+    /// Protocol version ([`PROTO_VERSION`]).
+    pub v: u32,
+    /// The response.
+    pub resp: Response,
+}
+
+/// Outcome of trying to decode one frame from a byte buffer.
+#[derive(Debug, PartialEq)]
+pub enum FrameStatus<T> {
+    /// One whole frame decoded; `consumed` bytes can be dropped from the
+    /// front of the buffer.
+    Complete {
+        /// The decoded payload.
+        value: T,
+        /// Bytes the frame occupied, prefix and newline included.
+        consumed: usize,
+    },
+    /// The buffer holds only part of a frame — read more and retry.
+    Incomplete,
+    /// The buffer cannot be the prefix of any valid frame.
+    Malformed(String),
+}
+
+/// Encode one value as a length-prefixed frame.
+pub fn encode_frame<T: Serialize>(value: &T) -> Result<Vec<u8>, String> {
+    let payload = serde_json::to_string(value).map_err(|e| e.to_string())?;
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    out.extend_from_slice(payload.len().to_string().as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(payload.as_bytes());
+    out.push(b'\n');
+    Ok(out)
+}
+
+/// Try to decode one frame from the front of `buf`.
+pub fn decode_frame<T: Deserialize>(buf: &[u8]) -> FrameStatus<T> {
+    // Parse the decimal length prefix.
+    let mut len: usize = 0;
+    let mut i = 0;
+    loop {
+        match buf.get(i) {
+            None => return FrameStatus::Incomplete,
+            Some(b' ') if i > 0 => break,
+            Some(d @ b'0'..=b'9') => {
+                len = match len
+                    .checked_mul(10)
+                    .and_then(|l| l.checked_add((d - b'0') as usize))
+                {
+                    Some(l) if l <= MAX_FRAME_LEN => l,
+                    _ => {
+                        return FrameStatus::Malformed(format!(
+                            "frame length exceeds {MAX_FRAME_LEN} bytes"
+                        ))
+                    }
+                };
+            }
+            Some(b) => {
+                return FrameStatus::Malformed(format!(
+                    "byte {b:#04x} at offset {i} is not a decimal length prefix"
+                ))
+            }
+        }
+        i += 1;
+        if i > 20 {
+            return FrameStatus::Malformed("unterminated length prefix".to_string());
+        }
+    }
+    let payload_start = i + 1;
+    let frame_end = payload_start + len + 1; // + trailing newline
+    if buf.len() < frame_end {
+        return FrameStatus::Incomplete;
+    }
+    let Some(payload) = buf.get(payload_start..payload_start + len) else {
+        return FrameStatus::Incomplete;
+    };
+    if buf.get(payload_start + len) != Some(&b'\n') {
+        return FrameStatus::Malformed("frame payload not terminated by newline".to_string());
+    }
+    let Ok(text) = std::str::from_utf8(payload) else {
+        return FrameStatus::Malformed("frame payload is not UTF-8".to_string());
+    };
+    match serde_json::from_str::<T>(text) {
+        Ok(value) => FrameStatus::Complete {
+            value,
+            consumed: frame_end,
+        },
+        Err(e) => FrameStatus::Malformed(format!("frame payload does not parse: {e}")),
+    }
+}
+
+/// Wrap a request at the current protocol version.
+pub fn request(req: Request) -> RequestFrame {
+    RequestFrame {
+        v: PROTO_VERSION,
+        req,
+    }
+}
+
+/// Wrap a response at the current protocol version.
+pub fn response(resp: Response) -> ResponseFrame {
+    ResponseFrame {
+        v: PROTO_VERSION,
+        resp,
+    }
+}

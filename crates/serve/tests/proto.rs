@@ -1,0 +1,216 @@
+//! Wire-protocol property tests: every frame type round-trips through
+//! encode/decode, truncated frames always read as `Incomplete` (never
+//! `Malformed`, never a wrong `Complete`), and garbage is rejected
+//! without panicking.
+
+use proptest::prelude::*;
+
+use mtm_runner::Scale;
+use mtm_serve::proto::{
+    decode_frame, encode_frame, request, response, FrameStatus, Request, RequestFrame, Response,
+    ResponseFrame, SegmentStats, SessionState, SessionView,
+};
+use mtm_serve::spec::SessionSpec;
+use mtm_topogen::{Condition, SizeClass};
+
+/// Strings that stress JSON escaping: quotes, backslashes, newlines,
+/// multi-byte characters.
+fn string_strategy() -> impl Strategy<Value = String> {
+    let charset: Vec<char> = "abcXYZ019 _-\"\\\n\té€語".chars().collect();
+    proptest::collection::vec(0usize..charset.len(), 0..12).prop_map(move |picks| {
+        picks
+            .into_iter()
+            .filter_map(|i| charset.get(i).copied())
+            .collect()
+    })
+}
+
+fn spec_strategy() -> impl Strategy<Value = SessionSpec> {
+    (
+        string_strategy(),
+        0usize..3,
+        0usize..4,
+        0usize..5,
+        0usize..3,
+        any::<u64>(),
+    )
+        .prop_map(|(tenant, size, cond, strat, scale, seed)| {
+            let sizes = [SizeClass::Small, SizeClass::Medium, SizeClass::Large];
+            let conds = Condition::grid();
+            let strategies = ["pla", "bo", "ipla", "ibo", "bo180"];
+            let scales = [Scale::Paper, Scale::Fast, Scale::Smoke];
+            SessionSpec {
+                tenant,
+                size: sizes.get(size).copied().unwrap_or(SizeClass::Small),
+                condition: conds.get(cond).copied().unwrap_or(conds[0]),
+                strategy: strategies.get(strat).copied().unwrap_or("bo").to_string(),
+                scale: scales.get(scale).copied().unwrap_or(Scale::Smoke),
+                seed,
+            }
+        })
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        spec_strategy().prop_map(|spec| Request::Submit { spec }),
+        string_strategy().prop_map(|session| Request::Poll { session }),
+        (string_strategy(), any::<i32>())
+            .prop_map(|(session, priority)| Request::Steer { session, priority }),
+        string_strategy().prop_map(|session| Request::Cancel { session }),
+        string_strategy().prop_map(|session| Request::Snapshot { session }),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn state_strategy() -> impl Strategy<Value = SessionState> {
+    prop_oneof![
+        Just(SessionState::Queued),
+        Just(SessionState::Active),
+        Just(SessionState::Done),
+        Just(SessionState::Canceled),
+        Just(SessionState::Failed),
+    ]
+}
+
+fn view_strategy() -> impl Strategy<Value = SessionView> {
+    (
+        string_strategy(),
+        string_strategy(),
+        state_strategy(),
+        any::<i32>(),
+        prop_oneof![Just(None), string_strategy().prop_map(Some)],
+        prop_oneof![Just(None), string_strategy().prop_map(Some)],
+    )
+        .prop_map(
+            |(session, tenant, state, priority, result, error)| SessionView {
+                session,
+                tenant,
+                state,
+                priority,
+                result,
+                error,
+            },
+        )
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        string_strategy().prop_map(|session| Response::Submitted { session }),
+        string_strategy().prop_map(|reason| Response::Rejected { reason }),
+        view_strategy().prop_map(Response::Status),
+        Just(Response::Ack),
+        (0usize..5000, 0usize..100, 0usize..8).prop_map(|(before, after, passes)| {
+            Response::Snapshot(SegmentStats {
+                records_before: before,
+                records_after: after,
+                passes_compacted: passes,
+            })
+        }),
+        Just(Response::ShuttingDown),
+        string_strategy().prop_map(|message| Response::Error { message }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_frames_round_trip(req in request_strategy()) {
+        let frame = request(req.clone());
+        let bytes = encode_frame(&frame).unwrap();
+        match decode_frame::<RequestFrame>(&bytes) {
+            FrameStatus::Complete { value, consumed } => {
+                prop_assert_eq!(value, frame);
+                prop_assert_eq!(consumed, bytes.len());
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_frames_round_trip(resp in response_strategy()) {
+        let frame = response(resp.clone());
+        let bytes = encode_frame(&frame).unwrap();
+        match decode_frame::<ResponseFrame>(&bytes) {
+            FrameStatus::Complete { value, consumed } => {
+                prop_assert_eq!(value, frame);
+                prop_assert_eq!(consumed, bytes.len());
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_strict_prefix_is_incomplete(req in request_strategy(), frac in 0.0f64..1.0) {
+        // A torn frame — any number of leading bytes of a valid frame —
+        // must read as Incomplete: the reader waits for the rest instead
+        // of failing the connection or mis-decoding.
+        let bytes = encode_frame(&request(req)).unwrap();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        match decode_frame::<RequestFrame>(&bytes[..cut]) {
+            FrameStatus::Incomplete => {}
+            other => panic!("prefix of {cut}/{} bytes decoded as {other:?}", bytes.len()),
+        }
+    }
+
+    #[test]
+    fn concatenated_frames_decode_one_at_a_time(
+        a in request_strategy(),
+        b in request_strategy(),
+    ) {
+        let fa = request(a);
+        let fb = request(b);
+        let mut bytes = encode_frame(&fa).unwrap();
+        let len_a = bytes.len();
+        bytes.extend_from_slice(&encode_frame(&fb).unwrap());
+        let FrameStatus::Complete { value, consumed } = decode_frame::<RequestFrame>(&bytes)
+        else {
+            panic!("first frame must decode");
+        };
+        prop_assert_eq!(value, fa);
+        prop_assert_eq!(consumed, len_a);
+        let FrameStatus::Complete { value, .. } = decode_frame::<RequestFrame>(&bytes[consumed..])
+        else {
+            panic!("second frame must decode");
+        };
+        prop_assert_eq!(value, fb);
+    }
+
+    #[test]
+    fn garbage_heads_are_malformed_not_panics(junk in proptest::collection::vec(any::<u8>(), 1..64)) {
+        // Any byte soup either waits for more (a digits-only prefix could
+        // still become a frame) or reports Malformed — never panics.
+        let _ = decode_frame::<RequestFrame>(&junk);
+    }
+}
+
+#[test]
+fn malformed_cases_are_rejected() {
+    // Non-digit where the length prefix should be.
+    assert!(matches!(
+        decode_frame::<RequestFrame>(b"x {}\n"),
+        FrameStatus::Malformed(_)
+    ));
+    // Length prefix overflows the frame cap.
+    assert!(matches!(
+        decode_frame::<RequestFrame>(b"99999999999999999999 {}\n"),
+        FrameStatus::Malformed(_)
+    ));
+    // Payload not terminated by newline.
+    assert!(matches!(
+        decode_frame::<RequestFrame>(b"2 {}X"),
+        FrameStatus::Malformed(_)
+    ));
+    // Valid framing, payload that isn't a RequestFrame.
+    let bad = b"9 {\"bad\":1}\n";
+    assert!(matches!(
+        decode_frame::<RequestFrame>(bad),
+        FrameStatus::Malformed(_)
+    ));
+    // Empty buffer: waiting.
+    assert!(matches!(
+        decode_frame::<RequestFrame>(b""),
+        FrameStatus::Incomplete
+    ));
+}

@@ -1,0 +1,21 @@
+//! Planted blocking-under-lock: a file write and an fsync run while the
+//! `LOG` guard is live.
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// The lock the fixture holds across IO.
+pub static LOG: Mutex<u32> = Mutex::new(0);
+
+/// Writes and syncs a checkpoint while holding `LOG` — both sites must
+/// be flagged and charged to the (absent) `blocking_under_lock` budget.
+pub fn checkpoint(path: &Path, data: &[u8]) {
+    let Ok(mut file) = std::fs::File::create(path) else {
+        return;
+    };
+    let Ok(mut g) = LOG.lock() else { return };
+    *g += 1;
+    let _ = file.write_all(data);
+    let _ = file.sync_all();
+}

@@ -1,0 +1,40 @@
+//! The must-NOT-flag cases: a guard explicitly `drop()`-ed before the
+//! IO it would otherwise cover, and a condvar wait that holds only its
+//! own guard. A pass that flags either is over-approximating past its
+//! documented model.
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Condvar, Mutex};
+
+/// The counter lock — released before any IO below.
+pub static COUNT: Mutex<u64> = Mutex::new(0);
+/// The condvar's own mutex.
+pub static READY: Mutex<bool> = Mutex::new(false);
+/// Wakes parked waiters.
+pub static CV: Condvar = Condvar::new();
+
+/// Bumps the counter, drops the guard, then logs — the write happens
+/// after the region ends, so nothing may be charged.
+pub fn bump_then_log(path: &Path) {
+    let Ok(mut g) = COUNT.lock() else { return };
+    *g += 1;
+    let n = *g;
+    drop(g);
+    let Ok(mut file) = std::fs::File::create(path) else {
+        return;
+    };
+    let _ = writeln!(file, "count {n}");
+}
+
+/// The canonical condvar loop: the wait consumes and returns the same
+/// guard it parks on. Its own mutex is released during the park, and no
+/// other guard is live.
+pub fn park() -> bool {
+    let Ok(mut g) = READY.lock() else { return false };
+    while !*g {
+        let Ok(next) = CV.wait(g) else { return false };
+        g = next;
+    }
+    *g
+}

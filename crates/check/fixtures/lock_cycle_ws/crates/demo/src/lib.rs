@@ -1,0 +1,23 @@
+//! Planted lock-order cycle: `A` is acquired while `B` is held and `B`
+//! while `A` is held, so either order edge closes a deadlock cycle.
+
+use std::sync::Mutex;
+
+/// First lock.
+pub static A: Mutex<u32> = Mutex::new(0);
+/// Second lock.
+pub static B: Mutex<u32> = Mutex::new(0);
+
+/// Takes `A`, then `B` — the forward half of the cycle.
+pub fn forward() -> u32 {
+    let Ok(ga) = A.lock() else { return 0 };
+    let Ok(gb) = B.lock() else { return 0 };
+    *ga + *gb
+}
+
+/// Takes `B`, then `A` — the backward half of the cycle.
+pub fn backward() -> u32 {
+    let Ok(gb) = B.lock() else { return 0 };
+    let Ok(ga) = A.lock() else { return 0 };
+    *ga - *gb
+}

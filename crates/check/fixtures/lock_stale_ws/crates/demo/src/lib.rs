@@ -1,0 +1,22 @@
+//! Planted stale annotations: an `mtm-lock:` comment attached to
+//! nothing, and an `mtm-allow: lock` that suppresses nothing. Both are
+//! hard errors — a detached name silently un-names a lock, and a dead
+//! sanction hides the next real finding at that site.
+
+use std::sync::Mutex;
+
+/// The only lock here — never actually named `core`.
+pub static Q: Mutex<u32> = Mutex::new(0);
+
+// mtm-lock: core
+
+// The blank lines above and below detach the annotation from any
+// acquisition or function signature — it names nothing.
+
+/// Reads the counter; the allow above the acquisition sanctions a
+/// blocking site that does not exist.
+pub fn read_it() -> u32 {
+    // mtm-allow: lock -- nothing blocks while the guard is live
+    let Ok(g) = Q.lock() else { return 0 };
+    *g
+}

@@ -1,0 +1,23 @@
+//! Planted guard-across-wait: the `STATE` guard stays live across a
+//! `Condvar::wait` on a *different* mutex — the wait releases only its
+//! own lock, so `STATE` blocks every other thread for the whole park.
+
+use std::sync::{Condvar, Mutex};
+
+/// The foreign lock held across the wait.
+pub static STATE: Mutex<u32> = Mutex::new(0);
+/// The condvar's own mutex.
+pub static DONE: Mutex<bool> = Mutex::new(false);
+/// Wakes parked waiters.
+pub static CV: Condvar = Condvar::new();
+
+/// Parks on `CV` while still holding the `STATE` guard.
+pub fn wait_holding_foreign() -> u32 {
+    let Ok(extra) = STATE.lock() else { return 0 };
+    let Ok(mut g) = DONE.lock() else { return 0 };
+    while !*g {
+        let Ok(next) = CV.wait(g) else { return 0 };
+        g = next;
+    }
+    *extra
+}

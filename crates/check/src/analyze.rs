@@ -44,6 +44,9 @@ pub struct Analysis {
     /// Hot-path pass output: roots, reach, unsuppressed sites (drives
     /// `mtm-check analyze --hot`).
     pub hot: crate::hotpath::HotSummary,
+    /// Lock-region pass output: named locks, regions, blocking sites and
+    /// the acquired-while-holding graph (drives `analyze --locks`).
+    pub lock: crate::lockregion::LockSummary,
 }
 
 /// Parse every workspace crate: `crates/*/src` plus the root `src/`.
@@ -161,6 +164,14 @@ pub fn analyze_crates(crates: &[CrateAst]) -> Analysis {
     }
 
     analysis.hot = crate::hotpath::run(
+        &graph,
+        crates,
+        &mut allows,
+        &mut analysis.report,
+        &mut analysis.counts,
+    );
+
+    analysis.lock = crate::lockregion::run(
         &graph,
         crates,
         &mut allows,

@@ -5,15 +5,18 @@
 //!
 //! * [`analyze`] — the AST-backed static analyzer: a self-contained
 //!   parser ([`ast`]) feeds a workspace call graph ([`callgraph`]) and
-//!   four analyses — determinism taint ([`taint`]: nondeterminism
+//!   five analyses — determinism taint ([`taint`]: nondeterminism
 //!   sources reaching journaled/measured values, adjudicated by
 //!   `// mtm-allow: <key> -- <reason>` annotations), panic-path counting
 //!   (`.unwrap()`/indexing/integer-div budgets in `check/ratchet.toml`,
 //!   counts only go down), float sanity (`==`/`!=` on floats,
-//!   `partial_cmp().unwrap()`, order-sensitive parallel reductions), and
-//!   the hot-path allocation pass ([`hotpath`]: alloc/lock/IO sites
+//!   `partial_cmp().unwrap()`, order-sensitive parallel reductions), the
+//!   hot-path allocation pass ([`hotpath`]: alloc/lock/IO sites
 //!   reachable from `// mtm-hot: <key>` roots, ratcheted per crate in
-//!   the `[alloc_hot]` table).
+//!   the `[alloc_hot]` table), and the lock-region pass ([`lockregion`]:
+//!   blocking-under-lock, lock-order cycles and guard-across-wait over
+//!   `// mtm-lock: <name>` named locks, ratcheted in
+//!   `[blocking_under_lock]` / `[lock_order]`).
 //! * [`lint`] — the comment-driven rules that stay text-based: `unsafe`
 //!   requires a `// SAFETY:` comment, and panicking `pub fn`s in
 //!   `linalg`/`gp` must carry a `# Panics` doc section.
@@ -35,5 +38,6 @@ pub mod diag;
 pub mod hotpath;
 pub mod invariants;
 pub mod lint;
+pub mod lockregion;
 pub mod ratchet;
 pub mod taint;

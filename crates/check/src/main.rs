@@ -1,7 +1,7 @@
 //! The `mtm-check` command-line tool.
 //!
 //! ```text
-//! cargo run -p mtm-check -- analyze [--update-ratchet] [--hot]
+//! cargo run -p mtm-check -- analyze [--update-ratchet] [--hot] [--locks] [--explain lock]
 //! cargo run -p mtm-check -- lint
 //! cargo run -p mtm-check -- invariants
 //! cargo run -p mtm-check -- determinism
@@ -11,10 +11,14 @@
 //!
 //! * `analyze` — AST-backed static analysis: determinism taint (with
 //!   `mtm-allow` annotation adjudication), panic/index/div/alloc-hot
-//!   budgets against `check/ratchet.toml`, float sanity, and the
-//!   hot-path allocation pass. `--update-ratchet` rewrites the budget
-//!   file from current counts (only do this after *reducing* sites);
-//!   `--hot` prints the hot-path roots and every flagged site.
+//!   budgets against `check/ratchet.toml`, float sanity, the hot-path
+//!   allocation pass, and the lock-region pass. `--update-ratchet`
+//!   rewrites the budget file from current counts (only do this after
+//!   *reducing* sites); `--hot` prints the hot-path roots and every
+//!   flagged site; `--locks` prints the named locks, the
+//!   acquired-while-holding graph and every flagged blocking site;
+//!   `--explain lock` documents the lock-region model and annotation
+//!   grammar alongside the live lock graph.
 //! * `lint` — comment-driven rules (`// SAFETY:`, `# Panics` docs).
 //! * `invariants` — run guarded crate test suites with
 //!   `--features strict-invariants`.
@@ -54,17 +58,31 @@ fn main() -> ExitCode {
         }
     };
     let ok = match cmd {
-        "analyze" => run_analyze(
-            &root,
-            rest.contains(&"--update-ratchet"),
-            rest.contains(&"--hot"),
-        ),
+        "analyze" => {
+            let explain = rest
+                .iter()
+                .position(|a| *a == "--explain")
+                .map(|i| rest.get(i + 1).copied().unwrap_or(""));
+            if let Some(topic) = explain {
+                if topic != "lock" {
+                    eprintln!("usage: mtm-check analyze --explain lock");
+                    return ExitCode::from(2);
+                }
+                print_lock_explainer();
+            }
+            run_analyze(
+                &root,
+                rest.contains(&"--update-ratchet"),
+                rest.contains(&"--hot"),
+                rest.contains(&"--locks") || explain == Some("lock"),
+            )
+        }
         "lint" => run_lint(&root),
         "invariants" => run_invariants(),
         "determinism" => run_determinism(),
         "coverage" => run_coverage(&root),
         "all" => {
-            let analyze_ok = run_analyze(&root, false, false);
+            let analyze_ok = run_analyze(&root, false, false, false);
             let lint_ok = run_lint(&root);
             let inv_ok = run_invariants();
             let det_ok = run_determinism();
@@ -73,7 +91,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: mtm-check <analyze [--update-ratchet] [--hot] | lint | invariants | determinism | coverage | all>"
+                "usage: mtm-check <analyze [--update-ratchet] [--hot] [--locks] [--explain lock] | lint | invariants | determinism | coverage | all>"
             );
             return ExitCode::from(2);
         }
@@ -103,9 +121,58 @@ fn workspace_root() -> Result<PathBuf, String> {
     }
 }
 
+/// The annotation grammar and model of the lock-region pass, for
+/// `analyze --explain lock`.
+fn print_lock_explainer() {
+    println!(
+        "\
+mtm-check analyze --explain lock
+
+  The lock-region pass statically checks held-lock hygiene:
+
+  * Acquisitions: `.lock()` / `.read()` / `.write()` with empty argument
+    lists, plus calls to `// mtm-lock: <name>`-annotated lock functions
+    (e.g. serve's `lock_core` names the `core` lock). Locks unify by
+    name: a line-level `// mtm-lock: <name>` directly above the
+    acquisition wins, then the receiver identifier, then `file:line`.
+  * Regions: the guard is live from the acquisition to a same-level
+    `drop(<guard>)` or the end of the enclosing scope (statement-initial
+    `let`), else to the end of the statement. Over-approximated: match
+    arms, early returns and conditional drops stay inside the region.
+  * Lints:
+      blocking-under-lock  file/socket IO, flush/sync, thread join,
+                           sleeps, IO macros, or reaching an `mtm-hot`
+                           root, textually or through any function
+                           reachable from calls made under the guard.
+                           Charged to [blocking_under_lock] in
+                           check/ratchet.toml; absent units are held at
+                           zero (crates/serve is pinned there).
+      lock-order cycles    every acquisition inside a held region adds
+                           an acquired-while-holding edge; any cycle
+                           (double-lock self-cycles included) charges
+                           [lock_order]. Never allow-suppressible.
+      guard-across-wait    a guard other than the condvar's own held
+                           across `Condvar::wait*` is a hard
+                           `lock/guard-across-wait` diagnostic.
+  * Sanctioning: `// mtm-allow: lock -- <reason>` at the acquisition
+    covers the whole region; at the blocking site it covers that site
+    for every region reaching it. Stale `mtm-lock:`/`mtm-allow: lock`
+    annotations are hard errors (`lockregion/stale`, `annotation/stale`).
+
+  Example: journal append hoisted out of serve's dispatch lock —
+
+      let line = {{
+          let mut core = self.lock_core();   // region opens
+          core.transition(session)           // decide under the lock
+      }};                                    // region closes
+      self.store.meta_append(session, &line) // IO outside the guard
+"
+    );
+}
+
 /// The AST pass: taint + float findings are hard failures; panic/index/
-/// div/alloc-hot counts ratchet against `check/ratchet.toml`.
-fn run_analyze(root: &Path, update_ratchet: bool, show_hot: bool) -> bool {
+/// div/alloc-hot/lock counts ratchet against `check/ratchet.toml`.
+fn run_analyze(root: &Path, update_ratchet: bool, show_hot: bool, show_locks: bool) -> bool {
     println!(
         "mtm-check analyze: parsing workspace crates under {}",
         root.display()
@@ -130,6 +197,32 @@ fn run_analyze(root: &Path, update_ratchet: bool, show_hot: bool) -> bool {
         for site in &analysis.hot.sites {
             println!(
                 "  hot site [{}] {}:{}: {} in `{}`",
+                site.unit, site.file, site.line, site.what, site.in_fn
+            );
+        }
+    }
+
+    if show_locks {
+        println!(
+            "mtm-check analyze: lock-region pass — {} named lock(s), {} region(s)",
+            analysis.lock.locks.len(),
+            analysis.lock.regions
+        );
+        for lock in &analysis.lock.locks {
+            println!("  lock `{lock}`");
+        }
+        for edge in &analysis.lock.edges {
+            println!(
+                "  order edge [{}] `{}` -> `{}` at {}:{}",
+                edge.unit, edge.holder, edge.acquired, edge.file, edge.line
+            );
+        }
+        for cycle in &analysis.lock.cycles {
+            println!("  lock-order {cycle}");
+        }
+        for site in &analysis.lock.sites {
+            println!(
+                "  lock site [{}] {}:{}: {} in `{}`",
                 site.unit, site.file, site.line, site.what, site.in_fn
             );
         }
@@ -190,27 +283,30 @@ fn run_analyze(root: &Path, update_ratchet: bool, show_hot: bool) -> bool {
     if !failures.is_empty() {
         println!(
             "mtm-check analyze: ratchet violated — remove the new sites or \
-             justify lowering elsewhere (`analyze --hot` lists hot-path sites)"
+             justify lowering elsewhere (`analyze --hot` lists hot-path \
+             sites, `analyze --locks` lists held-lock sites)"
         );
         ok = false;
     }
     if ok {
-        let totals: (usize, usize, usize, usize) =
-            analysis
-                .counts
-                .values()
-                .fold((0, 0, 0, 0), |(p, x, d, a), c| {
-                    (
-                        p + c.panic_sites,
-                        x + c.index_sites,
-                        d + c.div_sites,
-                        a + c.alloc_hot,
-                    )
-                });
+        let totals = analysis
+            .counts
+            .values()
+            .fold((0, 0, 0, 0, 0, 0), |(p, x, d, a, b, l), c| {
+                (
+                    p + c.panic_sites,
+                    x + c.index_sites,
+                    d + c.div_sites,
+                    a + c.alloc_hot,
+                    b + c.blocking_under_lock,
+                    l + c.lock_order,
+                )
+            });
         println!(
             "mtm-check analyze: OK (0 taint/float findings; within ratchet: \
-             {} panic, {} index, {} div, {} hot-alloc sites)",
-            totals.0, totals.1, totals.2, totals.3
+             {} panic, {} index, {} div, {} hot-alloc, {} blocking-under-lock, \
+             {} lock-order sites)",
+            totals.0, totals.1, totals.2, totals.3, totals.4, totals.5
         );
     }
     ok

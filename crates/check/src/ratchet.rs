@@ -1,7 +1,7 @@
 //! The panic-path ratchet.
 //!
 //! `check/ratchet.toml` records per-crate budgets for the sites the AST
-//! pass ([`crate::analyze`]) counts, in four tables:
+//! pass ([`crate::analyze`]) counts, in six tables:
 //!
 //! * `[panic_sites]` — `.unwrap()` / `.expect(` / `panic!` outside tests
 //! * `[index_sites]` — postfix indexing (`xs[i]`), which panics out of
@@ -11,6 +11,12 @@
 //! * `[alloc_hot]` — allocation/lock/IO sites reachable from `mtm-hot`
 //!   roots and not sanctioned by an `mtm-allow: alloc` annotation
 //!   ([`crate::hotpath`]); units absent from the table are held at zero
+//! * `[blocking_under_lock]` — IO/join/sleep/hot-work sites reachable
+//!   while a lock guard is held, minus `mtm-allow: lock` sanctioned ones
+//!   ([`crate::lockregion`]); absent units are held at zero
+//! * `[lock_order]` — acquired-while-holding edges that participate in a
+//!   lock-order cycle, double-lock self-cycles included
+//!   ([`crate::lockregion`])
 //!
 //! `mtm-check analyze` fails when any count *rises* above its recorded
 //! value; falling counts are reported so the file can be tightened with
@@ -22,7 +28,14 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// The table names, in file order.
-pub const TABLES: &[&str] = &["panic_sites", "index_sites", "div_sites", "alloc_hot"];
+pub const TABLES: &[&str] = &[
+    "panic_sites",
+    "index_sites",
+    "div_sites",
+    "alloc_hot",
+    "blocking_under_lock",
+    "lock_order",
+];
 
 /// Per-unit site counts produced by the analyzer.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -36,12 +49,23 @@ pub struct SiteCounts {
     /// Allocation/lock/IO sites reachable from `mtm-hot` roots and not
     /// covered by an `alloc` allow (see [`crate::hotpath`]).
     pub alloc_hot: usize,
+    /// Blocking (IO/join/sleep/hot-work) sites inside a held lock region
+    /// and not covered by a `lock` allow (see [`crate::lockregion`]).
+    pub blocking_under_lock: usize,
+    /// Acquired-while-holding edges participating in a lock-order cycle
+    /// (see [`crate::lockregion`]).
+    pub lock_order: usize,
 }
 
 impl SiteCounts {
     /// All counts are zero.
     pub fn is_zero(&self) -> bool {
-        self.panic_sites == 0 && self.index_sites == 0 && self.div_sites == 0 && self.alloc_hot == 0
+        self.panic_sites == 0
+            && self.index_sites == 0
+            && self.div_sites == 0
+            && self.alloc_hot == 0
+            && self.blocking_under_lock == 0
+            && self.lock_order == 0
     }
 
     /// The count for a named table.
@@ -51,6 +75,8 @@ impl SiteCounts {
             "index_sites" => self.index_sites,
             "div_sites" => self.div_sites,
             "alloc_hot" => self.alloc_hot,
+            "blocking_under_lock" => self.blocking_under_lock,
+            "lock_order" => self.lock_order,
             _ => 0,
         }
     }
@@ -128,6 +154,10 @@ impl Ratchet {
              #   div_sites   — integer `/` `%` with non-constant divisor\n\
              #   alloc_hot   — alloc/lock/IO sites reachable from `mtm-hot`\n\
              #                 roots, minus `mtm-allow: alloc` sanctioned ones\n\
+             #   blocking_under_lock — IO/join/sleep/hot-work reachable while\n\
+             #                 a guard is held, minus `mtm-allow: lock` ones\n\
+             #   lock_order  — acquired-while-holding edges on a lock-order\n\
+             #                 cycle (double-lock included)\n\
              # `mtm-check analyze` fails if any count rises; regenerate after\n\
              # *reducing* sites with:\n\
              #\n\

@@ -57,6 +57,10 @@ pub const FLOAT_KEYS: &[&str] = &["float-eq", "float-ord"];
 /// [`crate::hotpath`]).
 pub const ALLOC_KEYS: &[&str] = &["alloc"];
 
+/// Allow keys adjudicated by the lock-region pass (see
+/// [`crate::lockregion`]).
+pub const LOCK_KEYS: &[&str] = &["lock"];
+
 /// Struct types whose construction marks a function as a sink.
 pub const SINK_TYPES: &[&str] = &[
     "Header",
@@ -111,6 +115,7 @@ pub fn collect_allows(file: &FileAst, report: &mut Report) -> Vec<Allow> {
         .iter()
         .chain(FLOAT_KEYS)
         .chain(ALLOC_KEYS)
+        .chain(LOCK_KEYS)
         .copied()
         .collect();
     for c in &file.comments {

@@ -32,7 +32,11 @@ fn clean_workspace_exits_zero() {
     );
     assert!(stdout.contains("OK (0 taint/float findings"), "{stdout}");
     // The hot root's allowed `push` must neither count nor go stale.
-    assert!(stdout.contains("0 hot-alloc sites"), "{stdout}");
+    assert!(stdout.contains("0 hot-alloc"), "{stdout}");
+    assert!(
+        stdout.contains("0 blocking-under-lock, 0 lock-order sites"),
+        "{stdout}"
+    );
 }
 
 #[test]

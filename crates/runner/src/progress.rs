@@ -75,6 +75,7 @@ impl Progress {
         if matches!(self.output, Output::Quiet) {
             return;
         }
+        // mtm-allow: lock -- the start guard is a match-head temporary dropped at the match's end; only the extracted f64 reaches the eprintln below
         let elapsed = match self.start.lock() {
             Ok(start) => start.elapsed().as_secs_f64(),
             Err(_) => 0.0,

@@ -159,6 +159,7 @@ impl SegmentWriter {
         };
         let json = serde_json::to_string(record)
             .map_err(|e| RunnerError::Io(format!("serialize record: {e}")))?;
+        // mtm-allow: lock -- the file mutex exists to serialize this write+flush; it is held for nothing else and never while another lock is held
         let mut guard = match file.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),

@@ -85,9 +85,11 @@ struct Slot {
     abort: Arc<AtomicBool>,
 }
 
-/// Everything the dispatch mutex guards.
+/// Everything the dispatch mutex guards. The store lives *outside* on
+/// the [`Dispatcher`]: its journals do file IO, and the lock-region pass
+/// (`mtm-check analyze`) holds serve to zero blocking-under-lock sites,
+/// so journal appends must not need the core mutex.
 struct Core {
-    store: SessionStore,
     slots: BTreeMap<String, Slot>,
     /// `(-priority, seq, id)` — iteration order is execution order:
     /// highest priority first, admission order within a priority.
@@ -126,6 +128,10 @@ pub struct Dispatcher {
     cv: Condvar,
     quotas: Quotas,
     trace: bool,
+    /// The session store. Outside the core mutex so journal appends and
+    /// segment loads run without holding the scheduling lock; the store
+    /// synchronizes its own journals internally.
+    store: SessionStore,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -139,7 +145,6 @@ impl Dispatcher {
     ) -> Result<Arc<Dispatcher>, RunnerError> {
         let recovered = store.recover()?;
         let mut core = Core {
-            store,
             slots: BTreeMap::new(),
             queue: BTreeSet::new(),
             active: 0,
@@ -185,6 +190,7 @@ impl Dispatcher {
             cv: Condvar::new(),
             quotas: config.quotas,
             trace: config.trace,
+            store,
             workers: Mutex::new(Vec::new()),
         });
         let n = config.workers.max(1);
@@ -204,6 +210,7 @@ impl Dispatcher {
         Ok(dispatcher)
     }
 
+    // mtm-lock: core
     fn lock_core(&self) -> MutexGuard<'_, Core> {
         match self.core.lock() {
             Ok(g) => g,
@@ -213,10 +220,16 @@ impl Dispatcher {
 
     /// Admit or reject a submission; either way the decision is journaled
     /// before the caller learns it.
+    ///
+    /// The journal append deliberately happens *under* the core lock:
+    /// admission is the commit point, and the seq draw, the journal line
+    /// and the queue mutation must be one atomic step or a crash between
+    /// them could recover a schedule the original process never chose.
     pub fn submit(&self, spec: &SessionSpec) -> Response {
         if let Err(reason) = spec.validate() {
             return Response::Rejected { reason };
         }
+        // mtm-allow: lock -- admission is the commit point: seq draw, journal append and queue mutation must be atomic for crash-exact recovery, so this journal IO stays under `core`
         let mut core = self.lock_core();
         if core.shutdown {
             return Response::Rejected {
@@ -240,14 +253,14 @@ impl Dispatcher {
                 None
             }
         };
-        let seq = core.store.peek_seq();
+        let seq = self.store.peek_seq();
         if let Some(reason) = reject {
             let line = AdmitLine::Rejected {
                 seq,
                 tenant: spec.tenant.clone(),
                 reason: reason.clone(),
             };
-            if let Err(e) = core.store.journal_admission(&line) {
+            if let Err(e) = self.store.journal_admission(&line) {
                 return Response::Error {
                     message: format!("journal admission: {e}"),
                 };
@@ -260,10 +273,10 @@ impl Dispatcher {
             session: session.clone(),
             spec: spec.clone(),
         };
-        if let Err(e) = core
+        if let Err(e) = self
             .store
             .journal_admission(&line)
-            .and_then(|_| core.store.create_session(&session, spec))
+            .and_then(|_| self.store.create_session(&session, spec))
         {
             return Response::Error {
                 message: format!("admit {session}: {e}"),
@@ -290,17 +303,20 @@ impl Dispatcher {
     }
 
     /// Current state of a session (loading a recovered result from its
-    /// segment on first ask).
+    /// segment on first ask). The segment load runs *outside* the core
+    /// lock — a long segment must never stall other tenants' polls.
     pub fn poll(&self, session: &str) -> Response {
-        let mut core = self.lock_core();
-        let Some(slot) = core.slots.get(session) else {
-            return Response::Error {
-                message: format!("unknown session '{session}'"),
+        let needs_load = {
+            let core = self.lock_core();
+            let Some(slot) = core.slots.get(session) else {
+                return Response::Error {
+                    message: format!("unknown session '{session}'"),
+                };
             };
+            slot.state == SessionState::Done && slot.result.is_none()
         };
-        let needs_load = slot.state == SessionState::Done && slot.result.is_none();
         if needs_load {
-            let path = core.store.segment_path(session);
+            let path = self.store.segment_path(session);
             let loaded = match load_segment(&path) {
                 Ok(Some(data)) => data.done.map(|r| canonical_result_json(&r)),
                 Ok(None) => None,
@@ -310,25 +326,35 @@ impl Dispatcher {
                     }
                 }
             };
-            if let Some(slot) = core.slots.get_mut(session) {
-                match loaded {
-                    Some(json) => slot.result = Some(json),
-                    // Meta says finished but the segment lost its Done
-                    // line (torn after the fact): fall back to re-running
-                    // by returning it to the queue.
-                    None => {
-                        slot.state = SessionState::Queued;
-                        let key = Core::queue_key(slot.priority, slot.seq, session);
-                        let tenant = slot.spec.tenant.clone();
-                        core.queue.insert(key);
-                        core.tenant_inc(&tenant);
-                        drop(core);
-                        self.cv.notify_all();
-                        return self.poll(session);
+            let mut requeued = false;
+            {
+                let mut core = self.lock_core();
+                if let Some(slot) = core.slots.get_mut(session) {
+                    // Re-check under the lock: another poll may have
+                    // installed the result (or requeued) while we read.
+                    if slot.state == SessionState::Done && slot.result.is_none() {
+                        match loaded {
+                            Some(json) => slot.result = Some(json),
+                            // Meta says finished but the segment lost its
+                            // Done line (torn after the fact): fall back
+                            // to re-running by returning it to the queue.
+                            None => {
+                                slot.state = SessionState::Queued;
+                                let key = Core::queue_key(slot.priority, slot.seq, session);
+                                let tenant = slot.spec.tenant.clone();
+                                core.queue.insert(key);
+                                core.tenant_inc(&tenant);
+                                requeued = true;
+                            }
+                        }
                     }
                 }
             }
+            if requeued {
+                self.cv.notify_all();
+            }
         }
+        let core = self.lock_core();
         let Some(slot) = core.slots.get(session) else {
             return Response::Error {
                 message: format!("unknown session '{session}'"),
@@ -347,21 +373,35 @@ impl Dispatcher {
     /// Change a queued session's priority (no effect on results, only on
     /// drain order). Journaled so restarts keep the steered order.
     pub fn steer(&self, session: &str, priority: i32) -> Response {
-        let mut core = self.lock_core();
-        let Some(slot) = core.slots.get(session) else {
-            return Response::Error {
-                message: format!("unknown session '{session}'"),
+        {
+            let mut core = self.lock_core();
+            let Some(slot) = core.slots.get(session) else {
+                return Response::Error {
+                    message: format!("unknown session '{session}'"),
+                };
             };
-        };
-        let old_key = Core::queue_key(slot.priority, slot.seq, session);
-        let new_key = Core::queue_key(priority, slot.seq, session);
-        if let Some(slot) = core.slots.get_mut(session) {
-            slot.priority = priority;
+            // A parked session has no drain order left to steer; skip the
+            // journal too, so the worker stays the only writer of a
+            // terminal session's meta.
+            if matches!(
+                slot.state,
+                SessionState::Done | SessionState::Canceled | SessionState::Failed
+            ) {
+                return Response::Ack;
+            }
+            let old_key = Core::queue_key(slot.priority, slot.seq, session);
+            let new_key = Core::queue_key(priority, slot.seq, session);
+            if let Some(slot) = core.slots.get_mut(session) {
+                slot.priority = priority;
+            }
+            if core.queue.remove(&old_key) {
+                core.queue.insert(new_key);
+            }
         }
-        if core.queue.remove(&old_key) {
-            core.queue.insert(new_key);
-        }
-        if let Err(e) = core
+        // Journaled after release: the new priority is already live in
+        // the scheduler, and a crash before this append merely resumes at
+        // the old priority — a scheduling hint lost, never a result.
+        if let Err(e) = self
             .store
             .meta_append(session, &MetaLine::Priority { priority })
         {
@@ -375,35 +415,42 @@ impl Dispatcher {
     /// Cancel a session: a queued one leaves the queue immediately, an
     /// active one stops at its next trial boundary. Idempotent.
     pub fn cancel(&self, session: &str) -> Response {
-        let mut core = self.lock_core();
-        let Some(slot) = core.slots.get(session) else {
-            return Response::Error {
-                message: format!("unknown session '{session}'"),
+        {
+            let mut core = self.lock_core();
+            let Some(slot) = core.slots.get(session) else {
+                return Response::Error {
+                    message: format!("unknown session '{session}'"),
+                };
             };
-        };
-        match slot.state {
-            SessionState::Queued => {
-                let key = Core::queue_key(slot.priority, slot.seq, session);
-                let tenant = slot.spec.tenant.clone();
-                core.queue.remove(&key);
-                core.tenant_dec(&tenant);
-                if let Some(slot) = core.slots.get_mut(session) {
-                    slot.state = SessionState::Canceled;
-                    slot.user_canceled = true;
+            match slot.state {
+                SessionState::Queued => {
+                    let key = Core::queue_key(slot.priority, slot.seq, session);
+                    let tenant = slot.spec.tenant.clone();
+                    core.queue.remove(&key);
+                    core.tenant_dec(&tenant);
+                    if let Some(slot) = core.slots.get_mut(session) {
+                        slot.state = SessionState::Canceled;
+                        slot.user_canceled = true;
+                    }
                 }
-            }
-            SessionState::Active => {
-                if let Some(slot) = core.slots.get_mut(session) {
-                    slot.user_canceled = true;
-                    slot.abort.store(true, Ordering::Relaxed);
+                SessionState::Active => {
+                    if let Some(slot) = core.slots.get_mut(session) {
+                        slot.user_canceled = true;
+                        slot.abort.store(true, Ordering::Relaxed);
+                    }
                 }
-            }
-            // Already parked — nothing to do.
-            SessionState::Done | SessionState::Canceled | SessionState::Failed => {
-                return Response::Ack
+                // Already parked — nothing to do.
+                SessionState::Done | SessionState::Canceled | SessionState::Failed => {
+                    return Response::Ack
+                }
             }
         }
-        if let Err(e) = core.store.meta_append(session, &MetaLine::Canceled) {
+        // Journaled after release but *before* the Ack: when the caller
+        // sees Ack the Canceled line is durable (or a concurrent cancel
+        // of the same session is writing the identical line — the append
+        // is idempotent in effect, and recovery treats one line and two
+        // the same).
+        if let Err(e) = self.store.meta_append(session, &MetaLine::Canceled) {
             return Response::Error {
                 message: format!("cancel {session}: {e}"),
             };
@@ -413,7 +460,13 @@ impl Dispatcher {
 
     /// Compact a parked session's segment. Active sessions are refused —
     /// the engine holds the file open.
+    ///
+    /// The rewrite deliberately runs *under* the core lock: compaction
+    /// must exclude activation, or a worker could open the segment
+    /// mid-rewrite. It is an admin verb off the poll path, so the stall
+    /// is priced in.
     pub fn snapshot(&self, session: &str) -> Response {
+        // mtm-allow: lock -- compaction must exclude activation of a queued session (a worker must not open the segment mid-rewrite); admin-only verb, off the poll path
         let core = self.lock_core();
         let Some(slot) = core.slots.get(session) else {
             return Response::Error {
@@ -425,7 +478,7 @@ impl Dispatcher {
                 message: format!("session '{session}' is active; snapshot when it parks"),
             };
         }
-        match core.store.compact(session) {
+        match self.store.compact(session) {
             Ok(stats) => Response::Snapshot(stats),
             Err(e) => Response::Error {
                 message: format!("compact {session}: {e}"),
@@ -505,54 +558,60 @@ impl Dispatcher {
 
             let outcome = self.run_session(&session, &spec, &abort);
 
-            let mut core = self.lock_core();
-            core.active = core.active.saturating_sub(1);
-            let user_canceled = core
-                .slots
-                .get(&session)
-                .is_some_and(|slot| slot.user_canceled);
-            match outcome {
-                Ok(result_json) => {
-                    if let Some(slot) = core.slots.get_mut(&session) {
-                        slot.state = SessionState::Done;
-                        slot.result = Some(result_json);
-                    }
-                    core.tenant_dec(&spec.tenant);
-                    if let Err(e) = core.store.meta_append(&session, &MetaLine::Finished) {
-                        eprintln!("[serve] {session}: journal finish: {e}");
-                    }
-                }
-                Err(RunnerError::Canceled) => {
-                    if user_canceled {
+            // Decide the terminal transition under the lock; journal it
+            // after release. Only the owning worker writes a session's
+            // terminal meta line, so the append races nothing. Crash
+            // window: the slot shows Done before Finished is durable —
+            // recovery re-queues the session and the deterministic
+            // re-run journals the same result.
+            let meta_line = {
+                let mut core = self.lock_core();
+                core.active = core.active.saturating_sub(1);
+                let user_canceled = core
+                    .slots
+                    .get(&session)
+                    .is_some_and(|slot| slot.user_canceled);
+                match outcome {
+                    Ok(result_json) => {
                         if let Some(slot) = core.slots.get_mut(&session) {
-                            slot.state = SessionState::Canceled;
+                            slot.state = SessionState::Done;
+                            slot.result = Some(result_json);
                         }
                         core.tenant_dec(&spec.tenant);
-                        // The Canceled meta line was written by cancel().
-                    } else if let Some(slot) = core.slots.get_mut(&session) {
-                        // Shutdown abort: the session is still live work.
-                        // Leave it Queued on the slot; recovery re-queues
-                        // it from the journals on the next start.
-                        slot.state = SessionState::Queued;
+                        Some(MetaLine::Finished)
+                    }
+                    Err(RunnerError::Canceled) => {
+                        if user_canceled {
+                            if let Some(slot) = core.slots.get_mut(&session) {
+                                slot.state = SessionState::Canceled;
+                            }
+                            core.tenant_dec(&spec.tenant);
+                            // The Canceled meta line was written by cancel().
+                        } else if let Some(slot) = core.slots.get_mut(&session) {
+                            // Shutdown abort: the session is still live work.
+                            // Leave it Queued on the slot; recovery re-queues
+                            // it from the journals on the next start.
+                            slot.state = SessionState::Queued;
+                        }
+                        None
+                    }
+                    Err(e) => {
+                        let message = e.to_string();
+                        if let Some(slot) = core.slots.get_mut(&session) {
+                            slot.state = SessionState::Failed;
+                            slot.error = Some(message.clone());
+                        }
+                        core.tenant_dec(&spec.tenant);
+                        Some(MetaLine::Failed { message })
                     }
                 }
-                Err(e) => {
-                    let message = e.to_string();
-                    if let Some(slot) = core.slots.get_mut(&session) {
-                        slot.state = SessionState::Failed;
-                        slot.error = Some(message.clone());
-                    }
-                    core.tenant_dec(&spec.tenant);
-                    if let Err(e) = core
-                        .store
-                        .meta_append(&session, &MetaLine::Failed { message })
-                    {
-                        eprintln!("[serve] {session}: journal failure: {e}");
-                    }
+            };
+            self.cv.notify_all();
+            if let Some(line) = meta_line {
+                if let Err(e) = self.store.meta_append(&session, &line) {
+                    eprintln!("[serve] {session}: journal outcome: {e}");
                 }
             }
-            drop(core);
-            self.cv.notify_all();
         }
     }
 
@@ -565,13 +624,8 @@ impl Dispatcher {
         spec: &SessionSpec,
         abort: &AtomicBool,
     ) -> Result<String, RunnerError> {
-        let (segment, trace_path) = {
-            let core = self.lock_core();
-            (
-                core.store.segment_path(session),
-                core.store.trace_path(session),
-            )
-        };
+        let segment = self.store.segment_path(session);
+        let trace_path = self.store.trace_path(session);
         let objective = spec.objective();
         let make = spec.strategy_factory();
         let opts = spec.run_options();
@@ -687,6 +741,70 @@ mod tests {
                 view.state
             );
         }
+        let (queued, active) = dispatcher.load_counts();
+        assert_eq!((queued, active), (0, 0));
+        dispatcher.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// A thread dying mid-critical-section poisons the core mutex; the
+    /// daemon must keep serving. `lock_core` (and every other core/cv
+    /// access) recovers the guard via `into_inner`, which is sound
+    /// because the panic ratchet holds serve's library code panic-free —
+    /// poison can only come from test or foreign frames, so the guarded
+    /// state was not left half-mutated by our own code. The journaled
+    /// store is the backstop if that invariant is ever broken: a restart
+    /// recovers the exact committed schedule. Policy in DESIGN.md §15.
+    #[test]
+    fn daemon_survives_a_poisoned_core_mutex() {
+        let root = tmproot("poison");
+        let store = SessionStore::open(&root).expect("open store");
+        let dispatcher = Dispatcher::start(
+            store,
+            &DispatchConfig {
+                workers: 2,
+                quotas: Quotas::default(),
+                trace: false,
+            },
+        )
+        .expect("start dispatcher");
+
+        // Finish one session first so there is real state to survive.
+        let spec = SessionSpec::smoke("acme", "pla", 7);
+        let Response::Submitted { session } = dispatcher.submit(&spec) else {
+            panic!("submit before poisoning");
+        };
+        dispatcher.wait_idle();
+
+        // Kill a thread while it holds the dispatch lock.
+        let me = Arc::clone(&dispatcher);
+        let t = std::thread::spawn(move || {
+            let _guard = me.core.lock().expect("not yet poisoned");
+            panic!("simulated worker death while holding the dispatch lock");
+        });
+        assert!(t.join().is_err(), "the poisoning thread must panic");
+        assert!(dispatcher.core.is_poisoned(), "core must be poisoned");
+
+        // Every verb still works: poll sees the finished session, new
+        // submissions are admitted, executed and polled to Done.
+        let Response::Status(view) = dispatcher.poll(&session) else {
+            panic!("poll after poisoning");
+        };
+        assert!(matches!(view.state, SessionState::Done), "{:?}", view.state);
+        let spec2 = SessionSpec::smoke("acme", "pla", 8);
+        let Response::Submitted { session: s2 } = dispatcher.submit(&spec2) else {
+            panic!("submit after poisoning");
+        };
+        assert!(matches!(dispatcher.cancel(&s2), Response::Ack));
+        dispatcher.wait_idle();
+        let Response::Status(view) = dispatcher.poll(&s2) else {
+            panic!("poll canceled session after poisoning");
+        };
+        assert!(
+            matches!(view.state, SessionState::Done | SessionState::Canceled),
+            "{:?}",
+            view.state
+        );
         let (queued, active) = dispatcher.load_counts();
         assert_eq!((queued, active), (0, 0));
         dispatcher.shutdown();

@@ -27,6 +27,8 @@
 //! *incomplete* work, not to session length.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
@@ -118,13 +120,22 @@ pub struct RecoveredSession {
     pub failed: Option<String>,
 }
 
-/// The store handle. Admission appends are internally synchronized;
-/// per-session files are only touched by the session's current owner
-/// (one worker at a time), so they need no extra locking.
+/// The store handle. Admission and metadata appends are internally
+/// synchronized; segment files are only touched by the session's current
+/// owner (one worker at a time), so they need no extra locking.
 pub struct SessionStore {
     root: PathBuf,
     admission: SegmentWriter,
-    next_seq: u64,
+    /// Next admission sequence. Atomic only so [`journal_admission`] can
+    /// take `&self`; the dispatcher serializes admissions under its own
+    /// lock, so there is never a concurrent draw.
+    ///
+    /// [`journal_admission`]: SessionStore::journal_admission
+    next_seq: AtomicU64,
+    /// Serializes the load-prefix/reopen/append dance in
+    /// [`meta_append`](SessionStore::meta_append) — lifecycle appends are
+    /// rare, but two at once would race the torn-tail truncation.
+    meta_mu: Mutex<()>,
 }
 
 impl SessionStore {
@@ -147,7 +158,8 @@ impl SessionStore {
         Ok(SessionStore {
             root: root.to_path_buf(),
             admission,
-            next_seq,
+            next_seq: AtomicU64::new(next_seq),
+            meta_mu: Mutex::new(()),
         })
     }
 
@@ -158,16 +170,17 @@ impl SessionStore {
 
     /// Next admission sequence number (not yet journaled).
     pub fn peek_seq(&self) -> u64 {
-        self.next_seq
+        self.next_seq.load(Ordering::Relaxed)
     }
 
     /// Journal one admission decision and advance the sequence. Callers
-    /// (the dispatcher) serialize admissions under their own lock, so the
-    /// `&mut` here is naturally exclusive.
-    pub fn journal_admission(&mut self, line: &AdmitLine) -> Result<u64, RunnerError> {
-        let seq = self.next_seq;
+    /// (the dispatcher) serialize admissions under their own lock; the
+    /// atomic exists for `&self` access, not for concurrent draws, so
+    /// `Relaxed` is enough.
+    pub fn journal_admission(&self, line: &AdmitLine) -> Result<u64, RunnerError> {
+        let seq = self.next_seq.load(Ordering::Relaxed);
         self.admission.append(line)?;
-        self.next_seq += 1;
+        self.next_seq.store(seq + 1, Ordering::Relaxed);
         Ok(seq)
     }
 
@@ -216,7 +229,14 @@ impl SessionStore {
     /// Append one line to the session's metadata journal (truncating any
     /// torn tail first). Meta appends are rare — lifecycle transitions,
     /// not per-trial traffic — so reopening the file each time is fine.
+    /// The internal mutex makes concurrent appends safe now that the
+    /// dispatcher journals outside its core lock.
     pub fn meta_append(&self, session: &str, line: &MetaLine) -> Result<(), RunnerError> {
+        // mtm-allow: lock -- the io guard exists to serialize this reopen+append; it is held for nothing else and is never held while taking another lock
+        let _io = match self.meta_mu.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         let path = self.meta_path(session);
         let valid_len = match segment::load_prefix::<MetaLine>(&path)? {
             Some((_, len)) => len,
@@ -353,7 +373,7 @@ mod tests {
     #[test]
     fn admission_seq_survives_reopen() {
         let root = tmproot("seq");
-        let mut store = SessionStore::open(&root).unwrap();
+        let store = SessionStore::open(&root).expect("open fresh store");
         assert_eq!(store.peek_seq(), 0);
         let spec = SessionSpec::smoke("t", "bo", 1);
         store
@@ -362,18 +382,18 @@ mod tests {
                 session: "s0".into(),
                 spec: spec.clone(),
             })
-            .unwrap();
+            .expect("journal admitted line");
         store
             .journal_admission(&AdmitLine::Rejected {
                 seq: 1,
                 tenant: "t".into(),
                 reason: "queue full".into(),
             })
-            .unwrap();
+            .expect("journal rejected line");
         drop(store);
-        let store = SessionStore::open(&root).unwrap();
+        let store = SessionStore::open(&root).expect("reopen store");
         assert_eq!(store.peek_seq(), 2);
-        let recovered = store.recover().unwrap();
+        let recovered = store.recover().expect("recover after reopen");
         assert_eq!(recovered.len(), 1, "rejections are not sessions");
         assert_eq!(recovered[0].session, "s0");
         let _ = fs::remove_dir_all(&root);
@@ -382,7 +402,7 @@ mod tests {
     #[test]
     fn meta_lifecycle_round_trips() {
         let root = tmproot("meta");
-        let mut store = SessionStore::open(&root).unwrap();
+        let store = SessionStore::open(&root).expect("open fresh store");
         let spec = SessionSpec::smoke("acme", "pla", 9);
         store
             .journal_admission(&AdmitLine::Admitted {
@@ -390,13 +410,17 @@ mod tests {
                 session: "s0".into(),
                 spec: spec.clone(),
             })
-            .unwrap();
-        store.create_session("s0", &spec).unwrap();
+            .expect("journal admitted line");
+        store
+            .create_session("s0", &spec)
+            .expect("create session dir");
         store
             .meta_append("s0", &MetaLine::Priority { priority: 5 })
-            .unwrap();
-        store.meta_append("s0", &MetaLine::Finished).unwrap();
-        let rec = store.recover().unwrap();
+            .expect("append priority line");
+        store
+            .meta_append("s0", &MetaLine::Finished)
+            .expect("append finished line");
+        let rec = store.recover().expect("recover journaled lifecycle");
         assert_eq!(rec.len(), 1);
         assert_eq!(rec[0].priority, 5);
         assert!(rec[0].finished);
@@ -407,19 +431,31 @@ mod tests {
     #[test]
     fn torn_meta_tail_is_tolerated() {
         let root = tmproot("torn");
-        let store = SessionStore::open(&root).unwrap();
+        let store = SessionStore::open(&root).expect("open fresh store");
         let spec = SessionSpec::smoke("t", "bo", 2);
-        store.create_session("s7", &spec).unwrap();
-        store.meta_append("s7", &MetaLine::Canceled).unwrap();
+        store
+            .create_session("s7", &spec)
+            .expect("create session dir");
+        store
+            .meta_append("s7", &MetaLine::Canceled)
+            .expect("append canceled line");
         let path = store.meta_path("s7");
-        let mut bytes = fs::read(&path).unwrap();
+        let mut bytes = fs::read(&path).expect("read meta journal");
         bytes.extend_from_slice(b"{\"Fini");
-        fs::write(&path, &bytes).unwrap();
-        let meta = store.load_meta("s7").unwrap().unwrap();
+        fs::write(&path, &bytes).expect("write torn tail");
+        let meta = store
+            .load_meta("s7")
+            .expect("load torn meta")
+            .expect("meta exists");
         assert_eq!(meta.len(), 2, "torn tail dropped");
         // And the next append lands after the valid prefix.
-        store.meta_append("s7", &MetaLine::Finished).unwrap();
-        let meta = store.load_meta("s7").unwrap().unwrap();
+        store
+            .meta_append("s7", &MetaLine::Finished)
+            .expect("append after torn tail");
+        let meta = store
+            .load_meta("s7")
+            .expect("reload meta")
+            .expect("meta exists");
         assert_eq!(meta.last(), Some(&MetaLine::Finished));
         let _ = fs::remove_dir_all(&root);
     }
@@ -427,13 +463,13 @@ mod tests {
     #[test]
     fn sessions_spread_across_shards() {
         let root = tmproot("shards");
-        let store = SessionStore::open(&root).unwrap();
+        let store = SessionStore::open(&root).expect("open fresh store");
         let shards: std::collections::BTreeSet<PathBuf> = (0..64)
             .map(|i| {
                 store
                     .session_dir(&format!("s{i}"))
                     .parent()
-                    .unwrap()
+                    .expect("session dir has a shard parent")
                     .to_path_buf()
             })
             .collect();

@@ -49,7 +49,8 @@ pub use acquisition::Acquisition;
 pub use error::BoError;
 pub use history::Snapshot;
 pub use optimizer::{
-    BayesOpt, BoConfig, BoConfigBuilder, Candidate, KernelChoice, Observation, SurrogateMode,
+    score_batch, BayesOpt, BoConfig, BoConfigBuilder, Candidate, KernelChoice, Observation,
+    SurrogateMode,
 };
 pub use space::{Param, ParamSpace, Value};
 

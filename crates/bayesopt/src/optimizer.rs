@@ -458,6 +458,24 @@ fn accumulate_scores<S: Surrogate + ?Sized>(
     }
 }
 
+/// Score a pool of candidate points under an already-fit surrogate in
+/// one pass — the acquisition-side mirror of the simulator's
+/// `evaluate_batch`. `out` is cleared and refilled with one score per
+/// candidate, chunk-parallel through the same [`SCORE_CHUNK`]
+/// decomposition the proposal loop uses, so the result is
+/// bitwise-identical to scoring every candidate on its own.
+pub fn score_batch<S: Surrogate + ?Sized>(
+    sur: &S,
+    acq: &Acquisition,
+    pool: &[Vec<f64>],
+    best: f64,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.resize(pool.len(), 0.0);
+    accumulate_scores(sur, acq, pool, best, out, pool.len() > SCORE_CHUNK);
+}
+
 /// The Bayesian optimizer.
 #[derive(Debug, Clone)]
 pub struct BayesOpt {
@@ -1440,6 +1458,23 @@ mod tests {
         accumulate_scores(&gp, &acq, &pool, 0.7, &mut parallel, true);
         for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
             assert_eq!(a.to_bits(), b.to_bits(), "score {i} differs: {a} vs {b}");
+        }
+
+        // The public batch entry point: one pass over the pool must be
+        // bitwise-identical to scoring every candidate on its own —
+        // the acquisition-side mirror of `Simulator::evaluate_batch`.
+        let mut batched = Vec::new();
+        score_batch(&gp, &acq, &pool, 0.7, &mut batched);
+        assert_eq!(batched.len(), pool.len());
+        let mut single = Vec::new();
+        for (i, (cand, &b)) in pool.iter().zip(&batched).enumerate() {
+            score_batch(&gp, &acq, std::slice::from_ref(cand), 0.7, &mut single);
+            assert_eq!(
+                single[0].to_bits(),
+                b.to_bits(),
+                "batched score {i} differs: {} vs {b}",
+                single[0]
+            );
         }
     }
 

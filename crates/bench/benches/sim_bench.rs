@@ -1,12 +1,15 @@
 //! Simulator evaluation cost: the fast flow model (called thousands of
 //! times by the optimization loops) and the per-tuple DES it is validated
-//! against.
+//! against, plus the batched path that shares one analysis across a
+//! candidate sweep.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use mtm_core::objective::synthetic_base;
-use mtm_stormsim::{simulate_flow, simulate_tuples, ClusterSpec, TupleSimOptions};
+use mtm_stormsim::{
+    ClusterSpec, FlowSimulator, SimBatch, Simulator, StormConfig, TupleSimOptions, TupleSimulator,
+};
 use mtm_topogen::{make_condition, Condition, SizeClass};
 
 fn bench_flow_sim(c: &mut Criterion) {
@@ -20,10 +23,44 @@ fn bench_flow_sim(c: &mut Criterion) {
         let topo = make_condition(size, &cond, 1);
         let mut config = synthetic_base(&topo);
         config.parallelism_hints = vec![8; topo.n_nodes()];
+        let sim = FlowSimulator::new(topo, cluster.clone(), 120.0).unwrap();
         group.bench_with_input(
             BenchmarkId::from_parameter(size.label()),
-            &(topo, config),
-            |b, (topo, config)| b.iter(|| black_box(simulate_flow(topo, config, &cluster, 120.0))),
+            &(sim, config),
+            |b, (sim, config)| b.iter(|| black_box(sim.evaluate(config).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_flow_sim_batch(c: &mut Criterion) {
+    let cluster = ClusterSpec::paper_cluster();
+    let cond = Condition {
+        time_imbalance: 1.0,
+        contention: 0.25,
+    };
+    let mut group = c.benchmark_group("flow_sim_batch16");
+    for size in SizeClass::all() {
+        let topo = make_condition(size, &cond, 1);
+        let base = synthetic_base(&topo);
+        let sweep: Vec<StormConfig> = (1..=16)
+            .map(|h| {
+                let mut c = base.clone();
+                c.parallelism_hints = vec![h; c.parallelism_hints.len()];
+                c
+            })
+            .collect();
+        let sim = FlowSimulator::new(topo, cluster.clone(), 120.0).unwrap();
+        let mut batch = SimBatch::new();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(size.label()),
+            &(sim, sweep),
+            |b, (sim, sweep)| {
+                b.iter(|| {
+                    sim.evaluate_batch_into(sweep, &mut batch).unwrap();
+                    black_box(batch.results().len())
+                })
+            },
         );
     }
     group.finish();
@@ -44,10 +81,16 @@ fn bench_tuple_sim(c: &mut Criterion) {
         max_events: 2_000_000,
         network_delay_s: 0.0005,
     };
+    let sim = TupleSimulator::new(topo, cluster, opts).unwrap();
     c.bench_function("tuple_sim_small_5s", |b| {
-        b.iter(|| black_box(simulate_tuples(&topo, &config, &cluster, &opts)))
+        b.iter(|| black_box(sim.evaluate(&config).unwrap()))
     });
 }
 
-criterion_group!(benches, bench_flow_sim, bench_tuple_sim);
+criterion_group!(
+    benches,
+    bench_flow_sim,
+    bench_flow_sim_batch,
+    bench_tuple_sim
+);
 criterion_main!(benches);

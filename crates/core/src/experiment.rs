@@ -119,6 +119,29 @@ pub trait Measure {
     /// tuples/s.
     fn measure(&mut self, objective: &Objective, config: &StormConfig, ctx: &TrialCtx) -> f64;
 
+    /// Measure `config` once per trial context, appending one value per
+    /// context to `out`. Element `i` must equal
+    /// `self.measure(objective, config, &ctxs[i])` — the default is
+    /// exactly that loop, which keeps journaling implementations'
+    /// per-trial record order intact. Implementations may share
+    /// simulation work across the batch (see [`DirectMeasure`]) as long
+    /// as the per-trial values are preserved bitwise.
+    // mtm-cold: one batch of whole evaluation runs per step; per-batch
+    // setup allocates by design, and the solver has its own hot root.
+    fn measure_batch(
+        &mut self,
+        objective: &Objective,
+        config: &StormConfig,
+        ctxs: &[TrialCtx],
+        out: &mut Vec<f64>,
+    ) {
+        out.reserve(ctxs.len());
+        for ctx in ctxs {
+            let y = self.measure(objective, config, ctx);
+            out.push(y);
+        }
+    }
+
     /// Session-scoped cancellation seam: the pass loop polls this once
     /// per optimization step and stops the pass early when it returns
     /// `true`. The default (`false`) keeps batch execution exactly as
@@ -144,6 +167,21 @@ impl Measure for DirectMeasure {
     // allocates by design, and the solver loop has its own hot root.
     fn measure(&mut self, objective: &Objective, config: &StormConfig, ctx: &TrialCtx) -> f64 {
         objective.measure(config, ctx.run_id())
+    }
+
+    /// Direct measurement simulates once and draws per-trial noise: the
+    /// simulator is deterministic, so per-rep re-simulation is pure
+    /// waste. Values are bitwise-identical to per-trial [`measure`].
+    // mtm-cold: one batch of whole evaluation runs per step; per-batch
+    // setup allocates by design, and the solver has its own hot root.
+    fn measure_batch(
+        &mut self,
+        objective: &Objective,
+        config: &StormConfig,
+        ctxs: &[TrialCtx],
+        out: &mut Vec<f64>,
+    ) {
+        objective.measure_many(config, ctxs.iter().map(|c| c.run_id()), out);
     }
 }
 
@@ -285,6 +323,11 @@ pub fn run_pass_traced<R: Recorder>(
     let mut best_config = base.clone();
     let mut best_step = 0;
     let mut consecutive_zero = 0;
+    // Per-step rep buffers, hoisted so the trial loop reuses them
+    // (`with_capacity` pre-sizing is the analyzer-sanctioned idiom).
+    let reps = opts.measure_reps.max(1);
+    let mut ctxs: Vec<TrialCtx> = Vec::with_capacity(reps);
+    let mut ys: Vec<f64> = Vec::with_capacity(reps);
 
     for step in 0..opts.max_steps {
         if measure.poll_abort() {
@@ -297,30 +340,31 @@ pub fn run_pass_traced<R: Recorder>(
         let optimizer_time_s = t0.elapsed().as_secs_f64();
 
         // One (or, with the §VI extension, several averaged) two-minute
-        // evaluation runs; run ids fold in the seed, step and repetition
-        // so every measurement has an independent noise draw.
-        let reps = opts.measure_reps.max(1);
-        let throughput = (0..reps)
-            .map(|rep| {
-                let ctx = TrialCtx {
-                    seed: opts.seed,
-                    step,
-                    rep,
-                    kind: TrialKind::Step,
-                };
-                let y = measure.measure(objective, &config, &ctx);
-                if R::ENABLED {
-                    rec.record(Event::Trial {
-                        step,
-                        rep,
-                        run_id: ctx.run_id(),
-                        y: finite_or_zero(y),
-                    });
-                }
-                y
-            })
-            .sum::<f64>()
-            / reps as f64;
+        // evaluation runs, issued as one batch so the measurement layer
+        // can share simulation work across reps; run ids fold in the
+        // seed, step and repetition so every measurement has an
+        // independent noise draw, identically to per-rep calls.
+        ctxs.clear();
+        // mtm-allow: alloc -- fills the rep-sized buffer pre-sized above the loop
+        ctxs.extend((0..reps).map(|rep| TrialCtx {
+            seed: opts.seed,
+            step,
+            rep,
+            kind: TrialKind::Step,
+        }));
+        ys.clear();
+        measure.measure_batch(objective, &config, &ctxs, &mut ys);
+        if R::ENABLED {
+            for (ctx, &y) in ctxs.iter().zip(&ys) {
+                rec.record(Event::Trial {
+                    step: ctx.step,
+                    rep: ctx.rep,
+                    run_id: ctx.run_id(),
+                    y: finite_or_zero(y),
+                });
+            }
+        }
+        let throughput = ys.iter().sum::<f64>() / reps as f64;
         strategy.observe(throughput);
         // mtm-allow: alloc -- appends into capacity reserved for max_steps above
         steps.push(StepRecord {

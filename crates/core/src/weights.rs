@@ -21,7 +21,7 @@ pub fn base_parallelism_weights(topo: &Topology) -> Vec<f64> {
             w[v] = topo
                 .in_edges(v)
                 .iter()
-                .map(|&ei| w[topo.edges()[ei].from])
+                .map(|&ei| w[topo.edge_from(ei as usize)])
                 .sum();
         }
     }

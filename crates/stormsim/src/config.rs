@@ -4,6 +4,49 @@ use serde::{Deserialize, Serialize};
 
 use crate::topology::Topology;
 
+/// Why a [`StormConfig`] is unusable for a given topology.
+///
+/// The typed tail of the simulator error chain
+/// (`ConfigError → SimError`), mirroring the optimizer's
+/// `LinalgError → GpError → BoError` ladder: validation failures carry
+/// structure instead of a formatted `String`, so callers can branch and
+/// the happy path allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `parallelism_hints.len()` does not match the node count.
+    HintCount {
+        /// Hints supplied.
+        hints: usize,
+        /// Nodes in the topology.
+        nodes: usize,
+    },
+    /// A count field that must be ≥ 1 is zero; the name says which.
+    ZeroField(&'static str),
+    /// Explicit acker count exceeds the task cap.
+    AckersExceedMaxTasks {
+        /// Requested acker tasks.
+        ackers: u32,
+        /// The configured task cap.
+        max_tasks: u32,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::HintCount { hints, nodes } => {
+                write!(f, "{hints} hints for {nodes} nodes")
+            }
+            ConfigError::ZeroField(name) => write!(f, "{name} must be >= 1"),
+            ConfigError::AckersExceedMaxTasks { ackers, max_tasks } => {
+                write!(f, "{ackers} ackers exceed max_tasks {max_tasks}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// A complete runtime configuration for deploying a topology — exactly the
 /// parameters of Table I in the paper.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,40 +97,44 @@ impl StormConfig {
     /// least 1, then scaled down proportionally if their sum exceeds
     /// `max_tasks` (each node keeps at least one task).
     pub fn normalized_tasks(&self, topo: &Topology) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.normalized_tasks_into(topo, &mut out);
+        out
+    }
+
+    /// [`normalized_tasks`](Self::normalized_tasks) into a caller-owned
+    /// buffer — the batch evaluator reuses one buffer across candidates
+    /// so the per-config hot loop stays allocation-free. Pure integer
+    /// arithmetic; the result is identical to the allocating form.
+    pub fn normalized_tasks_into(&self, topo: &Topology, out: &mut Vec<u32>) {
         assert_eq!(
             self.parallelism_hints.len(),
             topo.n_nodes(),
             "one parallelism hint per topology node"
         );
-        let hints: Vec<u64> = self
-            .parallelism_hints
-            .iter()
-            .map(|&h| h.max(1) as u64)
-            .collect();
-        let total: u64 = hints.iter().sum();
+        out.clear();
+        // mtm-allow: alloc -- fills a reused buffer that amortizes to its high-water mark
+        out.extend(self.parallelism_hints.iter().map(|&h| h.max(1)));
+        let total: u64 = out.iter().map(|&h| h as u64).sum();
         let cap = self.max_tasks.max(topo.n_nodes() as u32) as u64;
         if total <= cap {
-            return hints.iter().map(|&h| h as u32).collect();
+            return;
         }
         // Over budget: every node keeps one task, and the remaining
         // budget is distributed proportionally to the excess hints
         // (water-filling), so the sum never exceeds the cap.
-        let n = hints.len() as u64;
+        let n = out.len() as u64;
         let spare = cap - n;
-        let excess: Vec<u64> = hints.iter().map(|&h| h - 1).collect();
-        let excess_total: u64 = excess.iter().sum();
-        hints
-            .iter()
-            .zip(&excess)
-            .map(|(_, &e)| {
-                let extra = if excess_total == 0 {
-                    0
-                } else {
-                    (e as u128 * spare as u128 / excess_total as u128) as u64
-                };
-                (1 + extra) as u32
-            })
-            .collect()
+        let excess_total: u64 = total - n;
+        for h in out.iter_mut() {
+            let e = (*h - 1) as u64;
+            let extra = if excess_total == 0 {
+                0
+            } else {
+                (e as u128 * spare as u128 / excess_total as u128) as u64
+            };
+            *h = (1 + extra) as u32;
+        }
     }
 
     /// Total acker tasks given `workers` in use (Storm default: one per
@@ -100,39 +147,38 @@ impl StormConfig {
         }
     }
 
-    /// Validate ranges; returns a human-readable complaint if unusable.
-    pub fn validate(&self, topo: &Topology) -> Result<(), String> {
+    /// Validate ranges; returns the typed complaint if unusable.
+    pub fn validate(&self, topo: &Topology) -> Result<(), ConfigError> {
         if self.parallelism_hints.len() != topo.n_nodes() {
-            return Err(format!(
-                "{} hints for {} nodes",
-                self.parallelism_hints.len(),
-                topo.n_nodes()
-            ));
+            return Err(ConfigError::HintCount {
+                hints: self.parallelism_hints.len(),
+                nodes: topo.n_nodes(),
+            });
         }
         if self.worker_threads == 0 {
-            return Err("worker_threads must be >= 1".into());
+            return Err(ConfigError::ZeroField("worker_threads"));
         }
         if self.receiver_threads == 0 {
-            return Err("receiver_threads must be >= 1".into());
+            return Err(ConfigError::ZeroField("receiver_threads"));
         }
         if self.batch_parallelism == 0 {
-            return Err("batch_parallelism must be >= 1".into());
+            return Err(ConfigError::ZeroField("batch_parallelism"));
         }
         if self.batch_size == 0 {
-            return Err("batch_size must be >= 1".into());
+            return Err(ConfigError::ZeroField("batch_size"));
         }
         if self.max_tasks == 0 {
-            return Err("max_tasks must be >= 1".into());
+            return Err(ConfigError::ZeroField("max_tasks"));
         }
         // ackers == 0 is valid: it is the documented "one per worker"
         // sentinel (see `effective_ackers`), and what `baseline()` uses.
         // Positive counts are bounded by the task cap like any other task
         // type.
         if self.ackers != 0 && self.ackers > self.max_tasks {
-            return Err(format!(
-                "{} ackers exceed max_tasks {}",
-                self.ackers, self.max_tasks
-            ));
+            return Err(ConfigError::AckersExceedMaxTasks {
+                ackers: self.ackers,
+                max_tasks: self.max_tasks,
+            });
         }
         Ok(())
     }

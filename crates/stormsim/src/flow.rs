@@ -45,22 +45,22 @@ pub fn analyze(topo: &Topology) -> FlowAnalysis {
         if out.is_empty() {
             continue;
         }
-        let emitted = node_flow[u] * topo.node(u).selectivity;
-        let per_edge = match topo.node(u).route {
+        let emitted = node_flow[u] * topo.selectivity(u);
+        let per_edge = match topo.route(u) {
             RoutePolicy::Replicate => emitted,
             RoutePolicy::Split => emitted / out.len() as f64,
         };
         for &ei in out {
-            edge_flow[ei] += per_edge;
-            node_flow[topo.edges()[ei].to] += per_edge;
+            edge_flow[ei as usize] += per_edge;
+            node_flow[topo.edge_to(ei as usize)] += per_edge;
         }
     }
 
     let total_processing = node_flow.iter().sum();
     let bytes_per_unit = edge_flow
         .iter()
-        .zip(topo.edges())
-        .map(|(&f, e)| f * topo.node(e.from).tuple_bytes as f64)
+        .enumerate()
+        .map(|(ei, &f)| f * topo.tuple_bytes(topo.edge_from(ei)) as f64)
         .sum();
     let sink_flow = topo.sinks().iter().map(|&s| node_flow[s]).sum();
 

@@ -39,6 +39,16 @@ use crate::topology::{Grouping, Topology};
 /// Evaluate `config` on `topo` over a measurement window of `window_s`
 /// virtual seconds. Deterministic; apply
 /// [`crate::noise::MeasurementNoise`] on top for realistic measurements.
+///
+/// Deprecated in favour of [`crate::simulator::FlowSimulator`], which
+/// amortizes the topology-level analysis across configurations and
+/// reports invalid inputs as [`crate::simulator::SimError`] instead of
+/// panicking (this shim still asserts on a non-positive window). Kept
+/// for one release; results are bitwise-identical to the trait path.
+#[deprecated(
+    since = "0.2.0",
+    note = "use stormsim::FlowSimulator and the Simulator trait"
+)]
 pub fn simulate_flow(
     topo: &Topology,
     config: &StormConfig,
@@ -84,9 +94,10 @@ pub fn simulate_flow_with<R: Recorder>(
         let flows = flow::analyze(topo);
 
         let model = ConstraintModel::build(topo, config, cluster, &tasks, placement, flows);
-        let result = model.solve(window_s, rec);
+        let ctx = model.ctx();
+        let result = ctx.solve(window_s, rec);
         if R::ENABLED && !matches!(result.bottleneck, Bottleneck::Failed) {
-            model.emit_operators(rec, &result, window_s);
+            ctx.emit_operators(rec, &result, window_s);
         }
         result
     };
@@ -143,7 +154,43 @@ impl Tracker {
     }
 }
 
-/// Intermediate per-configuration constraint data.
+/// Borrowed view of everything [`SolveCtx::solve`] reads — one solver
+/// implementation over two build paths. The legacy per-call path
+/// ([`ConstraintModel::build`]) materializes a full [`Placement`] and
+/// owns its buffers; the batched path
+/// ([`crate::simulator::FlowSimulator`]) fills reusable scratch buffers
+/// by replaying the same round-robin placement order without
+/// materializing it. Both feed this struct, so the float-operation
+/// sequence — and therefore every result bit — is identical.
+pub(crate) struct SolveCtx<'a> {
+    pub(crate) topo: &'a Topology,
+    pub(crate) config: &'a StormConfig,
+    pub(crate) cluster: &'a ClusterSpec,
+    pub(crate) flows: &'a FlowAnalysis,
+    pub(crate) tasks: &'a [u32],
+    /// Per-tuple compute cost of node v including contention and overhead.
+    pub(crate) node_cost: &'a [f64],
+    /// Effective parallelism of node v after grouping caps.
+    pub(crate) eff_tasks: &'a [f64],
+    /// Aggregate demand units per spout tuple placed on each machine
+    /// (per-task coefficients `f_v * cost_v / tasks_v` plus acker shares).
+    pub(crate) machine_demand: &'a [f64],
+    /// Topology task count per worker (ackers excluded).
+    pub(crate) tasks_per_worker: &'a [usize],
+    /// Acker count per worker.
+    pub(crate) ackers_per_worker: &'a [usize],
+    pub(crate) workers: usize,
+    pub(crate) total_tasks: usize,
+    /// Acker task count, floored at 1 (the divisor of `ack_coef`).
+    pub(crate) ackers_n: usize,
+    /// Fraction of edge traffic crossing machine boundaries.
+    pub(crate) remote: f64,
+    /// Acker demand units per spout tuple, per acker task.
+    pub(crate) ack_coef: f64,
+}
+
+/// Intermediate per-configuration constraint data (legacy build path:
+/// owns its buffers and a materialized placement).
 struct ConstraintModel<'a> {
     topo: &'a Topology,
     config: &'a StormConfig,
@@ -151,14 +198,9 @@ struct ConstraintModel<'a> {
     tasks: Vec<u32>,
     placement: Placement,
     flows: FlowAnalysis,
-    /// Per-tuple compute cost of node v including contention and overhead.
     node_cost: Vec<f64>,
-    /// Effective parallelism of node v after grouping caps.
     eff_tasks: Vec<f64>,
-    /// Aggregate demand units per spout tuple placed on each machine
-    /// (per-task coefficients `f_v * cost_v / tasks_v` plus acker shares).
     machine_demand: Vec<f64>,
-    /// Acker demand units per spout tuple, per acker task.
     ack_coef: f64,
 }
 
@@ -172,30 +214,10 @@ impl<'a> ConstraintModel<'a> {
         flows: FlowAnalysis,
     ) -> Self {
         let node_cost: Vec<f64> = (0..topo.n_nodes())
-            .map(|v| {
-                let spec = topo.node(v);
-                let contention = if spec.contentious {
-                    (tasks[v] as f64).powf(cluster.contention_exponent)
-                } else {
-                    1.0
-                };
-                spec.time_complexity * contention + cluster.per_tuple_overhead_units
-            })
+            .map(|v| node_cost_of(topo, cluster, tasks, v))
             .collect();
         let eff_tasks: Vec<f64> = (0..topo.n_nodes())
-            .map(|v| {
-                let mut eff = tasks[v] as f64;
-                for &ei in topo.in_edges(v) {
-                    match topo.edges()[ei].grouping {
-                        Grouping::Shuffle => {}
-                        Grouping::Fields { key_cardinality } => {
-                            eff = eff.min(key_cardinality as f64);
-                        }
-                        Grouping::Global => eff = 1.0,
-                    }
-                }
-                eff.max(1.0)
-            })
+            .map(|v| eff_tasks_of(topo, tasks, v))
             .collect();
         // Everything `solve` needs per machine is a pure function of
         // the configuration, so it is all precomputed here: `solve`
@@ -234,13 +256,62 @@ impl<'a> ConstraintModel<'a> {
         }
     }
 
+    /// The borrowed solver view over this model's owned buffers.
+    fn ctx(&self) -> SolveCtx<'_> {
+        SolveCtx {
+            topo: self.topo,
+            config: self.config,
+            cluster: self.cluster,
+            flows: &self.flows,
+            tasks: &self.tasks,
+            node_cost: &self.node_cost,
+            eff_tasks: &self.eff_tasks,
+            machine_demand: &self.machine_demand,
+            tasks_per_worker: &self.placement.tasks_per_worker,
+            ackers_per_worker: &self.placement.ackers_per_worker,
+            workers: self.placement.workers,
+            total_tasks: self.placement.total_tasks(),
+            ackers_n: self.placement.acker_worker.len().max(1),
+            remote: self.placement.remote_fraction(),
+            ack_coef: self.ack_coef,
+        }
+    }
+}
+
+/// Per-tuple compute cost of node `v` under `tasks`, including the
+/// contention multiplier and framework overhead.
+pub(crate) fn node_cost_of(topo: &Topology, cluster: &ClusterSpec, tasks: &[u32], v: usize) -> f64 {
+    let contention = if topo.is_contentious(v) {
+        (tasks[v] as f64).powf(cluster.contention_exponent)
+    } else {
+        1.0
+    };
+    topo.time_complexity(v) * contention + cluster.per_tuple_overhead_units
+}
+
+/// Effective parallelism of node `v` after grouping caps on its in-edges.
+pub(crate) fn eff_tasks_of(topo: &Topology, tasks: &[u32], v: usize) -> f64 {
+    let mut eff = tasks[v] as f64;
+    for &ei in topo.in_edges(v) {
+        match topo.edge_grouping(ei as usize) {
+            Grouping::Shuffle => {}
+            Grouping::Fields { key_cardinality } => {
+                eff = eff.min(key_cardinality as f64);
+            }
+            Grouping::Global => eff = 1.0,
+        }
+    }
+    eff.max(1.0)
+}
+
+impl SolveCtx<'_> {
     // mtm-hot: flow-sim
-    fn solve<R: Recorder>(&self, window_s: f64, rec: &mut R) -> SimResult {
+    pub(crate) fn solve<R: Recorder>(&self, window_s: f64, rec: &mut R) -> SimResult {
         let cl = self.cluster;
-        let total_tasks = self.placement.total_tasks();
-        let workers = self.placement.workers;
-        let remote = self.placement.remote_fraction();
-        let ackers = self.placement.acker_worker.len().max(1);
+        let total_tasks = self.total_tasks;
+        let workers = self.workers;
+        let remote = self.remote;
+        let ackers = self.ackers_n;
 
         let mut tr = Tracker {
             best: f64::INFINITY,
@@ -270,13 +341,12 @@ impl<'a> ConstraintModel<'a> {
         let mut failed = false;
         #[allow(clippy::needless_range_loop)] // indexes three parallel arrays
         for m in 0..workers {
-            let threads = (self.placement.tasks_per_worker[m] as u32)
-                .min(self.config.worker_threads)
+            let threads = (self.tasks_per_worker[m] as u32).min(self.config.worker_threads)
                 + self.config.receiver_threads
-                + self.placement.ackers_per_worker[m] as u32;
+                + self.ackers_per_worker[m] as u32;
             let cap = cl.machine_capacity(threads);
-            let spin = cl.task_spin_units
-                * (self.placement.tasks_per_worker[m] + self.placement.ackers_per_worker[m]) as f64;
+            let spin =
+                cl.task_spin_units * (self.tasks_per_worker[m] + self.ackers_per_worker[m]) as f64;
             total_capacity += cap;
             spin_total += spin;
             if spin >= cap {
@@ -295,11 +365,10 @@ impl<'a> ConstraintModel<'a> {
             // Executor work is additionally limited by the worker's
             // thread pool: at most min(worker_threads, tasks) bolt/spout
             // tuples in service at once, one core each.
-            let exec_demand: f64 =
-                machine_demand[m] - self.placement.ackers_per_worker[m] as f64 * ack_coef;
+            let exec_demand: f64 = machine_demand[m] - self.ackers_per_worker[m] as f64 * ack_coef;
             if exec_demand > 0.0 {
-                let exec_threads = (self.placement.tasks_per_worker[m] as u32)
-                    .min(self.config.worker_threads) as f64;
+                let exec_threads =
+                    (self.tasks_per_worker[m] as u32).min(self.config.worker_threads) as f64;
                 tr.consider(
                     rec,
                     "exec",
@@ -448,7 +517,12 @@ impl<'a> ConstraintModel<'a> {
     /// solver loop itself stays allocation-free. The flow model has no
     /// real queues, so `queue_hwm` is 0 here (the tuple sim reports
     /// actual high-water marks).
-    fn emit_operators<R: Recorder>(&self, rec: &mut R, result: &SimResult, window_s: f64) {
+    pub(crate) fn emit_operators<R: Recorder>(
+        &self,
+        rec: &mut R,
+        result: &SimResult,
+        window_s: f64,
+    ) {
         let measured = result.throughput_tps;
         for v in 0..self.topo.n_nodes() {
             rec.record(Event::Operator {
@@ -462,7 +536,7 @@ impl<'a> ConstraintModel<'a> {
         rec.record(Event::Operator {
             node: None,
             label: "ackers".into(),
-            tasks: self.placement.acker_worker.len().max(1),
+            tasks: self.ackers_n,
             processed: (measured * self.flows.total_processing * window_s).max(0.0) as u64,
             queue_hwm: 0,
         });
@@ -475,7 +549,7 @@ impl<'a> ConstraintModel<'a> {
         for v in 0..self.topo.n_nodes() {
             let f = self.flows.node_flow[v];
             weight += f;
-            sum += f * self.topo.node(v).tuple_bytes as f64;
+            sum += f * self.topo.tuple_bytes(v) as f64;
         }
         if weight > 0.0 {
             sum / weight
@@ -487,6 +561,9 @@ impl<'a> ConstraintModel<'a> {
 
 #[cfg(test)]
 mod tests {
+    // These tests deliberately pin the legacy free-function shim; the
+    // equivalence suite proves the trait path returns the same bits.
+    #![allow(deprecated)]
     use super::*;
     use crate::topology::TopologyBuilder;
 

@@ -49,7 +49,11 @@ impl Bottleneck {
 }
 
 /// Outcome of simulating one configured run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares floats exactly — intentional: the equivalence
+/// suites assert the batched path is *bitwise* identical to the
+/// sequential one, not merely close.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
     /// Measured throughput in spout tuples per second (committed work
     /// within the measurement window — the paper's headline metric).

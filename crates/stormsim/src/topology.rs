@@ -13,6 +13,19 @@
 //! and each node a [`RoutePolicy`] (whether an emitted tuple is sent to
 //! every downstream bolt or split across them; the synthetic benchmark
 //! topologies shuffle "evenly among downstream bolts", i.e. split).
+//!
+//! ## Storage layout
+//!
+//! [`Topology`] is a structure of arrays: each node and edge field lives
+//! in its own flat column (`Vec<f64>`, `Vec<u32>`, …) and adjacency is a
+//! CSR index (`u32` edge ids behind per-node offset ranges). Simulator
+//! hot loops read single columns contiguously instead of striding over
+//! an array of structs, and a 10k-vertex graph costs a dozen
+//! allocations at build time rather than one `Vec` per node. The
+//! struct-shaped views ([`NodeSpec`], [`Edge`], [`Topology::node`],
+//! [`Topology::edges`]) are materialized on demand for cold callers —
+//! hot paths use the per-field accessors ([`Topology::selectivity`],
+//! [`Topology::edge_to`], …) or the whole-column slices.
 
 use serde::{Deserialize, Serialize};
 
@@ -56,6 +69,11 @@ pub enum RoutePolicy {
 }
 
 /// Per-node specification.
+///
+/// Inside a validated [`Topology`] the fields live in flat columns;
+/// this struct is the builder-side input and the materialized view
+/// [`Topology::node`] returns. Materializing clones the name — use the
+/// per-field accessors in anything per-tuple or per-candidate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeSpec {
     /// Human-readable name.
@@ -85,7 +103,8 @@ pub struct Edge {
     pub grouping: Grouping,
 }
 
-/// A validated Storm topology (connected DAG with at least one spout).
+/// A validated Storm topology (connected DAG with at least one spout),
+/// stored as a structure of arrays with CSR adjacency.
 ///
 /// Serialize-only: the interned label caches hold `&'static str`, which
 /// has no meaningful deserialization (and nothing round-trips a whole
@@ -95,15 +114,28 @@ pub struct Topology {
     name: String,
     /// Interned copy of `name` for zero-alloc trace labels.
     name_label: &'static str,
-    nodes: Vec<NodeSpec>,
-    /// Interned copies of the node names, same order as `nodes`, so
+    /// Node names, id order (cold; hot paths use `labels`).
+    names: Vec<String>,
+    /// Interned copies of the node names, same order as `names`, so
     /// per-run `Operator` events record without cloning a `String`.
     labels: Vec<&'static str>,
-    edges: Vec<Edge>,
-    /// Outgoing edge indices per node.
-    out_edges: Vec<Vec<usize>>,
-    /// Incoming edge indices per node.
-    in_edges: Vec<Vec<usize>>,
+    // --- node columns, id order ---
+    kind: Vec<NodeKind>,
+    time_complexity: Vec<f64>,
+    contentious: Vec<bool>,
+    selectivity: Vec<f64>,
+    tuple_bytes: Vec<u32>,
+    route: Vec<RoutePolicy>,
+    // --- edge columns, edge-id order ---
+    edge_from: Vec<u32>,
+    edge_to: Vec<u32>,
+    edge_grouping: Vec<Grouping>,
+    // --- CSR adjacency: edge ids of node v are
+    //     out_edge[out_start[v]..out_start[v+1]] (and the in_ pair) ---
+    out_start: Vec<u32>,
+    out_edge: Vec<u32>,
+    in_start: Vec<u32>,
+    in_edge: Vec<u32>,
     /// Topological order of node ids.
     topo_order: Vec<NodeId>,
 }
@@ -126,6 +158,9 @@ pub enum TopologyError {
     DuplicateEdge(NodeId, NodeId),
     /// A numeric field is invalid (negative cost, non-positive selectivity…).
     BadSpec(NodeId, &'static str),
+    /// Node or edge count exceeds the `u32` index space of the CSR
+    /// adjacency layout.
+    TooLarge(usize),
 }
 
 impl std::fmt::Display for TopologyError {
@@ -138,6 +173,9 @@ impl std::fmt::Display for TopologyError {
             TopologyError::DanglingEdge(e) => write!(f, "edge {e} references a missing node"),
             TopologyError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
             TopologyError::BadSpec(n, what) => write!(f, "node {n}: invalid {what}"),
+            TopologyError::TooLarge(n) => {
+                write!(f, "{n} nodes/edges exceed the u32 index space")
+            }
         }
     }
 }
@@ -159,6 +197,16 @@ impl TopologyBuilder {
             name: name.into(),
             nodes: Vec::new(),
             edges: Vec::new(),
+        }
+    }
+
+    /// Start a topology with node and edge capacity reserved up front
+    /// (generators know both counts before the first push).
+    pub fn with_capacity(name: &str, nodes: usize, edges: usize) -> Self {
+        TopologyBuilder {
+            name: name.into(),
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
         }
     }
 
@@ -234,17 +282,27 @@ impl Topology {
         edges: Vec<Edge>,
     ) -> Result<Topology, TopologyError> {
         let n = nodes.len();
+        // The CSR index is u32; reject graphs that cannot address their
+        // own nodes or edges rather than truncating silently.
+        if n > u32::MAX as usize {
+            return Err(TopologyError::TooLarge(n));
+        }
+        if edges.len() > u32::MAX as usize {
+            return Err(TopologyError::TooLarge(edges.len()));
+        }
         for (i, e) in edges.iter().enumerate() {
             if e.from >= n || e.to >= n {
                 return Err(TopologyError::DanglingEdge(i));
             }
         }
-        // Duplicate edges.
-        for i in 0..edges.len() {
-            for j in (i + 1)..edges.len() {
-                if edges[i].from == edges[j].from && edges[i].to == edges[j].to {
-                    return Err(TopologyError::DuplicateEdge(edges[i].from, edges[i].to));
-                }
+        // Duplicate edges: sort the (from, to) pairs and scan adjacent
+        // entries — O(E log E), where the old pairwise scan was O(E²)
+        // (minutes at the 10k-vertex scale).
+        let mut pairs: Vec<(NodeId, NodeId)> = edges.iter().map(|e| (e.from, e.to)).collect();
+        pairs.sort_unstable();
+        for w in pairs.windows(2) {
+            if w[0] == w[1] {
+                return Err(TopologyError::DuplicateEdge(w[0].0, w[0].1));
             }
         }
         // Node specs.
@@ -260,26 +318,46 @@ impl Topology {
                 return Err(TopologyError::BadSpec(id, "selectivity"));
             }
         }
-        let mut out_edges = vec![Vec::new(); n];
-        let mut in_edges = vec![Vec::new(); n];
-        for (i, e) in edges.iter().enumerate() {
-            out_edges[e.from].push(i);
-            in_edges[e.to].push(i);
+        // CSR adjacency via counting sort: per-node degrees, prefix
+        // sums, then a fill pass in edge-id order — which preserves the
+        // ascending edge-id order per node that the old per-node `Vec`
+        // push loop produced.
+        let mut out_start = vec![0u32; n + 1];
+        let mut in_start = vec![0u32; n + 1];
+        for e in &edges {
+            out_start[e.from + 1] += 1;
+            in_start[e.to + 1] += 1;
         }
+        for v in 0..n {
+            out_start[v + 1] += out_start[v];
+            in_start[v + 1] += in_start[v];
+        }
+        let mut out_edge = vec![0u32; edges.len()];
+        let mut in_edge = vec![0u32; edges.len()];
+        let mut out_fill = out_start.clone();
+        let mut in_fill = in_start.clone();
+        for (i, e) in edges.iter().enumerate() {
+            out_edge[out_fill[e.from] as usize] = i as u32;
+            out_fill[e.from] += 1;
+            in_edge[in_fill[e.to] as usize] = i as u32;
+            in_fill[e.to] += 1;
+        }
+        let out_deg = |v: NodeId| (out_start[v + 1] - out_start[v]) as usize;
+        let in_deg = |v: NodeId| (in_start[v + 1] - in_start[v]) as usize;
         // Structural checks.
         if !nodes.iter().any(|nd| nd.kind == NodeKind::Spout) {
             return Err(TopologyError::NoSpout);
         }
-        for id in 0..n {
-            if nodes[id].kind == NodeKind::Spout && !in_edges[id].is_empty() {
+        for (id, node) in nodes.iter().enumerate() {
+            if node.kind == NodeKind::Spout && in_deg(id) != 0 {
                 return Err(TopologyError::SpoutWithInput(id));
             }
-            if n > 1 && out_edges[id].is_empty() && in_edges[id].is_empty() {
+            if n > 1 && out_deg(id) == 0 && in_deg(id) == 0 {
                 return Err(TopologyError::Disconnected(id));
             }
         }
         // Kahn's algorithm: topological order + cycle detection.
-        let mut indeg: Vec<usize> = in_edges.iter().map(|v| v.len()).collect();
+        let mut indeg: Vec<usize> = (0..n).map(in_deg).collect();
         let mut queue: Vec<NodeId> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut topo_order = Vec::with_capacity(n);
         let mut head = 0;
@@ -287,8 +365,8 @@ impl Topology {
             let u = queue[head];
             head += 1;
             topo_order.push(u);
-            for &ei in &out_edges[u] {
-                let v = edges[ei].to;
+            for &ei in &out_edge[out_start[u] as usize..out_start[u + 1] as usize] {
+                let v = edges[ei as usize].to;
                 indeg[v] -= 1;
                 if indeg[v] == 0 {
                     queue.push(v);
@@ -303,14 +381,49 @@ impl Topology {
             .iter()
             .map(|nd| mtm_obs::intern::intern(&nd.name))
             .collect();
+        // Shred the node and edge structs into columns.
+        let mut names = Vec::with_capacity(n);
+        let mut kind = Vec::with_capacity(n);
+        let mut time_complexity = Vec::with_capacity(n);
+        let mut contentious = Vec::with_capacity(n);
+        let mut selectivity = Vec::with_capacity(n);
+        let mut tuple_bytes = Vec::with_capacity(n);
+        let mut route = Vec::with_capacity(n);
+        for nd in nodes {
+            names.push(nd.name);
+            kind.push(nd.kind);
+            time_complexity.push(nd.time_complexity);
+            contentious.push(nd.contentious);
+            selectivity.push(nd.selectivity);
+            tuple_bytes.push(nd.tuple_bytes);
+            route.push(nd.route);
+        }
+        let mut edge_from = Vec::with_capacity(edges.len());
+        let mut edge_to = Vec::with_capacity(edges.len());
+        let mut edge_grouping = Vec::with_capacity(edges.len());
+        for e in edges {
+            edge_from.push(e.from as u32);
+            edge_to.push(e.to as u32);
+            edge_grouping.push(e.grouping);
+        }
         Ok(Topology {
             name,
             name_label,
-            nodes,
+            names,
             labels,
-            edges,
-            out_edges,
-            in_edges,
+            kind,
+            time_complexity,
+            contentious,
+            selectivity,
+            tuple_bytes,
+            route,
+            edge_from,
+            edge_to,
+            edge_grouping,
+            out_start,
+            out_edge,
+            in_start,
+            in_edge,
             topo_order,
         })
     }
@@ -332,42 +445,163 @@ impl Topology {
 
     /// Number of nodes.
     pub fn n_nodes(&self) -> usize {
-        self.nodes.len()
+        self.kind.len()
     }
 
     /// Number of edges.
     pub fn n_edges(&self) -> usize {
-        self.edges.len()
+        self.edge_from.len()
     }
 
-    /// Node specification by id.
-    pub fn node(&self, id: NodeId) -> &NodeSpec {
-        &self.nodes[id]
+    /// Node specification by id, materialized from the columns.
+    ///
+    /// Clones the node name — fine for construction, tests and
+    /// reporting; hot loops use the per-field accessors below.
+    pub fn node(&self, id: NodeId) -> NodeSpec {
+        NodeSpec {
+            name: self.names[id].clone(),
+            kind: self.kind[id],
+            time_complexity: self.time_complexity[id],
+            contentious: self.contentious[id],
+            selectivity: self.selectivity[id],
+            tuple_bytes: self.tuple_bytes[id],
+            route: self.route[id],
+        }
     }
 
-    /// Mutable node specification (for generator post-processing).
-    pub fn node_mut(&mut self, id: NodeId) -> &mut NodeSpec {
-        &mut self.nodes[id]
+    /// All edges, materialized (cold; per-field accessors are the hot path).
+    pub fn edges(&self) -> Vec<Edge> {
+        (0..self.n_edges()).map(|ei| self.edge(ei)).collect()
     }
 
-    /// All nodes in id order.
-    pub fn nodes(&self) -> &[NodeSpec] {
-        &self.nodes
+    /// One edge, materialized.
+    pub fn edge(&self, ei: usize) -> Edge {
+        Edge {
+            from: self.edge_from[ei] as NodeId,
+            to: self.edge_to[ei] as NodeId,
+            grouping: self.edge_grouping[ei],
+        }
     }
 
-    /// All edges.
-    pub fn edges(&self) -> &[Edge] {
-        &self.edges
+    // --- per-field node accessors (hot path; no materialization) ---
+
+    /// Node name by id (no interning, no clone).
+    pub fn node_name(&self, v: NodeId) -> &str {
+        &self.names[v]
     }
 
-    /// Indices of outgoing edges of `id`.
-    pub fn out_edges(&self, id: NodeId) -> &[usize] {
-        &self.out_edges[id]
+    /// Spout or bolt.
+    pub fn kind(&self, v: NodeId) -> NodeKind {
+        self.kind[v]
     }
 
-    /// Indices of incoming edges of `id`.
-    pub fn in_edges(&self, id: NodeId) -> &[usize] {
-        &self.in_edges[id]
+    /// Compute units per processed tuple.
+    pub fn time_complexity(&self, v: NodeId) -> f64 {
+        self.time_complexity[v]
+    }
+
+    /// Whether the node pays the contention multiplier.
+    pub fn is_contentious(&self, v: NodeId) -> bool {
+        self.contentious[v]
+    }
+
+    /// Tuples emitted per tuple processed.
+    pub fn selectivity(&self, v: NodeId) -> f64 {
+        self.selectivity[v]
+    }
+
+    /// Emitted tuple size in bytes.
+    pub fn tuple_bytes(&self, v: NodeId) -> u32 {
+        self.tuple_bytes[v]
+    }
+
+    /// Fan-out policy across outgoing edges.
+    pub fn route(&self, v: NodeId) -> RoutePolicy {
+        self.route[v]
+    }
+
+    /// Producing node of edge `ei`.
+    pub fn edge_from(&self, ei: usize) -> NodeId {
+        self.edge_from[ei] as NodeId
+    }
+
+    /// Consuming node of edge `ei`.
+    pub fn edge_to(&self, ei: usize) -> NodeId {
+        self.edge_to[ei] as NodeId
+    }
+
+    /// Grouping on edge `ei`.
+    pub fn edge_grouping(&self, ei: usize) -> Grouping {
+        self.edge_grouping[ei]
+    }
+
+    // --- whole-column views (batch kernels walk these contiguously) ---
+
+    /// Per-node compute-cost column, id order.
+    pub fn time_complexity_col(&self) -> &[f64] {
+        &self.time_complexity
+    }
+
+    /// Per-node selectivity column, id order.
+    pub fn selectivity_col(&self) -> &[f64] {
+        &self.selectivity
+    }
+
+    /// Per-node contention-flag column, id order.
+    pub fn contentious_col(&self) -> &[bool] {
+        &self.contentious
+    }
+
+    /// Per-node tuple-size column, id order.
+    pub fn tuple_bytes_col(&self) -> &[u32] {
+        &self.tuple_bytes
+    }
+
+    /// Per-node route-policy column, id order.
+    pub fn route_col(&self) -> &[RoutePolicy] {
+        &self.route
+    }
+
+    /// Per-node kind column, id order.
+    pub fn kind_col(&self) -> &[NodeKind] {
+        &self.kind
+    }
+
+    /// Edge producer column, edge-id order.
+    pub fn edge_from_col(&self) -> &[u32] {
+        &self.edge_from
+    }
+
+    /// Edge consumer column, edge-id order.
+    pub fn edge_to_col(&self) -> &[u32] {
+        &self.edge_to
+    }
+
+    /// Edge grouping column, edge-id order.
+    pub fn edge_grouping_col(&self) -> &[Grouping] {
+        &self.edge_grouping
+    }
+
+    // --- setters for generator post-processing (replace `node_mut`) ---
+
+    /// Overwrite a node's per-tuple compute cost (generator post-processing).
+    pub fn set_time_complexity(&mut self, v: NodeId, units: f64) {
+        self.time_complexity[v] = units;
+    }
+
+    /// Overwrite a node's contention flag (generator post-processing).
+    pub fn set_contentious(&mut self, v: NodeId, flag: bool) {
+        self.contentious[v] = flag;
+    }
+
+    /// Ids of outgoing edges of `id` (CSR slice, ascending edge id).
+    pub fn out_edges(&self, id: NodeId) -> &[u32] {
+        &self.out_edge[self.out_start[id] as usize..self.out_start[id + 1] as usize]
+    }
+
+    /// Ids of incoming edges of `id` (CSR slice, ascending edge id).
+    pub fn in_edges(&self, id: NodeId) -> &[u32] {
+        &self.in_edge[self.in_start[id] as usize..self.in_start[id + 1] as usize]
     }
 
     /// Node ids in topological order.
@@ -378,21 +612,21 @@ impl Topology {
     /// Ids of all spouts.
     pub fn spouts(&self) -> Vec<NodeId> {
         (0..self.n_nodes())
-            .filter(|&i| self.nodes[i].kind == NodeKind::Spout)
+            .filter(|&i| self.kind[i] == NodeKind::Spout)
             .collect()
     }
 
     /// Ids of all source nodes (in-degree 0; includes spouts).
     pub fn sources(&self) -> Vec<NodeId> {
         (0..self.n_nodes())
-            .filter(|&i| self.in_edges[i].is_empty())
+            .filter(|&i| self.in_edges(i).is_empty())
             .collect()
     }
 
     /// Ids of all sinks (out-degree 0).
     pub fn sinks(&self) -> Vec<NodeId> {
         (0..self.n_nodes())
-            .filter(|&i| self.out_edges[i].is_empty())
+            .filter(|&i| self.out_edges(i).is_empty())
             .collect()
     }
 
@@ -406,8 +640,8 @@ impl Topology {
     pub fn layers(&self) -> Vec<usize> {
         let mut layer = vec![0usize; self.n_nodes()];
         for &u in &self.topo_order {
-            for &ei in &self.out_edges[u] {
-                let v = self.edges[ei].to;
+            for &ei in self.out_edges(u) {
+                let v = self.edge_to[ei as usize] as NodeId;
                 layer[v] = layer[v].max(layer[u] + 1);
             }
         }
@@ -422,7 +656,7 @@ impl Topology {
     /// Total compute units across nodes (used to flag "25% of compute
     /// time" as contentious, §IV-B2).
     pub fn total_compute_units(&self) -> f64 {
-        self.nodes.iter().map(|n| n.time_complexity).sum()
+        self.time_complexity.iter().sum()
     }
 
     /// Critical path: the maximum total compute units along any
@@ -431,9 +665,9 @@ impl Topology {
     pub fn critical_path_units(&self) -> f64 {
         let mut best = vec![0.0_f64; self.n_nodes()];
         for &u in &self.topo_order {
-            best[u] += self.nodes[u].time_complexity;
-            for &ei in &self.out_edges[u] {
-                let v = self.edges[ei].to;
+            best[u] += self.time_complexity[u];
+            for &ei in self.out_edges(u) {
+                let v = self.edge_to[ei as usize] as NodeId;
                 best[v] = best[v].max(best[u]);
             }
         }
@@ -442,10 +676,9 @@ impl Topology {
 
     /// Sum of compute units on contentious nodes.
     pub fn contentious_compute_units(&self) -> f64 {
-        self.nodes
-            .iter()
-            .filter(|n| n.contentious)
-            .map(|n| n.time_complexity)
+        (0..self.n_nodes())
+            .filter(|&v| self.contentious[v])
+            .map(|v| self.time_complexity[v])
             .sum()
     }
 }
@@ -489,6 +722,40 @@ mod tests {
         for e in t.edges() {
             assert!(pos[e.from] < pos[e.to], "edge {} -> {}", e.from, e.to);
         }
+    }
+
+    #[test]
+    fn columns_match_materialized_views() {
+        let t = diamond();
+        for v in 0..t.n_nodes() {
+            let spec = t.node(v);
+            assert_eq!(spec.name, t.node_name(v));
+            assert_eq!(spec.kind, t.kind(v));
+            assert_eq!(spec.time_complexity, t.time_complexity(v));
+            assert_eq!(spec.contentious, t.is_contentious(v));
+            assert_eq!(spec.selectivity, t.selectivity(v));
+            assert_eq!(spec.tuple_bytes, t.tuple_bytes(v));
+            assert_eq!(spec.route, t.route(v));
+        }
+        for (ei, e) in t.edges().into_iter().enumerate() {
+            assert_eq!(e.from, t.edge_from(ei));
+            assert_eq!(e.to, t.edge_to(ei));
+            assert_eq!(e.grouping, t.edge_grouping(ei));
+        }
+        assert_eq!(t.time_complexity_col(), &[10.0, 20.0, 30.0, 5.0]);
+        assert_eq!(t.edge_from_col(), &[0, 0, 1, 2]);
+        assert_eq!(t.edge_to_col(), &[1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn csr_adjacency_is_in_edge_id_order() {
+        let t = diamond();
+        assert_eq!(t.out_edges(0), &[0, 1]);
+        assert_eq!(t.out_edges(1), &[2]);
+        assert_eq!(t.out_edges(2), &[3]);
+        assert!(t.out_edges(3).is_empty());
+        assert_eq!(t.in_edges(3), &[2, 3]);
+        assert!(t.in_edges(0).is_empty());
     }
 
     #[test]
@@ -578,5 +845,15 @@ mod tests {
         tb.spout("s", 1.0);
         let t = tb.build().unwrap();
         assert_eq!(t.sinks(), vec![0]);
+    }
+
+    #[test]
+    fn setters_overwrite_columns() {
+        let mut t = diamond();
+        t.set_time_complexity(1, 99.0);
+        t.set_contentious(1, true);
+        assert_eq!(t.time_complexity(1), 99.0);
+        assert!(t.is_contentious(1));
+        assert_eq!(t.contentious_compute_units(), 99.0);
     }
 }

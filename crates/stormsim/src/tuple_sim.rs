@@ -88,6 +88,15 @@ struct BatchState {
 }
 
 /// Run the tuple-level simulation of `config` on `topo`.
+///
+/// Deprecated in favour of [`crate::simulator::TupleSimulator`], which
+/// reports invalid inputs as [`crate::simulator::SimError`] instead of
+/// silently returning a failed result. Kept for one release; results
+/// are bitwise-identical to the trait path.
+#[deprecated(
+    since = "0.2.0",
+    note = "use stormsim::TupleSimulator and the Simulator trait"
+)]
 pub fn simulate_tuples(
     topo: &Topology,
     config: &StormConfig,
@@ -135,7 +144,7 @@ pub fn simulate_tuples_with<R: Recorder>(
     let placement = place_even(topo, &tasks_per_node, ackers, cluster);
 
     let mut sim = Sim::new(topo, config, cluster, &placement, opts, R::ENABLED);
-    sim.run();
+    sim.run_des();
     let result = sim.result();
     if R::ENABLED {
         sim.emit_stats(rec);
@@ -280,13 +289,12 @@ impl<'a> Sim<'a> {
     fn service_units(&self, task: usize) -> f64 {
         match self.tasks[task].kind {
             TaskKind::Node(node) => {
-                let spec = self.topo.node(node);
-                let contention = if spec.contentious {
+                let contention = if self.topo.is_contentious(node) {
                     (self.node_tasks[node].len() as f64).powf(self.cluster.contention_exponent)
                 } else {
                     1.0
                 };
-                spec.time_complexity * contention + self.cluster.per_tuple_overhead_units
+                self.topo.time_complexity(node) * contention + self.cluster.per_tuple_overhead_units
             }
             TaskKind::Acker => self.cluster.acker_cost_units,
         }
@@ -395,16 +403,17 @@ impl<'a> Sim<'a> {
         if out.is_empty() {
             return;
         }
-        let spec = topo.node(node);
+        let route = topo.route(node);
+        let selectivity = topo.selectivity(node);
         let n_out = out.len();
         // Selectivity: how many child tuples this processing produces.
         for (slot, &ei) in out.iter().enumerate() {
-            let share = match spec.route {
-                RoutePolicy::Replicate => spec.selectivity,
+            let share = match route {
+                RoutePolicy::Replicate => selectivity,
                 RoutePolicy::Split => {
                     // Emit to one edge per output tuple, cycling edges.
                     if (self.tasks[task].rr_edge as usize) % n_out == slot {
-                        spec.selectivity
+                        selectivity
                     } else {
                         0.0
                     }
@@ -413,17 +422,18 @@ impl<'a> Sim<'a> {
             self.tasks[task].emit_acc[slot] += share;
             while self.tasks[task].emit_acc[slot] >= 1.0 {
                 self.tasks[task].emit_acc[slot] -= 1.0;
-                self.send_on_edge(task, ei, slot, batch);
+                self.send_on_edge(task, ei as usize, slot, batch);
             }
         }
         self.tasks[task].rr_edge += 1;
     }
 
     fn send_on_edge(&mut self, from_task: usize, edge_idx: usize, slot: usize, batch: u32) {
-        let edge = self.topo.edges()[edge_idx];
-        let dests = &self.node_tasks[edge.to];
+        let edge_to = self.topo.edge_to(edge_idx);
+        let edge_from = self.topo.edge_from(edge_idx);
+        let dests = &self.node_tasks[edge_to];
         debug_assert!(!dests.is_empty());
-        let pick = match edge.grouping {
+        let pick = match self.topo.edge_grouping(edge_idx) {
             Grouping::Shuffle => (self.tasks[from_task].rr_dest[slot] as usize) % dests.len(),
             Grouping::Fields { key_cardinality } => {
                 let key = (self.tasks[from_task].rr_dest[slot] as usize)
@@ -437,7 +447,7 @@ impl<'a> Sim<'a> {
         self.batches[batch as usize].outstanding += 1;
         let remote = self.tasks[from_task].worker != self.tasks[dest].worker;
         let delay = if remote {
-            let bytes = self.topo.node(edge.from).tuple_bytes as f64;
+            let bytes = self.topo.tuple_bytes(edge_from) as f64;
             self.workers[self.tasks[from_task].worker].net_bytes += bytes;
             self.workers[self.tasks[dest].worker].net_bytes += bytes;
             self.opts.network_delay_s
@@ -457,8 +467,11 @@ impl<'a> Sim<'a> {
         }
     }
 
+    // (named `run_des`, not `run`: the checker's call graph resolves
+    // method calls by bare name, and `run` collides with half the
+    // workspace's entry points — phantom edges everywhere.)
     // mtm-hot: tuple-sim
-    fn run(&mut self) {
+    fn run_des(&mut self) {
         for _ in 0..self.config.batch_parallelism {
             self.launch_batch();
         }
@@ -585,6 +598,9 @@ impl<'a> Sim<'a> {
 
 #[cfg(test)]
 mod tests {
+    // These tests deliberately pin the legacy free-function shim; the
+    // equivalence suite proves the trait path returns the same bits.
+    #![allow(deprecated)]
     use super::*;
     use crate::topology::TopologyBuilder;
 

@@ -19,10 +19,25 @@
 //! 4. **Failure marking** — `Bottleneck::Failed` if and only if
 //!    `throughput_tps == 0.0`.
 
-use mtm_stormsim::metrics::Bottleneck;
+use mtm_stormsim::metrics::{Bottleneck, SimResult};
 use mtm_stormsim::topology::{Topology, TopologyBuilder};
-use mtm_stormsim::{simulate_flow, ClusterSpec, StormConfig};
+use mtm_stormsim::{ClusterSpec, FlowSimulator, Simulator, StormConfig};
 use proptest::prelude::*;
+
+/// Trait-path stand-in with the old free-function shape: every
+/// metamorphic relation compares *pairs* of one-shot runs, so a fresh
+/// simulator binding per call keeps the call sites readable.
+fn simulate_flow(
+    topo: &Topology,
+    config: &StormConfig,
+    cluster: &ClusterSpec,
+    window_s: f64,
+) -> SimResult {
+    FlowSimulator::new(topo.clone(), cluster.clone(), window_s)
+        .expect("valid window")
+        .evaluate(config)
+        .expect("generated configs are valid")
+}
 
 const WINDOW_S: f64 = 120.0;
 

@@ -1,8 +1,23 @@
 //! Behavioural tests of the cluster performance model: directional
 //! responses every constraint should exhibit.
 
+use mtm_stormsim::metrics::SimResult;
 use mtm_stormsim::topology::{Topology, TopologyBuilder};
-use mtm_stormsim::{simulate_flow, ClusterSpec, StormConfig};
+use mtm_stormsim::{ClusterSpec, FlowSimulator, Simulator, StormConfig};
+
+/// Trait-path stand-in with the old free-function shape; these are
+/// one-shot directional probes, so a fresh binding per call is fine.
+fn simulate_flow(
+    topo: &Topology,
+    config: &StormConfig,
+    cluster: &ClusterSpec,
+    window_s: f64,
+) -> SimResult {
+    FlowSimulator::new(topo.clone(), cluster.clone(), window_s)
+        .expect("valid window")
+        .evaluate(config)
+        .expect("test configs are valid")
+}
 
 fn chain(costs: &[f64]) -> Topology {
     let mut tb = TopologyBuilder::new("chain");

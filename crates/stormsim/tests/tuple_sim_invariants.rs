@@ -2,8 +2,23 @@
 
 use proptest::prelude::*;
 
+use mtm_stormsim::metrics::SimResult;
 use mtm_stormsim::topology::{Grouping, Topology, TopologyBuilder};
-use mtm_stormsim::{simulate_tuples, ClusterSpec, StormConfig, TupleSimOptions};
+use mtm_stormsim::{ClusterSpec, Simulator, StormConfig, TupleSimOptions, TupleSimulator};
+
+/// Trait-path stand-in with the old free-function shape; each invariant
+/// drives a one-shot discrete-event run, so binding per call is fine.
+fn simulate_tuples(
+    topo: &Topology,
+    config: &StormConfig,
+    cluster: &ClusterSpec,
+    opts: &TupleSimOptions,
+) -> SimResult {
+    TupleSimulator::new(topo.clone(), cluster.clone(), *opts)
+        .expect("valid window")
+        .evaluate(config)
+        .expect("test configs are valid")
+}
 
 fn small_topology(fanout: bool) -> Topology {
     let mut tb = TopologyBuilder::new("t");

@@ -6,14 +6,72 @@
 //! paper's validity constraints are enforced: every vertex is connected to
 //! at least one other vertex, layer-0 vertices become spouts, and the graph
 //! is a DAG by construction.
+//!
+//! Two generation regimes share one RNG discipline:
+//!
+//! * **dense** (`p ≥ 0.02`, all Table II presets): the classic per-pair
+//!   Bernoulli sweep, preserving the exact RNG draw sequence of earlier
+//!   releases so preset topologies are reproducible across versions,
+//! * **sparse** (`p < 0.02`, the V≈10k regime): geometric skip-sampling —
+//!   instead of one draw per eligible pair, one draw per *edge* jumps
+//!   directly to the next connected pair, turning the O(V²) sweep into
+//!   O(E). Only reachable through [`GgenParams::new`] /
+//!   [`GgenParams::with_density`], so no preset stream changes.
 
 use mtm_stormsim::topology::{Topology, TopologyBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+/// Densities below this use geometric skip-sampling; at or above it the
+/// per-pair sweep runs (all Table II presets are ≥ 0.04, so their RNG
+/// streams are unchanged).
+const SPARSE_P: f64 = 0.02;
+
+/// Why a [`GgenParams`] request is invalid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GgenError {
+    /// Fewer than two layers.
+    TooFewLayers(usize),
+    /// More layers than vertices — some layer would be empty.
+    TooManyLayers {
+        /// Requested vertices.
+        vertices: usize,
+        /// Requested layers.
+        layers: usize,
+    },
+    /// `p` is not a probability in `[0, 1]`.
+    BadProbability(f64),
+    /// Vertex count exceeds the `u32` index space of the SoA topology.
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for GgenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GgenError::TooFewLayers(l) => write!(f, "need at least two layers, got {l}"),
+            GgenError::TooManyLayers { vertices, layers } => write!(
+                f,
+                "need at least one vertex per layer: {vertices} vertices for {layers} layers"
+            ),
+            GgenError::BadProbability(p) => write!(f, "p must be a probability in [0,1], got {p}"),
+            GgenError::TooLarge(v) => {
+                write!(f, "{v} vertices exceed the u32 index space of the topology")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GgenError {}
+
 /// Generation parameters — columns V, L, P of Table II.
+///
+/// `#[non_exhaustive]` like `BoConfig`: construct through
+/// [`GgenParams::new`], [`GgenParams::with_density`] or a preset, all of
+/// which validate, so every generated topology comes through one checked
+/// path.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct GgenParams {
     /// Number of vertices.
     pub vertices: usize,
@@ -26,6 +84,72 @@ pub struct GgenParams {
 }
 
 impl GgenParams {
+    /// Validated parameters; the one checked construction path.
+    pub fn new(vertices: usize, layers: usize, p: f64, seed: u64) -> Result<Self, GgenError> {
+        let params = GgenParams {
+            vertices,
+            layers,
+            p,
+            seed,
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// Validated parameters with `p` derived from a target average
+    /// out-degree — the natural knob at V≈10k where a raw probability is
+    /// hard to reason about. `p` is the target degree divided by the mean
+    /// number of eligible downstream partners per vertex, clamped to
+    /// `[0, 1]`.
+    pub fn with_density(
+        vertices: usize,
+        layers: usize,
+        avg_out_degree: f64,
+        seed: u64,
+    ) -> Result<Self, GgenError> {
+        if !avg_out_degree.is_finite() || avg_out_degree < 0.0 {
+            return Err(GgenError::BadProbability(avg_out_degree));
+        }
+        // Layer sizes under the same deal as the generator (`v % layers`,
+        // sorted): the first `vertices % layers` layers get one extra.
+        let base = vertices / layers.max(1);
+        let extra = vertices % layers.max(1);
+        let size = |i: usize| base + usize::from(i < extra);
+        // Eligible cross-layer pairs: Σ_{i<j} |layer i| · |layer j|.
+        let mut eligible: u128 = 0;
+        let mut later: u128 = 0;
+        for i in (0..layers).rev() {
+            eligible += size(i) as u128 * later;
+            later += size(i) as u128;
+        }
+        let p = if eligible == 0 {
+            0.0
+        } else {
+            (avg_out_degree * vertices as f64 / eligible as f64).clamp(0.0, 1.0)
+        };
+        GgenParams::new(vertices, layers, p, seed)
+    }
+
+    /// Check the invariants the generator relies on.
+    pub fn validate(&self) -> Result<(), GgenError> {
+        if self.layers < 2 {
+            return Err(GgenError::TooFewLayers(self.layers));
+        }
+        if self.vertices < self.layers {
+            return Err(GgenError::TooManyLayers {
+                vertices: self.vertices,
+                layers: self.layers,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.p) {
+            return Err(GgenError::BadProbability(self.p));
+        }
+        if self.vertices > u32::MAX as usize {
+            return Err(GgenError::TooLarge(self.vertices));
+        }
+        Ok(())
+    }
+
     /// Table II "Small": 10 vertices, 4 layers, p = 0.40.
     pub fn small(seed: u64) -> Self {
         GgenParams {
@@ -62,14 +186,18 @@ impl GgenParams {
 /// a light emission cost.
 ///
 /// # Panics
-/// Panics if `vertices < layers` or `p` is outside `[0, 1]`.
+/// Panics on invalid parameters (see [`GgenParams::validate`]); use
+/// [`try_generate_layer_by_layer`] for a `Result`.
 pub fn generate_layer_by_layer(params: &GgenParams) -> Topology {
-    assert!(params.layers >= 2, "need at least two layers");
-    assert!(
-        params.vertices >= params.layers,
-        "need at least one vertex per layer"
-    );
-    assert!((0.0..=1.0).contains(&params.p), "p must be a probability");
+    match try_generate_layer_by_layer(params) {
+        Ok(t) => t,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`generate_layer_by_layer`] with validation as a typed error.
+pub fn try_generate_layer_by_layer(params: &GgenParams) -> Result<Topology, GgenError> {
+    params.validate()?;
     let mut rng = StdRng::seed_from_u64(params.seed);
 
     // Deal vertices into layers: one guaranteed per layer, the rest spread
@@ -82,11 +210,26 @@ pub fn generate_layer_by_layer(params: &GgenParams) -> Topology {
         layer_of.push(v % l);
     }
     layer_of.sort_unstable();
+    // Sorted layers make every layer a contiguous id range;
+    // `layer_start[i]` is the first vertex of layer i (sentinel at n).
+    let mut layer_start = vec![n; l + 1];
+    for v in (0..n).rev() {
+        layer_start[layer_of[v]] = v;
+    }
+    for i in (0..l).rev() {
+        if layer_start[i] == n {
+            layer_start[i] = layer_start[i + 1];
+        }
+    }
 
-    let mut tb = TopologyBuilder::new(&format!(
-        "ggen-v{}-l{}-p{}-s{}",
-        n, l, params.p, params.seed
-    ));
+    // Expected edges ≈ p · eligible pairs; reserving that up front keeps
+    // the 10k-vertex build from reallocating its edge columns.
+    let expected_edges = (params.p * (n as f64) * (n as f64) / 2.0).min(1e8) as usize;
+    let mut tb = TopologyBuilder::with_capacity(
+        &format!("ggen-v{}-l{}-p{}-s{}", n, l, params.p, params.seed),
+        n,
+        expected_edges.min(4 * n),
+    );
     let mut ids = Vec::with_capacity(n);
     for (v, &lv) in layer_of.iter().enumerate() {
         let id = if lv == 0 {
@@ -101,42 +244,77 @@ pub fn generate_layer_by_layer(params: &GgenParams) -> Topology {
 
     // Connect each cross-layer pair with probability p (any downstream
     // layer, per the paper's "links to nodes of downstream layers").
+    // Because ids are sorted by layer, the eligible partners of `u` are
+    // exactly the contiguous range `[layer_start[layer(u)+1], n)`.
     let mut connected = vec![false; n];
-    for u in 0..n {
-        for v in (u + 1)..n {
-            if layer_of[u] < layer_of[v] && rng.random::<f64>() < params.p {
+    if params.p >= SPARSE_P {
+        // Dense: per-pair Bernoulli sweep — the historical draw sequence,
+        // byte-for-byte, for every Table II preset.
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if layer_of[u] < layer_of[v] && rng.random::<f64>() < params.p {
+                    tb.connect(ids[u], ids[v]);
+                    connected[u] = true;
+                    connected[v] = true;
+                }
+            }
+        }
+    } else if params.p > 0.0 {
+        // Sparse: geometric skip-sampling. For each vertex, jump straight
+        // to its next connected partner: a uniform draw U maps to a skip
+        // of floor(ln(1-U)/ln(1-p)) non-edges, so work is proportional to
+        // edges drawn, not pairs considered — what makes V≈10k feasible.
+        let ln_q = (1.0 - params.p).ln();
+        for u in 0..n {
+            let first = layer_start[layer_of[u] + 1];
+            let mut v = first;
+            loop {
+                let draw: f64 = rng.random();
+                let skip = ((1.0 - draw).ln() / ln_q).floor();
+                if !skip.is_finite() || skip >= (n - v) as f64 {
+                    break;
+                }
+                v += skip as usize;
                 tb.connect(ids[u], ids[v]);
                 connected[u] = true;
                 connected[v] = true;
+                v += 1;
+                if v >= n {
+                    break;
+                }
             }
         }
     }
 
     // Paper constraint (1): every vertex connected to at least one other.
-    // Attach stragglers to a random vertex in an adjacent layer.
+    // Attach stragglers to a random vertex in an adjacent layer. Sorted
+    // layers make both candidate sets contiguous ranges, so one bounded
+    // draw replaces the old collect-then-index — same single draw per
+    // straggler, same distribution, no allocation.
     for v in 0..n {
         if connected[v] {
             continue;
         }
         if layer_of[v] == 0 {
             // A spout: wire it to a random vertex of a later layer.
-            let candidates: Vec<usize> = (0..n).filter(|&w| layer_of[w] > 0).collect();
-            let w = candidates[rng.random_range(0..candidates.len())];
+            let first = layer_start[1];
+            let w = first + rng.random_range(0..n - first);
             tb.connect(ids[v], ids[w]);
             connected[v] = true;
             connected[w] = true;
         } else {
             // A bolt: wire a random earlier-layer vertex to it.
-            let candidates: Vec<usize> = (0..n).filter(|&w| layer_of[w] < layer_of[v]).collect();
-            let w = candidates[rng.random_range(0..candidates.len())];
+            let limit = layer_start[layer_of[v]];
+            let w = rng.random_range(0..limit);
             tb.connect(ids[w], ids[v]);
             connected[v] = true;
             connected[w] = true;
         }
     }
 
-    tb.build()
-        .expect("generated graph is a valid topology by construction")
+    Ok(tb
+        .build()
+        .expect("generated graph is a valid topology by construction"))
 }
 
 #[cfg(test)]
@@ -232,5 +410,73 @@ mod tests {
             p: 0.5,
             seed: 0,
         });
+    }
+
+    #[test]
+    fn new_validates_and_large_counts_are_rejected() {
+        assert!(GgenParams::new(10, 4, 0.4, 0).is_ok());
+        assert_eq!(
+            GgenParams::new(10, 1, 0.4, 0),
+            Err(GgenError::TooFewLayers(1))
+        );
+        assert_eq!(
+            GgenParams::new(3, 5, 0.4, 0),
+            Err(GgenError::TooManyLayers {
+                vertices: 3,
+                layers: 5
+            })
+        );
+        assert_eq!(
+            GgenParams::new(10, 4, 1.5, 0),
+            Err(GgenError::BadProbability(1.5))
+        );
+        assert_eq!(
+            GgenParams::new(u32::MAX as usize + 1, 4, 0.4, 0),
+            Err(GgenError::TooLarge(u32::MAX as usize + 1))
+        );
+        // The error chain formats the same complaint the panic used.
+        let msg = GgenError::TooManyLayers {
+            vertices: 3,
+            layers: 5,
+        }
+        .to_string();
+        assert!(msg.contains("at least one vertex per layer"), "{msg}");
+    }
+
+    #[test]
+    fn with_density_hits_the_target_degree() {
+        let params = GgenParams::with_density(2_000, 8, 3.0, 11).unwrap();
+        assert!(params.p < SPARSE_P, "10k-class graphs take the sparse path");
+        let t = generate_layer_by_layer(&params);
+        assert_eq!(t.n_nodes(), 2_000);
+        let avg = t.avg_out_degree();
+        assert!(
+            (avg - 3.0).abs() < 1.0,
+            "target degree 3.0, got {avg} (p = {})",
+            params.p
+        );
+    }
+
+    #[test]
+    fn sparse_path_is_deterministic_and_connected() {
+        let params = GgenParams::with_density(5_000, 10, 2.0, 7).unwrap();
+        let a = generate_layer_by_layer(&params);
+        let b = generate_layer_by_layer(&params);
+        assert_eq!(a, b);
+        for v in 0..a.n_nodes() {
+            assert!(
+                !a.out_edges(v).is_empty() || !a.in_edges(v).is_empty(),
+                "node {v} disconnected"
+            );
+        }
+    }
+
+    #[test]
+    fn ten_thousand_vertices_generate_quickly() {
+        let params = GgenParams::with_density(10_000, 12, 2.5, 3).unwrap();
+        let t = generate_layer_by_layer(&params);
+        assert_eq!(t.n_nodes(), 10_000);
+        assert!(t.n_edges() > 10_000, "got {} edges", t.n_edges());
+        assert!(!t.spouts().is_empty());
     }
 }

@@ -22,7 +22,7 @@ pub mod presets;
 pub mod stats;
 pub mod sundog;
 
-pub use ggen::{generate_layer_by_layer, GgenParams};
+pub use ggen::{generate_layer_by_layer, try_generate_layer_by_layer, GgenError, GgenParams};
 pub use presets::{condition_name, make_condition, Condition, SizeClass};
 pub use stats::TopologyStats;
 pub use sundog::sundog_topology;

@@ -15,14 +15,14 @@ pub fn apply_time_imbalance(topo: &mut Topology, mean: f64, degree: f64, seed: u
     assert!(mean >= 0.0);
     let mut rng = StdRng::seed_from_u64(seed);
     for v in 0..topo.n_nodes() {
-        if topo.node(v).kind != NodeKind::Bolt {
+        if topo.kind(v) != NodeKind::Bolt {
             continue; // spout emission cost is not part of the modification
         }
         let drawn = rng.random_range(0.0..=(2.0 * mean));
         let cost = (1.0 - degree) * mean + degree * drawn;
         // Keep a tiny floor so a zero-cost bolt still passes through the
         // framework overhead path.
-        topo.node_mut(v).time_complexity = cost.max(0.1);
+        topo.set_time_complexity(v, cost.max(0.1));
     }
 }
 
@@ -37,7 +37,7 @@ pub fn apply_contention(topo: &mut Topology, fraction: f64, seed: u64) -> Vec<us
     assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
     // Clear previous flags.
     for v in 0..topo.n_nodes() {
-        topo.node_mut(v).contentious = false;
+        topo.set_contentious(v, false);
     }
     // mtm-allow: float-eq -- exact zero is the "no contention" sentinel passed verbatim by callers
     if fraction == 0.0 {
@@ -45,7 +45,7 @@ pub fn apply_contention(topo: &mut Topology, fraction: f64, seed: u64) -> Vec<us
     }
     let budget = topo.total_compute_units() * fraction;
     let mut bolts: Vec<usize> = (0..topo.n_nodes())
-        .filter(|&v| topo.node(v).kind == NodeKind::Bolt)
+        .filter(|&v| topo.kind(v) == NodeKind::Bolt)
         .collect();
     let mut rng = StdRng::seed_from_u64(seed);
     bolts.shuffle(&mut rng);
@@ -56,8 +56,8 @@ pub fn apply_contention(topo: &mut Topology, fraction: f64, seed: u64) -> Vec<us
         if used >= budget {
             break;
         }
-        topo.node_mut(v).contentious = true;
-        used += topo.node(v).time_complexity;
+        topo.set_contentious(v, true);
+        used += topo.time_complexity(v);
         flagged.push(v);
     }
     flagged

@@ -141,7 +141,7 @@ pub fn sundog_topology() -> Topology {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mtm_stormsim::{simulate_flow, ClusterSpec, StormConfig};
+    use mtm_stormsim::{ClusterSpec, FlowSimulator, Simulator, StormConfig};
 
     #[test]
     fn structure_matches_figure_2() {
@@ -176,19 +176,22 @@ mod tests {
             max_tasks: 4_000,
         };
 
-        // Best-over-h with the developers' batch settings.
-        let mut base_best: f64 = 0.0;
-        for h in 1..=30 {
-            let r = simulate_flow(&t, &sundog_defaults(h), &cluster, 120.0);
-            base_best = base_best.max(r.throughput_tps);
-        }
+        // Best-over-h with the developers' batch settings — a natural
+        // batch: one topology, thirty candidate configurations.
+        let sim = FlowSimulator::new(t, cluster, 120.0).unwrap();
+        let sweep: Vec<StormConfig> = (1..=30).map(sundog_defaults).collect();
+        let base_best = sim
+            .evaluate_batch(&sweep)
+            .unwrap()
+            .iter()
+            .fold(0.0_f64, |b, r| b.max(r.throughput_tps));
         assert!(base_best > 0.0, "baseline Sundog must run");
 
         // Open up batch size / parallelism near the paper's optimum.
         let mut tuned = sundog_defaults(11);
         tuned.batch_size = 265_000;
         tuned.batch_parallelism = 16;
-        let tuned_r = simulate_flow(&t, &tuned, &cluster, 120.0);
+        let tuned_r = sim.evaluate(&tuned).unwrap();
 
         let gain = tuned_r.throughput_tps / base_best;
         assert!(
@@ -203,6 +206,7 @@ mod tests {
     fn huge_batches_eventually_stop_helping() {
         let t = sundog_topology();
         let cluster = ClusterSpec::paper_cluster();
+        let sim = FlowSimulator::new(t, cluster, 120.0).unwrap();
         let with_batch = |size: u32, bp: u32| {
             let mut c = StormConfig {
                 batch_size: size,
@@ -210,7 +214,7 @@ mod tests {
                 ..StormConfig::uniform_hints(SUNDOG_NODES, 11)
             };
             c.max_tasks = 4_000;
-            simulate_flow(&t, &c, &cluster, 120.0).throughput_tps
+            sim.evaluate(&c).unwrap().throughput_tps
         };
         let good = with_batch(265_000, 16);
         let absurd = with_batch(4_000_000, 64);

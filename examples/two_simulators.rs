@@ -8,7 +8,9 @@
 //! ```
 
 use mtm::stormsim::topology::TopologyBuilder;
-use mtm::stormsim::{simulate_flow, simulate_tuples, ClusterSpec, StormConfig, TupleSimOptions};
+use mtm::stormsim::{
+    ClusterSpec, FlowSimulator, Simulator, StormConfig, TupleSimOptions, TupleSimulator,
+};
 
 fn main() {
     // A small three-stage pipeline on a 4-machine cluster.
@@ -22,6 +24,16 @@ fn main() {
     let mut cluster = ClusterSpec::paper_cluster();
     cluster.machines = 4;
 
+    // Bind each simulator once: the topology analysis is shared by
+    // every configuration evaluated below.
+    let flow_sim = FlowSimulator::new(topo.clone(), cluster.clone(), 60.0).unwrap();
+    let opts = TupleSimOptions {
+        window_s: 60.0,
+        max_events: 20_000_000,
+        network_delay_s: 0.0005,
+    };
+    let tuple_sim = TupleSimulator::new(topo, cluster, opts).unwrap();
+
     println!(
         "{:<28} {:>12} {:>12} {:>8}",
         "configuration", "flow tps", "tuple tps", "ratio"
@@ -31,13 +43,8 @@ fn main() {
         config.batch_size = 400;
         config.batch_parallelism = 4;
 
-        let flow = simulate_flow(&topo, &config, &cluster, 60.0);
-        let opts = TupleSimOptions {
-            window_s: 60.0,
-            max_events: 20_000_000,
-            network_delay_s: 0.0005,
-        };
-        let tuple = simulate_tuples(&topo, &config, &cluster, &opts);
+        let flow = flow_sim.evaluate(&config).unwrap();
+        let tuple = tuple_sim.evaluate(&config).unwrap();
 
         let ratio = if tuple.throughput_tps > 0.0 {
             flow.throughput_tps / tuple.throughput_tps

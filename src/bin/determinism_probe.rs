@@ -15,8 +15,8 @@ use mtm_runner::engine::{canonical_result_json, run_experiment_journaled, run_ex
 use mtm_runner::RunnerOptions;
 use mtm_stormsim::noise::MeasurementNoise;
 use mtm_stormsim::{
-    simulate_flow, simulate_flow_with, simulate_tuples, simulate_tuples_with, ClusterSpec,
-    StormConfig, TupleSimOptions,
+    simulate_flow_with, simulate_tuples_with, ClusterSpec, FlowSimulator, SimBatch, Simulator,
+    StormConfig, TupleSimOptions, TupleSimulator,
 };
 use mtm_topogen::{make_condition, sundog_topology, Condition, SizeClass};
 
@@ -28,7 +28,11 @@ fn main() {
     let sundog = sundog_topology();
     let mut config = StormConfig::baseline(sundog.n_nodes());
     config.parallelism_hints = (0..sundog.n_nodes() as u32).map(|v| 1 + v % 7).collect();
-    let flow = simulate_flow(&sundog, &config, &cluster, 120.0);
+    let sundog_sim = ok(
+        "sundog simulator",
+        FlowSimulator::new(sundog, cluster.clone(), 120.0),
+    );
+    let flow = ok("sundog config", sundog_sim.evaluate(&config));
     println!("flow/sundog {}", render(&flow));
 
     let contended = make_condition(
@@ -40,8 +44,34 @@ fn main() {
         0x2015,
     );
     let config_c = StormConfig::uniform_hints(contended.n_nodes(), 5);
-    let flow_c = simulate_flow(&contended, &config_c, &cluster, 120.0);
+    let contended_sim = ok(
+        "contended simulator",
+        FlowSimulator::new(contended.clone(), cluster.clone(), 120.0),
+    );
+    let flow_c = ok("contended config", contended_sim.evaluate(&config_c));
     println!("flow/contended {}", render(&flow_c));
+
+    // Batched evaluation: one SimBatch over a hint sweep must be
+    // bitwise-identical to N sequential evaluations, run to run.
+    let sweep: Vec<StormConfig> = (1..=8)
+        .map(|h| StormConfig::uniform_hints(contended.n_nodes(), h))
+        .collect();
+    let mut batch = SimBatch::new();
+    ok(
+        "hint sweep",
+        contended_sim.evaluate_batch_into(&sweep, &mut batch),
+    );
+    let sequential: Vec<_> = sweep
+        .iter()
+        .map(|c| ok("hint sweep config", contended_sim.evaluate(c)))
+        .collect();
+    println!(
+        "batch/equiv {}",
+        batch.results() == sequential.as_slice() && batch.len() == sweep.len()
+    );
+    for (i, r) in batch.results().iter().enumerate() {
+        println!("batch/sweep h={} {}", i + 1, float_bits(r.throughput_tps));
+    }
 
     // Per-tuple discrete-event simulator (bounded event count keeps the
     // probe fast while still exercising the full event loop).
@@ -50,7 +80,11 @@ fn main() {
         max_events: 2_000_000,
         ..Default::default()
     };
-    let tuples = simulate_tuples(&contended, &config_c, &cluster, &opts);
+    let tuple_sim = ok(
+        "tuple simulator",
+        TupleSimulator::new(contended.clone(), cluster.clone(), opts),
+    );
+    let tuples = ok("tuple config", tuple_sim.evaluate(&config_c));
     println!("tuples/contended {}", render(&tuples));
 
     // 10-step BO loop with measurement noise on (seeded), printing the
@@ -98,7 +132,11 @@ fn recording_inert_section(objective: &Objective) {
     let contended = objective.topology();
     let config_c = StormConfig::uniform_hints(contended.n_nodes(), 5);
 
-    let plain = simulate_flow(contended, &config_c, &cluster, 120.0);
+    let flow_sim = ok(
+        "inert flow simulator",
+        FlowSimulator::new(contended.clone(), cluster.clone(), 120.0),
+    );
+    let plain = ok("inert flow config", flow_sim.evaluate(&config_c));
     let mut mem = MemRecorder::new();
     let recorded = simulate_flow_with(contended, &config_c, &cluster, 120.0, &mut mem);
     println!(
@@ -112,7 +150,11 @@ fn recording_inert_section(objective: &Objective) {
         max_events: 2_000_000,
         ..Default::default()
     };
-    let plain = simulate_tuples(contended, &config_c, &cluster, &opts);
+    let tuple_sim = ok(
+        "inert tuple simulator",
+        TupleSimulator::new(contended.clone(), cluster.clone(), opts),
+    );
+    let plain = ok("inert tuple config", tuple_sim.evaluate(&config_c));
     let mut mem = MemRecorder::new();
     let recorded = simulate_tuples_with(contended, &config_c, &cluster, &opts, &mut mem);
     println!(
@@ -258,6 +300,19 @@ fn journal_replay_section(objective: &Objective) {
         }
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Unwrap a probe-internal `Result` without a panic site: probe output
+/// must stay diffable, and a backtrace on stdout/stderr is neither
+/// deterministic nor useful here.
+fn ok<T, E: std::fmt::Display>(what: &str, r: Result<T, E>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("determinism_probe: {what}: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Serialize a metrics struct to canonical JSON (object keys are sorted by

@@ -5,17 +5,13 @@ use proptest::prelude::*;
 
 use mtm_core::paramsets::ParamSet;
 use mtm_stormsim::flow;
-use mtm_stormsim::{simulate_flow, ClusterSpec, StormConfig};
+use mtm_stormsim::{ClusterSpec, FlowSimulator, Simulator, StormConfig};
 use mtm_topogen::{generate_layer_by_layer, make_condition, Condition, GgenParams, SizeClass};
 
 fn arb_params() -> impl Strategy<Value = GgenParams> {
     (6usize..40, 2usize..6, 0.05f64..0.6, any::<u64>()).prop_map(|(vertices, layers, p, seed)| {
-        GgenParams {
-            vertices: vertices.max(layers),
-            layers,
-            p,
-            seed,
-        }
+        GgenParams::new(vertices.max(layers), layers, p, seed)
+            .expect("strategy ranges satisfy the validator")
     })
 }
 
@@ -61,7 +57,8 @@ proptest! {
         let mut config = StormConfig::uniform_hints(t.n_nodes(), hint);
         config.batch_size = bs;
         config.batch_parallelism = bp;
-        let r = simulate_flow(&t, &config, &ClusterSpec::paper_cluster(), 120.0);
+        let sim = FlowSimulator::new(t, ClusterSpec::paper_cluster(), 120.0).unwrap();
+        let r = sim.evaluate(&config).unwrap();
         prop_assert!(r.throughput_tps >= 0.0);
         prop_assert!(r.throughput_tps.is_finite());
         prop_assert!(r.avg_worker_net_mbps >= 0.0);

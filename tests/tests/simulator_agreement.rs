@@ -4,7 +4,7 @@
 
 use mtm_stormsim::topology::TopologyBuilder;
 use mtm_stormsim::{
-    simulate_flow, simulate_tuples, ClusterSpec, StormConfig, Topology, TupleSimOptions,
+    ClusterSpec, FlowSimulator, Simulator, StormConfig, Topology, TupleSimOptions, TupleSimulator,
 };
 
 fn pipeline() -> Topology {
@@ -34,13 +34,15 @@ fn run_both(hint: u32) -> (f64, f64) {
     let topo = pipeline();
     let cl = cluster();
     let cfg = config(hint);
-    let flow = simulate_flow(&topo, &cfg, &cl, 60.0);
+    let flow_sim = FlowSimulator::new(topo.clone(), cl.clone(), 60.0).unwrap();
+    let flow = flow_sim.evaluate(&cfg).unwrap();
     let opts = TupleSimOptions {
         window_s: 60.0,
         max_events: 30_000_000,
         network_delay_s: 0.0005,
     };
-    let tuple = simulate_tuples(&topo, &cfg, &cl, &opts);
+    let tuple_sim = TupleSimulator::new(topo, cl, opts).unwrap();
+    let tuple = tuple_sim.evaluate(&cfg).unwrap();
     (flow.throughput_tps, tuple.throughput_tps)
 }
 
@@ -99,10 +101,24 @@ fn both_simulators_agree_that_contention_hurts() {
         network_delay_s: 0.0005,
     };
 
-    let flow_clean = simulate_flow(&build(false), &cfg, &cl, 40.0).throughput_tps;
-    let flow_cont = simulate_flow(&build(true), &cfg, &cl, 40.0).throughput_tps;
-    let tuple_clean = simulate_tuples(&build(false), &cfg, &cl, &opts).throughput_tps;
-    let tuple_cont = simulate_tuples(&build(true), &cfg, &cl, &opts).throughput_tps;
+    let flow_of = |contentious: bool| {
+        FlowSimulator::new(build(contentious), cl.clone(), 40.0)
+            .unwrap()
+            .evaluate(&cfg)
+            .unwrap()
+            .throughput_tps
+    };
+    let tuple_of = |contentious: bool| {
+        TupleSimulator::new(build(contentious), cl.clone(), opts)
+            .unwrap()
+            .evaluate(&cfg)
+            .unwrap()
+            .throughput_tps
+    };
+    let flow_clean = flow_of(false);
+    let flow_cont = flow_of(true);
+    let tuple_clean = tuple_of(false);
+    let tuple_cont = tuple_of(true);
 
     assert!(
         flow_cont < flow_clean,
@@ -119,13 +135,19 @@ fn network_accounting_is_consistent() {
     let topo = pipeline();
     let cl = cluster();
     let cfg = config(4);
-    let flow = simulate_flow(&topo, &cfg, &cl, 60.0);
+    let flow = FlowSimulator::new(topo.clone(), cl.clone(), 60.0)
+        .unwrap()
+        .evaluate(&cfg)
+        .unwrap();
     let opts = TupleSimOptions {
         window_s: 60.0,
         max_events: 30_000_000,
         network_delay_s: 0.0005,
     };
-    let tuple = simulate_tuples(&topo, &cfg, &cl, &opts);
+    let tuple = TupleSimulator::new(topo, cl, opts)
+        .unwrap()
+        .evaluate(&cfg)
+        .unwrap();
     assert!(flow.avg_worker_net_mbps > 0.0);
     assert!(tuple.avg_worker_net_mbps > 0.0);
     let ratio = flow.avg_worker_net_mbps / tuple.avg_worker_net_mbps;

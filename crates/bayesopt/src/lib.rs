@@ -19,7 +19,11 @@
 //!   BoError` chain; proposal and observation failures are values, not
 //!   panics,
 //! * [`history`] — serde snapshots giving pause/resume, the Spearmint
-//!   feature the authors singled out as important for their cluster setup.
+//!   feature the authors singled out as important for their cluster setup,
+//! * [`tpe`], [`hyperband`], [`random_search`] — the strategy zoo:
+//!   Tree-structured Parzen Estimator, successive-halving/Hyperband over
+//!   measurement budget, and the random-search calibration floor, all
+//!   sharing the same deterministic propose/observe contract.
 //!
 //! ```
 //! use mtm_bayesopt::{BayesOpt, BoConfig, space::{ParamSpace, Param}};
@@ -42,17 +46,23 @@ pub mod acquisition;
 pub mod design;
 pub mod error;
 pub mod history;
+pub mod hyperband;
 pub mod optimizer;
+pub mod random_search;
 pub mod space;
+pub mod tpe;
 
 pub use acquisition::Acquisition;
 pub use error::BoError;
 pub use history::Snapshot;
+pub use hyperband::{Hyperband, HyperbandConfig};
 pub use optimizer::{
     score_batch, BayesOpt, BoConfig, BoConfigBuilder, Candidate, KernelChoice, Observation,
     SurrogateMode,
 };
+pub use random_search::RandomSearch;
 pub use space::{Param, ParamSpace, Value};
+pub use tpe::{Tpe, TpeConfig};
 
 // Runtime invariant guards, available to callers when the
 // `strict-invariants` feature is on.

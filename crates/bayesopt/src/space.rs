@@ -278,6 +278,7 @@ impl ParamSpace {
             .iter()
             .zip(u)
             .map(|(p, &ui)| p.decode(ui))
+            // mtm-allow: alloc -- one dim-sized vector per proposal, amortized
             .collect()
     }
 
@@ -288,6 +289,7 @@ impl ParamSpace {
             .iter()
             .zip(values)
             .map(|(p, v)| p.encode(v))
+            // mtm-allow: alloc -- one dim-sized unit point per proposal, amortized
             .collect()
     }
 
@@ -299,6 +301,7 @@ impl ParamSpace {
 
     /// Sample a uniform random typed configuration.
     pub fn sample(&self, rng: &mut StdRng) -> Vec<Value> {
+        // mtm-allow: alloc -- one dim-sized draw per proposal, amortized
         self.params.iter().map(|p| p.sample(rng)).collect()
     }
 

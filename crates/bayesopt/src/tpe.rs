@@ -1,0 +1,470 @@
+//! Tree-structured Parzen Estimator (TPE) — the Optuna-style
+//! density-ratio optimizer (Bergstra et al., "Algorithms for
+//! Hyper-Parameter Optimization", NeurIPS 2011).
+//!
+//! Where the GP surrogate in [`crate::optimizer`] models p(y | x), TPE
+//! models the two conditionals p(x | y good) and p(x | y bad): after a
+//! short random startup phase the observation history is split at the
+//! gamma quantile of the objective, each side gets a per-dimension
+//! Parzen (kernel-density) estimator over the unit-cube encoding, and
+//! the next proposal is the candidate — sampled from the *good* density
+//! — that maximizes the ratio l(x)/g(x). Discrete parameters ride on the
+//! same continuous-relaxation encoding the GP uses (bucket midpoints,
+//! see [`crate::space`]), so the estimator needs no per-type cases.
+//!
+//! Determinism contract (shared with [`crate::optimizer::BayesOpt`]):
+//!
+//! * every proposal derives its randomness from `(seed, step)` where
+//!   `step` is the observation count, so a resumed run that replays its
+//!   observations proposes bitwise-identically;
+//! * the good/bad split orders observations by `(y desc, unit lex)` —
+//!   a pure function of the observation *multiset*, invariant under
+//!   permutation of the insertion order;
+//! * the split depends on objective *ranks* only, so scaling `y` by any
+//!   positive constant leaves the whole proposal sequence unchanged.
+
+use mtm_obs::event::finite_or_zero;
+use mtm_obs::{Event, NullRecorder, Recorder};
+use mtm_stats::dist::{norm_cdf, norm_pdf, norm_ppf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::BoError;
+use crate::optimizer::{Candidate, Observation};
+use crate::space::ParamSpace;
+
+/// Tuning knobs of the TPE sampler. Out-of-range values are clamped at
+/// construction ([`Tpe::new`]) rather than rejected — every field has a
+/// safe nearest neighbor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpeConfig {
+    /// Seed all per-step randomness derives from.
+    pub seed: u64,
+    /// Random startup proposals before the density model switches on
+    /// (Optuna's `n_startup_trials`).
+    pub n_startup: usize,
+    /// Fraction of the history treated as "good" (the split quantile).
+    pub gamma: f64,
+    /// Candidates sampled from the good density per proposal.
+    pub n_candidates: usize,
+}
+
+impl Default for TpeConfig {
+    fn default() -> Self {
+        TpeConfig {
+            seed: 0,
+            n_startup: 6,
+            gamma: 0.25,
+            n_candidates: 24,
+        }
+    }
+}
+
+impl TpeConfig {
+    /// Default knobs with a caller-supplied seed.
+    pub fn with_seed(seed: u64) -> Self {
+        TpeConfig {
+            seed,
+            ..TpeConfig::default()
+        }
+    }
+}
+
+/// The TPE propose/observe loop over one [`ParamSpace`].
+#[derive(Debug, Clone)]
+pub struct Tpe {
+    space: ParamSpace,
+    config: TpeConfig,
+    observations: Vec<Observation>,
+}
+
+impl Tpe {
+    /// A sampler over `space`. Config fields are clamped into their valid
+    /// ranges (`n_startup >= 1`, `gamma` in `[0.01, 0.5]`,
+    /// `n_candidates >= 1`).
+    pub fn new(space: ParamSpace, config: TpeConfig) -> Self {
+        let config = TpeConfig {
+            n_startup: config.n_startup.max(1),
+            gamma: config.gamma.clamp(0.01, 0.5),
+            n_candidates: config.n_candidates.max(1),
+            ..config
+        };
+        Tpe {
+            space,
+            config,
+            observations: Vec::new(),
+        }
+    }
+
+    /// The optimization domain.
+    pub fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    /// The effective (clamped) configuration.
+    pub fn config(&self) -> &TpeConfig {
+        &self.config
+    }
+
+    /// Completed evaluations, in observation order.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// The best observation so far (ties: earliest wins).
+    pub fn best(&self) -> Option<&Observation> {
+        self.observations
+            .iter()
+            .reduce(|a, b| if b.y > a.y { b } else { a })
+    }
+
+    /// Propose the next configuration to evaluate.
+    pub fn propose(&mut self) -> Candidate {
+        self.propose_recorded(&mut NullRecorder)
+    }
+
+    /// [`propose`](Self::propose) with instrumentation: one
+    /// [`Event::Propose`] per proposal, `path: "startup"` during the
+    /// random phase and `path: "tpe"` once the density ratio drives the
+    /// choice (`pool` is the candidate count, `margin` the best minus
+    /// runner-up log-ratio). The proposal is bitwise identical with any
+    /// recorder.
+    // mtm-cold: one proposal per optimization step, like BayesOpt's.
+    pub fn propose_recorded<R: Recorder>(&mut self, rec: &mut R) -> Candidate {
+        let step = self.observations.len();
+        let mut rng = step_rng(self.config.seed, step);
+        if step < self.config.n_startup {
+            let values = self.space.sample(&mut rng);
+            let unit = self.space.encode(&values);
+            if R::ENABLED {
+                rec.record(Event::Propose {
+                    step,
+                    path: "startup".into(),
+                    refit: false,
+                    pool: 1,
+                    margin: 0.0,
+                    polish_moves: 0,
+                    wall_ns: None,
+                });
+            }
+            return Candidate { unit, values };
+        }
+
+        let (good, bad) = self.partition();
+        let dims = self.space.dim();
+        let mut good_density = Vec::with_capacity(dims);
+        let mut bad_density = Vec::with_capacity(dims);
+        for d in 0..dims {
+            good_density.push(Parzen::fit(
+                good.iter().filter_map(|o| o.unit.get(d).copied()),
+            ));
+            bad_density.push(Parzen::fit(
+                bad.iter().filter_map(|o| o.unit.get(d).copied()),
+            ));
+        }
+
+        // Sample the candidate pool from the good density and keep the
+        // two best log-ratios (argmax + margin). First maximizer wins
+        // ties, so the scan order (the sampling order) is load-bearing
+        // and deterministic.
+        let mut best_u: Vec<f64> = Vec::new();
+        let mut best_score = f64::NEG_INFINITY;
+        let mut runner_up = f64::NEG_INFINITY;
+        let mut candidate: Vec<f64> = Vec::with_capacity(dims);
+        for _ in 0..self.config.n_candidates {
+            candidate.clear();
+            candidate.extend(good_density.iter().map(|p| p.sample(&mut rng)));
+            // Snap to bucket midpoints before scoring so the ratio is
+            // evaluated at the configuration that would actually run.
+            let snapped = self.space.canonicalize(&candidate);
+            let score: f64 = snapped
+                .iter()
+                .zip(good_density.iter().zip(bad_density.iter()))
+                .map(|(&u, (l, g))| l.log_pdf(u) - g.log_pdf(u))
+                .sum();
+            if score > best_score {
+                runner_up = best_score;
+                best_score = score;
+                best_u = snapped;
+            } else if score > runner_up {
+                runner_up = score;
+            }
+        }
+        let values = self.space.decode(&best_u);
+        if R::ENABLED {
+            rec.record(Event::Propose {
+                step,
+                path: "tpe".into(),
+                refit: false,
+                pool: self.config.n_candidates,
+                margin: finite_or_zero(best_score - runner_up),
+                polish_moves: 0,
+                wall_ns: None,
+            });
+        }
+        Candidate {
+            unit: best_u,
+            values,
+        }
+    }
+
+    /// Record the result of evaluating `candidate`. Rejects NaN/±inf
+    /// objectives with [`BoError::NonFiniteObjective`]; state is
+    /// unchanged on error.
+    pub fn observe(&mut self, candidate: Candidate, y: f64) -> Result<(), BoError> {
+        if !y.is_finite() {
+            return Err(BoError::NonFiniteObjective(y));
+        }
+        // mtm-allow: alloc -- amortized history append; one per measured trial
+        self.observations.push(Observation {
+            unit: candidate.unit,
+            values: candidate.values,
+            y,
+        });
+        Ok(())
+    }
+
+    /// The good/bad split the next proposal would model: observations
+    /// ordered by `(y desc, unit lex asc)` — a pure function of the
+    /// observation multiset — with the top `ceil(gamma·n)` (at least 1)
+    /// forming the good side. Public so the metamorphic suite can pin
+    /// the permutation invariance directly.
+    pub fn partition(&self) -> (Vec<&Observation>, Vec<&Observation>) {
+        let mut ordered: Vec<&Observation> = self.observations.iter().collect();
+        ordered.sort_by(|a, b| {
+            b.y.total_cmp(&a.y).then_with(|| {
+                // Lexicographic unit-point tie-break: insertion-order
+                // independent even when two configs share an objective.
+                a.unit
+                    .iter()
+                    .zip(b.unit.iter())
+                    .map(|(x, y)| x.total_cmp(y))
+                    .find(|o| o.is_ne())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+        });
+        let n_good = ((self.config.gamma * ordered.len() as f64).ceil() as usize)
+            .clamp(1, ordered.len().max(1));
+        let bad = ordered.split_off(n_good.min(ordered.len()));
+        (ordered, bad)
+    }
+}
+
+/// Per-step RNG derivation, shared with `BayesOpt`: resumed runs replay
+/// their observations and land on the same stream.
+fn step_rng(seed: u64, step: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (step as u64).wrapping_mul(0x9E37_79B9))
+}
+
+/// One-dimensional Parzen estimator on `[0, 1]`: a uniform-weight
+/// mixture of truncated Gaussians, one per observed coordinate plus one
+/// wide prior component at the interval center (so an empty or
+/// single-point side still defines a proper density). Bandwidths follow
+/// the classic TPE heuristic — distance to the farther neighbor, with
+/// the interval edges counting as neighbors.
+#[derive(Debug, Clone)]
+struct Parzen {
+    /// `(center, width)` per mixture component, observed points first
+    /// (ascending), the prior component last.
+    components: Vec<(f64, f64)>,
+}
+
+/// Bandwidth floor: keeps a cluster of identical coordinates (common
+/// with bucket-midpoint encodings) from collapsing into a delta spike.
+const MIN_BANDWIDTH: f64 = 1e-3;
+/// The wide prior component (center 0.5, width 1) every mixture carries.
+const PRIOR: (f64, f64) = (0.5, 1.0);
+
+impl Parzen {
+    /// Fit the mixture to the observed coordinates of one dimension.
+    fn fit(coords: impl Iterator<Item = f64>) -> Parzen {
+        let mut centers: Vec<f64> = coords.map(|c| c.clamp(0.0, 1.0)).collect();
+        centers.sort_by(f64::total_cmp);
+        let n = centers.len();
+        let mut components = Vec::with_capacity(n + 1);
+        for (i, &c) in centers.iter().enumerate() {
+            // The interval edges count as the first/last point's
+            // neighbors; `get` keeps the scan free of panicking indexing.
+            let left = i
+                .checked_sub(1)
+                .and_then(|j| centers.get(j).copied())
+                .unwrap_or(0.0);
+            let right = centers.get(i + 1).copied().unwrap_or(1.0);
+            let width = (c - left).max(right - c).clamp(MIN_BANDWIDTH, 1.0);
+            components.push((c, width));
+        }
+        components.push(PRIOR);
+        Parzen { components }
+    }
+
+    /// Log-density at `u` (natural log; finite for `u` in `[0, 1]`).
+    fn log_pdf(&self, u: f64) -> f64 {
+        let k = self.components.len() as f64;
+        let mut acc = 0.0;
+        for &(c, s) in &self.components {
+            let z = truncnorm_mass(c, s).max(f64::MIN_POSITIVE);
+            acc += norm_pdf((u - c) / s) / (s * z);
+        }
+        (acc / k).max(f64::MIN_POSITIVE).ln()
+    }
+
+    /// Draw one coordinate: pick a component uniformly, then
+    /// inverse-CDF sample its truncated Gaussian — two uniform draws per
+    /// coordinate, fully deterministic under a seeded `rng`.
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        let k = self.components.len();
+        let pick = ((rng.random::<f64>() * k as f64).floor() as usize).min(k.saturating_sub(1));
+        let (c, s) = self.components.get(pick).copied().unwrap_or(PRIOR);
+        let lo = norm_cdf((0.0 - c) / s);
+        let hi = norm_cdf((1.0 - c) / s);
+        let p = (lo + rng.random::<f64>() * (hi - lo)).clamp(1e-12, 1.0 - 1e-12);
+        (c + s * norm_ppf(p)).clamp(0.0, 1.0)
+    }
+}
+
+/// Probability mass a unit Gaussian at `(c, s)` leaves inside `[0, 1]`.
+fn truncnorm_mass(c: f64, s: f64) -> f64 {
+    norm_cdf((1.0 - c) / s) - norm_cdf((0.0 - c) / s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{Param, Value};
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            Param::int("h", 1, 30),
+            Param::log_int("batch", 10, 10_000),
+            Param::categorical("mode", &["a", "b", "c"]),
+        ])
+    }
+
+    fn drive(seed: u64, ys: &[f64]) -> (Tpe, Vec<Vec<Value>>) {
+        let mut tpe = Tpe::new(
+            space(),
+            TpeConfig {
+                n_startup: 4,
+                ..TpeConfig::with_seed(seed)
+            },
+        );
+        let mut proposed = Vec::new();
+        for &y in ys {
+            let cand = tpe.propose();
+            proposed.push(cand.values.clone());
+            tpe.observe(cand, y).unwrap();
+        }
+        (tpe, proposed)
+    }
+
+    #[test]
+    fn proposals_are_deterministic_and_in_range() {
+        let ys: Vec<f64> = (0..12).map(|i| (i as f64 * 7.3) % 5.0).collect();
+        let (_, a) = drive(9, &ys);
+        let (_, b) = drive(9, &ys);
+        assert_eq!(a, b, "same seed, same history, same proposals");
+        for values in &a {
+            let h = values[0].as_int();
+            assert!((1..=30).contains(&h));
+        }
+        let (_, c) = drive(10, &ys);
+        assert_ne!(a, c, "a different seed explores differently");
+    }
+
+    #[test]
+    fn startup_phase_lasts_n_startup_steps() {
+        let mut tpe = Tpe::new(
+            space(),
+            TpeConfig {
+                n_startup: 3,
+                ..TpeConfig::default()
+            },
+        );
+        let mut rec = mtm_obs::MemRecorder::new();
+        for i in 0..5 {
+            let cand = tpe.propose_recorded(&mut rec);
+            tpe.observe(cand, i as f64).unwrap();
+        }
+        let paths: Vec<&str> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Propose { path, .. } => Some(path.as_ref()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(paths, ["startup", "startup", "startup", "tpe", "tpe"]);
+    }
+
+    #[test]
+    fn partition_takes_the_gamma_top() {
+        let ys = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0, 4.0];
+        let (tpe, _) = drive(3, &ys);
+        let (good, bad) = tpe.partition();
+        assert_eq!(good.len(), 2, "ceil(0.25 * 8)");
+        assert_eq!(bad.len(), 6);
+        let min_good = good.iter().map(|o| o.y).fold(f64::INFINITY, f64::min);
+        let max_bad = bad.iter().map(|o| o.y).fold(f64::NEG_INFINITY, f64::max);
+        assert!(min_good >= max_bad, "split respects the quantile");
+    }
+
+    #[test]
+    fn non_finite_objective_is_rejected() {
+        let mut tpe = Tpe::new(space(), TpeConfig::default());
+        let cand = tpe.propose();
+        assert!(tpe.observe(cand.clone(), f64::NAN).is_err());
+        assert!(tpe.observations().is_empty());
+        tpe.observe(cand, 1.0).unwrap();
+        assert_eq!(tpe.observations().len(), 1);
+    }
+
+    #[test]
+    fn converges_toward_the_peak_on_a_smooth_objective() {
+        // 1-D peak at h = 22: after a modest budget TPE's best should be
+        // close — the density ratio must actually steer.
+        let space = ParamSpace::new(vec![Param::int("h", 1, 60)]);
+        let mut tpe = Tpe::new(space, TpeConfig::with_seed(11));
+        for _ in 0..40 {
+            let cand = tpe.propose();
+            let h = cand.values[0].as_int() as f64;
+            let y = -(h - 22.0) * (h - 22.0);
+            tpe.observe(cand, y).unwrap();
+        }
+        let best = tpe.best().unwrap().values[0].as_int();
+        assert!(
+            (best - 22).abs() <= 3,
+            "best {best} should be near the peak 22"
+        );
+    }
+
+    #[test]
+    fn parzen_is_a_proper_density() {
+        let p = Parzen::fit([0.2, 0.21, 0.8].into_iter());
+        // Trapezoid-integrate exp(log_pdf) over [0,1]: ~1.
+        let n = 2_000;
+        let mass: f64 = (0..=n)
+            .map(|i| {
+                let u = i as f64 / n as f64;
+                let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+                w * p.log_pdf(u).exp()
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((mass - 1.0).abs() < 0.01, "total mass {mass}");
+        // Density concentrates where the points are.
+        assert!(p.log_pdf(0.2) > p.log_pdf(0.5));
+    }
+
+    #[test]
+    fn parzen_sampling_stays_in_bounds_and_tracks_centers() {
+        let p = Parzen::fit([0.1, 0.12, 0.9].into_iter());
+        let mut rng = StdRng::seed_from_u64(5);
+        let draws: Vec<f64> = (0..500).map(|_| p.sample(&mut rng)).collect();
+        assert!(draws.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let near = draws
+            .iter()
+            .filter(|&&x| (x - 0.11).abs() < 0.2 || (x - 0.9).abs() < 0.2)
+            .count();
+        assert!(near > draws.len() / 2, "draws cluster at the centers");
+    }
+}

@@ -145,13 +145,37 @@ fn golden_trajectory_pla() {
 }
 
 #[test]
+fn golden_trajectory_tpe() {
+    let topo = objective().topology().clone();
+    check_golden("tpe", &move |seed| {
+        Strategy::tpe(&topo, ParamSet::Hints, seed)
+    });
+}
+
+#[test]
+fn golden_trajectory_hyperband() {
+    let topo = objective().topology().clone();
+    check_golden("hyperband", &move |seed| {
+        Strategy::hyperband(&topo, ParamSet::Hints, seed)
+    });
+}
+
+#[test]
+fn golden_trajectory_random() {
+    let topo = objective().topology().clone();
+    check_golden("random", &move |seed| {
+        Strategy::random(&topo, ParamSet::Hints, seed)
+    });
+}
+
+#[test]
 fn golden_traces_round_trip_through_the_loader() {
     if std::env::var_os("BLESS").is_some() {
         // The goldens are being (re)written concurrently by the other
         // tests in this binary; check them on the next plain run.
         return;
     }
-    for name in ["bo", "ibo", "pla"] {
+    for name in ["bo", "ibo", "pla", "tpe", "hyperband", "random"] {
         let path = golden_path(name);
         let Ok(on_disk) = std::fs::read(&path) else {
             panic!("missing golden file {} — bless first", path.display());

@@ -1,0 +1,136 @@
+//! Metamorphic properties of the strategy zoo.
+//!
+//! Three invariances that hold *by construction* and must keep holding:
+//!
+//! 1. TPE's good/bad split depends only on the **set** of completed
+//!    observations, never on the order they arrived in.
+//! 2. Scaling the objective by any positive constant leaves TPE's
+//!    proposal sequence unchanged — the split is rank-based and the
+//!    Parzen densities see only the x coordinates.
+//! 3. Hyperband rung budgets are monotone non-decreasing within every
+//!    bracket (survivors are only ever promoted to *longer*
+//!    measurements).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mtm_bayesopt::hyperband::{bracket_rungs, s_max, HyperbandConfig};
+use mtm_bayesopt::space::{Param, ParamSpace};
+use mtm_bayesopt::tpe::{Tpe, TpeConfig};
+
+fn space() -> ParamSpace {
+    ParamSpace::new(vec![
+        Param::int("h", 1, 30),
+        Param::log_int("batch", 10, 10_000),
+        Param::categorical("mode", &["a", "b", "c"]),
+    ])
+}
+
+/// One trial outcome: `(unit point, typed values, objective)`.
+type Trial = (Vec<f64>, Vec<mtm_bayesopt::Value>, f64);
+/// One side of a TPE split, projected for comparison.
+type Side = Vec<(Vec<f64>, f64)>;
+
+/// `n` deterministic (candidate, y) trial outcomes: candidates drawn
+/// uniformly from the space, objectives from the supplied list.
+fn trials(n: usize, ys: &[f64], seed: u64) -> Vec<Trial> {
+    (0..n)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+            let values = space().sample(&mut rng);
+            let unit = space().encode(&values);
+            let y = ys[i % ys.len().max(1)];
+            (unit, values, y)
+        })
+        .collect()
+}
+
+/// Feed `order`-permuted trials into a fresh TPE and return its good/bad
+/// split as comparable `(unit, y)` lists.
+fn split_after(order: &[usize], all: &[Trial]) -> (Side, Side) {
+    let mut tpe = Tpe::new(space(), TpeConfig::with_seed(1));
+    for &i in order {
+        let (unit, values, y) = &all[i];
+        tpe.observe(
+            mtm_bayesopt::Candidate {
+                unit: unit.clone(),
+                values: values.clone(),
+            },
+            *y,
+        )
+        .expect("finite objective");
+    }
+    let (good, bad) = tpe.partition();
+    let project = |obs: &[&mtm_bayesopt::Observation]| {
+        obs.iter()
+            .map(|o| (o.unit.clone(), o.y))
+            .collect::<Vec<_>>()
+    };
+    (project(&good), project(&bad))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tpe_split_is_invariant_under_observation_order(
+        n in 4usize..20,
+        seed in 0u64..1_000,
+        perm_seed in 0u64..1_000,
+        ys in prop::collection::vec(-1e6f64..1e6, 1..8),
+    ) {
+        let all = trials(n, &ys, seed);
+        let forward: Vec<usize> = (0..n).collect();
+        // Fisher–Yates with a seeded generator: an arbitrary permutation.
+        let mut shuffled = forward.clone();
+        let mut rng = StdRng::seed_from_u64(perm_seed);
+        for i in (1..n).rev() {
+            let j = (rng.random::<f64>() * (i + 1) as f64) as usize;
+            shuffled.swap(i, j.min(i));
+        }
+        prop_assert_eq!(split_after(&forward, &all), split_after(&shuffled, &all));
+    }
+
+    #[test]
+    fn tpe_proposals_are_invariant_under_positive_objective_scaling(
+        scale in prop_oneof![1e-6f64..1e-3, 0.1f64..10.0, 1e3f64..1e6],
+        seed in 0u64..1_000,
+        ys in prop::collection::vec(-1e3f64..1e3, 12..16),
+    ) {
+        let mut plain = Tpe::new(space(), TpeConfig::with_seed(seed));
+        let mut scaled = Tpe::new(space(), TpeConfig::with_seed(seed));
+        for &y in &ys {
+            let a = plain.propose();
+            let b = scaled.propose();
+            prop_assert_eq!(&a, &b, "proposal sequences diverged");
+            plain.observe(a, y).expect("finite");
+            scaled.observe(b, y * scale).expect("finite");
+        }
+        prop_assert_eq!(plain.propose(), scaled.propose());
+    }
+
+    #[test]
+    fn hyperband_rung_budgets_are_monotone_non_decreasing(
+        eta in 2usize..6,
+        r_min in 1usize..5,
+        r_max_factor in 1usize..40,
+        seed in 0u64..100,
+    ) {
+        let r_max = r_min * r_max_factor;
+        let config = HyperbandConfig { seed, eta, r_min, r_max };
+        for s in 0..=s_max(eta, r_min, r_max) {
+            let rungs = bracket_rungs(&config, s);
+            prop_assert!(!rungs.is_empty());
+            for w in rungs.windows(2) {
+                prop_assert!(
+                    w[1].reps >= w[0].reps,
+                    "bracket s={} of {:?} decreases budget: {:?}",
+                    s, config, rungs
+                );
+                prop_assert!(w[1].members <= w[0].members);
+            }
+            prop_assert!(rungs.iter().all(|r| r.reps <= r_max.max(r_min)));
+        }
+    }
+}

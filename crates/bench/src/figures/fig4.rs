@@ -124,7 +124,9 @@ mod tests {
     fn fig4_table_has_all_cells() {
         let g = grid::run(Scale::Smoke);
         let t = super::run(&g);
-        assert_eq!(t.rows.len(), 4 * 3 * 5);
+        // 4 conditions × 3 sizes × 8 strategies (the paper's five plus
+        // the tpe/hyperband/random zoo).
+        assert_eq!(t.rows.len(), 4 * 3 * 8);
         let report = super::shape_report(&g);
         assert!(report.contains("bo180"));
     }

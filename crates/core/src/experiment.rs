@@ -325,9 +325,9 @@ pub fn run_pass_traced<R: Recorder>(
     let mut consecutive_zero = 0;
     // Per-step rep buffers, hoisted so the trial loop reuses them
     // (`with_capacity` pre-sizing is the analyzer-sanctioned idiom).
-    let reps = opts.measure_reps.max(1);
-    let mut ctxs: Vec<TrialCtx> = Vec::with_capacity(reps);
-    let mut ys: Vec<f64> = Vec::with_capacity(reps);
+    let base_reps = opts.measure_reps.max(1);
+    let mut ctxs: Vec<TrialCtx> = Vec::with_capacity(base_reps);
+    let mut ys: Vec<f64> = Vec::with_capacity(base_reps);
 
     for step in 0..opts.max_steps {
         if measure.poll_abort() {
@@ -343,7 +343,10 @@ pub fn run_pass_traced<R: Recorder>(
         // evaluation runs, issued as one batch so the measurement layer
         // can share simulation work across reps; run ids fold in the
         // seed, step and repetition so every measurement has an
-        // independent noise draw, identically to per-rep calls.
+        // independent noise draw, identically to per-rep calls. A
+        // budget-allocating strategy (Hyperband) overrides the rep count
+        // per step — its rung budget IS the measurement duration axis.
+        let reps = strategy.measure_reps().unwrap_or(base_reps);
         ctxs.clear();
         // mtm-allow: alloc -- fills the rep-sized buffer pre-sized above the loop
         ctxs.extend((0..reps).map(|rep| TrialCtx {

@@ -50,7 +50,7 @@ pub use experiment::{
     select_best_pass, step_run_id, DirectMeasure, ExperimentResult, Measure, PassResult,
     RunOptions, StepRecord, TrialCtx, TrialKind,
 };
-pub use objective::Objective;
+pub use objective::{Objective, ObjectiveKind};
 pub use paramsets::ParamSet;
 pub use strategy::Strategy;
 pub use weights::base_parallelism_weights;

@@ -3,7 +3,25 @@
 
 use mtm_stormsim::noise::MeasurementNoise;
 use mtm_stormsim::{ClusterSpec, FlowSimulator, SimResult, Simulator, StormConfig, Topology};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+
+/// Which scalar a measurement reads off the simulated run.
+///
+/// The paper tunes throughput only; `Latency` exposes the simulator's
+/// recorded `SimResult::batch_latency_s` as a maximization objective
+/// (inverse latency, batches/s) so the same strategies, noise model and
+/// journals apply unchanged. Single-objective by design — groundwork
+/// for multi-objective (EHVI) work later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ObjectiveKind {
+    /// Noisy end-to-end throughput in tuples/s (the paper's objective).
+    #[default]
+    Throughput,
+    /// Inverse mini-batch commit latency in 1/s. Maximizing it minimizes
+    /// `SimResult::batch_latency_s`; runs with no recorded latency (or a
+    /// non-positive one) score 0, like failed throughput runs.
+    Latency,
+}
 
 /// The fixed batch configuration the synthetic parallelism experiments
 /// run under (§V-A only tunes parallelism; batching stays put).
@@ -33,6 +51,7 @@ pub struct Objective {
     base: StormConfig,
     window_s: f64,
     noise: MeasurementNoise,
+    kind: ObjectiveKind,
     /// The bound flow model: topology-level analysis done once at
     /// construction, shared by every measurement of this objective —
     /// which is what makes trial fan-out cheap on 10k-vertex graphs.
@@ -54,6 +73,7 @@ impl Objective {
             base,
             window_s: 120.0,
             noise: MeasurementNoise::default(),
+            kind: ObjectiveKind::default(),
             sim,
         }
     }
@@ -79,6 +99,17 @@ impl Objective {
     pub fn with_noise(mut self, noise: MeasurementNoise) -> Self {
         self.noise = noise;
         self
+    }
+
+    /// Override the measured scalar (throughput by default).
+    pub fn with_kind(mut self, kind: ObjectiveKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// The measured scalar.
+    pub fn kind(&self) -> ObjectiveKind {
+        self.kind
     }
 
     /// The topology under tuning.
@@ -107,8 +138,8 @@ impl Objective {
     // mtm-cold: a whole simulated evaluation run — its per-run setup
     // allocates by design; the constraint solver has its own hot root.
     pub fn measure(&self, config: &StormConfig, run_id: u64) -> f64 {
-        let tput = self.sim.evaluate(config).map_or(0.0, |r| r.throughput_tps);
-        self.noise.apply(tput, run_id)
+        let raw = self.sim.evaluate(config).map_or(0.0, |r| self.score(&r));
+        self.noise.apply(raw, run_id)
     }
 
     /// Batched form of [`measure`](Self::measure): one underlying
@@ -124,8 +155,20 @@ impl Objective {
         run_ids: impl IntoIterator<Item = u64>,
         out: &mut Vec<f64>,
     ) {
-        let tput = self.sim.evaluate(config).map_or(0.0, |r| r.throughput_tps);
-        out.extend(run_ids.into_iter().map(|id| self.noise.apply(tput, id)));
+        let raw = self.sim.evaluate(config).map_or(0.0, |r| self.score(&r));
+        out.extend(run_ids.into_iter().map(|id| self.noise.apply(raw, id)));
+    }
+
+    /// The (noise-free) scalar this objective reads off a run.
+    fn score(&self, r: &SimResult) -> f64 {
+        match self.kind {
+            ObjectiveKind::Throughput => r.throughput_tps,
+            ObjectiveKind::Latency => r
+                .batch_latency_s
+                .filter(|&l| l > 0.0)
+                .map(|l| 1.0 / l)
+                .unwrap_or(0.0),
+        }
     }
 
     /// The full (noise-free) simulation result for a configuration —
@@ -138,8 +181,8 @@ impl Objective {
 }
 
 /// Hand-written (the derive would demand `Serialize` of the bound
-/// simulator, which is derived state): serializes exactly the five
-/// defining fields, matching the pre-simulator wire shape.
+/// simulator, which is derived state): serializes exactly the six
+/// defining fields, matching the pre-simulator wire shape plus `kind`.
 impl Serialize for Objective {
     fn to_value(&self) -> serde::Value {
         let obj: Vec<(String, serde::Value)> = vec![
@@ -148,6 +191,7 @@ impl Serialize for Objective {
             ("base".to_string(), self.base.to_value()),
             ("window_s".to_string(), self.window_s.to_value()),
             ("noise".to_string(), self.noise.to_value()),
+            ("kind".to_string(), self.kind.to_value()),
         ];
         serde::Value::Object(obj)
     }
@@ -198,6 +242,44 @@ mod tests {
         let r1 = obj.inspect(&c);
         let r2 = obj.inspect(&c);
         assert_eq!(r1.throughput_tps, r2.throughput_tps);
+    }
+
+    #[test]
+    fn objective_kind_round_trips_through_serde() {
+        for kind in [ObjectiveKind::Throughput, ObjectiveKind::Latency] {
+            let json = serde_json::to_string(&kind).unwrap();
+            let back: ObjectiveKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, kind, "{json}");
+        }
+        assert_eq!(ObjectiveKind::default(), ObjectiveKind::Throughput);
+    }
+
+    #[test]
+    fn objective_serializes_its_kind() {
+        let obj = objective().with_kind(ObjectiveKind::Latency);
+        assert_eq!(obj.kind(), ObjectiveKind::Latency);
+        let json = serde_json::to_string(&obj).unwrap();
+        assert!(json.contains("\"kind\""), "{json}");
+        assert!(json.contains("Latency"), "{json}");
+    }
+
+    #[test]
+    fn latency_objective_reads_inverse_batch_latency() {
+        let obj = objective()
+            .with_kind(ObjectiveKind::Latency)
+            .with_noise(MeasurementNoise::none());
+        let c = obj.base_config().clone();
+        let r = obj.inspect(&c);
+        let latency = r.batch_latency_s.expect("healthy run records latency");
+        assert!(latency > 0.0);
+        let y = obj.measure(&c, 1);
+        assert_eq!(y.to_bits(), (1.0 / latency).to_bits());
+        // The throughput objective on the same run reads a different scalar.
+        let tput = objective()
+            .with_noise(MeasurementNoise::none())
+            .measure(&c, 1);
+        assert_eq!(tput.to_bits(), r.throughput_tps.to_bits());
+        assert_ne!(y.to_bits(), tput.to_bits());
     }
 
     #[test]

@@ -1,6 +1,10 @@
-//! The four optimization strategies of §V.
+//! The four optimization strategies of §V, plus the strategy zoo
+//! (TPE, successive-halving/Hyperband, and the random-search floor)
+//! behind the same propose/observe seam.
 
-use mtm_bayesopt::{BayesOpt, BoConfig, Candidate};
+use mtm_bayesopt::{
+    BayesOpt, BoConfig, Candidate, Hyperband, HyperbandConfig, RandomSearch, Tpe, TpeConfig,
+};
 use mtm_gp::FitOptions;
 use mtm_obs::{Event, NullRecorder, Recorder};
 use mtm_stormsim::{StormConfig, Topology};
@@ -30,6 +34,37 @@ pub enum Strategy {
     Bo {
         /// The underlying optimizer.
         opt: BayesOpt,
+        /// The tuned surface.
+        set: ParamSet,
+        /// The candidate awaiting its observation.
+        pending: Option<Candidate>,
+    },
+    /// Tree-structured Parzen Estimator over a parameter set
+    /// (Bergstra et al. 2011).
+    Tpe {
+        /// The underlying density-ratio optimizer.
+        opt: Tpe,
+        /// The tuned surface.
+        set: ParamSet,
+        /// The candidate awaiting its observation.
+        pending: Option<Candidate>,
+    },
+    /// Successive halving / Hyperband over measurement budget
+    /// (Li et al. 2018): rung survivors are re-measured with more
+    /// averaged repetitions — see [`Strategy::measure_reps`].
+    Hyperband {
+        /// The underlying bracket scheduler.
+        opt: Hyperband,
+        /// The tuned surface.
+        set: ParamSet,
+        /// The candidate awaiting its observation.
+        pending: Option<Candidate>,
+    },
+    /// Uniform random search — the calibration floor
+    /// (Bergstra & Bengio 2012).
+    Random {
+        /// The underlying sampler.
+        opt: RandomSearch,
         /// The tuned surface.
         set: ParamSet,
         /// The candidate awaiting its observation.
@@ -104,6 +139,44 @@ impl Strategy {
         Strategy::bo(topo, ParamSet::InformedMultiplier { weights }, seed)
     }
 
+    /// Tree-structured Parzen Estimator over `set`.
+    pub fn tpe(topo: &Topology, set: ParamSet, seed: u64) -> Strategy {
+        Strategy::Tpe {
+            opt: Tpe::new(set.space(topo), TpeConfig::with_seed(seed)),
+            set,
+            pending: None,
+        }
+    }
+
+    /// Successive halving / Hyperband over `set`, allocating
+    /// measurement repetitions by rung. The schedule leans exploratory
+    /// (`r_max = 3`, not the textbook 9): measurement noise is only a
+    /// few percent here, so deep re-measurement buys little and fresh
+    /// configurations buy a lot — the ContTune-style conservative
+    /// allocation for streaming workloads.
+    pub fn hyperband(topo: &Topology, set: ParamSet, seed: u64) -> Strategy {
+        let config = HyperbandConfig {
+            seed,
+            eta: 3,
+            r_min: 1,
+            r_max: 3,
+        };
+        Strategy::Hyperband {
+            opt: Hyperband::new(set.space(topo), config),
+            set,
+            pending: None,
+        }
+    }
+
+    /// The random-search floor over `set`.
+    pub fn random(topo: &Topology, set: ParamSet, seed: u64) -> Strategy {
+        Strategy::Random {
+            opt: RandomSearch::new(set.space(topo), seed),
+            set,
+            pending: None,
+        }
+    }
+
     /// Strategy label as used in the paper's figures.
     pub fn name(&self) -> &'static str {
         match self {
@@ -113,6 +186,9 @@ impl Strategy {
                 ParamSet::InformedMultiplier { .. } => "ibo",
                 _ => "bo",
             },
+            Strategy::Tpe { .. } => "tpe",
+            Strategy::Hyperband { .. } => "hyperband",
+            Strategy::Random { .. } => "random",
         }
     }
 
@@ -120,6 +196,18 @@ impl Strategy {
     /// three-consecutive-zeros early stop).
     pub fn is_linear(&self) -> bool {
         matches!(self, Strategy::Pla | Strategy::Ipla { .. })
+    }
+
+    /// Measurement repetitions the *current* proposal should be averaged
+    /// over, when the strategy allocates budget itself. `None` means
+    /// "use the run's configured `measure_reps`" — only Hyperband
+    /// returns `Some`, with the active rung's budget. Constant-time and
+    /// allocation-free (polled from the trial loop every step).
+    pub fn measure_reps(&self) -> Option<usize> {
+        match self {
+            Strategy::Hyperband { opt, .. } => Some(opt.pending_reps().max(1)),
+            _ => None,
+        }
     }
 
     /// Propose the configuration to evaluate at step `step` (0-based).
@@ -173,14 +261,32 @@ impl Strategy {
                 Some(c)
             }
             Strategy::Bo { opt, set, pending } => {
-                assert!(
-                    pending.is_none(),
-                    "observe() must be called between proposals"
-                );
+                assert_no_pending(pending);
                 // A surrogate failure (degenerate data the jitter ladder
                 // cannot rescue) ends the schedule instead of panicking;
                 // the experiment loop records the steps taken so far.
                 let cand = opt.propose_recorded(rec).ok()?;
+                let config = set.to_config(topo, base, &cand.values);
+                *pending = Some(cand);
+                Some(config)
+            }
+            Strategy::Tpe { opt, set, pending } => {
+                assert_no_pending(pending);
+                let cand = opt.propose_recorded(rec);
+                let config = set.to_config(topo, base, &cand.values);
+                *pending = Some(cand);
+                Some(config)
+            }
+            Strategy::Hyperband { opt, set, pending } => {
+                assert_no_pending(pending);
+                let cand = opt.propose_recorded(rec);
+                let config = set.to_config(topo, base, &cand.values);
+                *pending = Some(cand);
+                Some(config)
+            }
+            Strategy::Random { opt, set, pending } => {
+                assert_no_pending(pending);
+                let cand = opt.propose_recorded(rec);
                 let config = set.to_config(topo, base, &cand.values);
                 *pending = Some(cand);
                 Some(config)
@@ -194,16 +300,51 @@ impl Strategy {
     /// throughputs, are dropped (with a debug assertion) rather than
     /// panicking — the simulator only produces finite rates.
     pub fn observe(&mut self, throughput: f64) {
-        if let Strategy::Bo { opt, pending, .. } = self {
-            let Some(cand) = pending.take() else {
-                debug_assert!(false, "propose() must precede observe()");
-                return;
-            };
-            if let Err(e) = opt.observe(cand, throughput) {
-                debug_assert!(false, "rejected observation: {e}");
+        match self {
+            Strategy::Pla | Strategy::Ipla { .. } => {}
+            Strategy::Bo { opt, pending, .. } => {
+                let Some(cand) = pending.take() else {
+                    debug_assert!(false, "propose() must precede observe()");
+                    return;
+                };
+                if let Err(e) = opt.observe(cand, throughput) {
+                    debug_assert!(false, "rejected observation: {e}");
+                }
+            }
+            Strategy::Tpe { opt, pending, .. } => {
+                let Some(cand) = pending.take() else {
+                    debug_assert!(false, "propose() must precede observe()");
+                    return;
+                };
+                if let Err(e) = opt.observe(cand, throughput) {
+                    debug_assert!(false, "rejected observation: {e}");
+                }
+            }
+            Strategy::Hyperband { opt, pending, .. } => {
+                let taken = pending.take();
+                debug_assert!(taken.is_some(), "propose() must precede observe()");
+                if taken.is_some() {
+                    opt.observe(throughput);
+                }
+            }
+            Strategy::Random { opt, pending, .. } => {
+                let taken = pending.take();
+                debug_assert!(taken.is_some(), "propose() must precede observe()");
+                if taken.is_some() {
+                    opt.observe(throughput);
+                }
             }
         }
     }
+}
+
+/// The zoo-wide proposal precondition: a strategy that carries a pending
+/// candidate must see its observation before proposing again.
+fn assert_no_pending(pending: &Option<Candidate>) {
+    assert!(
+        pending.is_none(),
+        "observe() must be called between proposals"
+    );
 }
 
 /// The trace line for a linear-schedule proposal: the next configuration
@@ -301,5 +442,74 @@ mod tests {
         assert!(Strategy::pla().is_linear());
         assert!(Strategy::ipla(&t).is_linear());
         assert!(!Strategy::bo(&t, ParamSet::Hints, 0).is_linear());
+        assert!(!Strategy::tpe(&t, ParamSet::Hints, 0).is_linear());
+        assert!(!Strategy::hyperband(&t, ParamSet::Hints, 0).is_linear());
+        assert!(!Strategy::random(&t, ParamSet::Hints, 0).is_linear());
+    }
+
+    #[test]
+    fn zoo_round_trips_propose_observe_deterministically() {
+        let t = topo();
+        let base = StormConfig::baseline(3);
+        for make in [Strategy::tpe, Strategy::hyperband, Strategy::random] {
+            let mut a = make(&t, ParamSet::Hints, 3);
+            let mut b = make(&t, ParamSet::Hints, 3);
+            for step in 0..8 {
+                let ca = a.propose(&t, &base, step).unwrap();
+                let cb = b.propose(&t, &base, step).unwrap();
+                assert!(ca.validate(&t).is_ok());
+                assert_eq!(ca, cb, "{} step {step}", a.name());
+                let y = ca.parallelism_hints.iter().sum::<u32>() as f64;
+                a.observe(y);
+                b.observe(y);
+            }
+        }
+    }
+
+    #[test]
+    fn zoo_names() {
+        let t = topo();
+        assert_eq!(Strategy::tpe(&t, ParamSet::Hints, 0).name(), "tpe");
+        assert_eq!(
+            Strategy::hyperband(&t, ParamSet::Hints, 0).name(),
+            "hyperband"
+        );
+        assert_eq!(Strategy::random(&t, ParamSet::Hints, 0).name(), "random");
+    }
+
+    #[test]
+    fn only_hyperband_allocates_measurement_budget() {
+        let t = topo();
+        let base = StormConfig::baseline(3);
+        assert_eq!(Strategy::pla().measure_reps(), None);
+        assert_eq!(Strategy::bo(&t, ParamSet::Hints, 0).measure_reps(), None);
+        assert_eq!(Strategy::tpe(&t, ParamSet::Hints, 0).measure_reps(), None);
+        assert_eq!(
+            Strategy::random(&t, ParamSet::Hints, 0).measure_reps(),
+            None
+        );
+
+        // The seam's exploratory schedule (eta 3, r 1..3, s_max 1):
+        // bracket s=1 is three 1-rep steps then one 3-rep promotion,
+        // bracket s=0 is two 3-rep steps, and the next iteration
+        // repeats the cycle with fresh configurations.
+        let mut hb = Strategy::hyperband(&t, ParamSet::Hints, 0);
+        let mut reps = Vec::new();
+        for step in 0..12 {
+            let _ = hb.propose(&t, &base, step).unwrap();
+            reps.push(hb.measure_reps().unwrap());
+            hb.observe(1.0 + step as f64);
+        }
+        assert_eq!(reps, vec![1, 1, 1, 3, 3, 3, 1, 1, 1, 3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "observe() must be called")]
+    fn tpe_requires_observation_between_proposals() {
+        let t = topo();
+        let base = StormConfig::baseline(3);
+        let mut s = Strategy::tpe(&t, ParamSet::Hints, 1);
+        let _ = s.propose(&t, &base, 0);
+        let _ = s.propose(&t, &base, 1);
     }
 }

@@ -23,8 +23,20 @@ use crate::journal::load_segment;
 use crate::progress::Progress;
 use crate::scale::Scale;
 
-/// Strategy labels of the grid, in figure order.
-pub const STRATEGIES: [&str; 5] = ["pla", "bo", "ipla", "ibo", "bo180"];
+/// Strategy labels of the grid: the paper's four (plus the 180-step BO
+/// budget ablation) in figure order, then the strategy zoo — the
+/// random-search floor, TPE, and Hyperband — appended so existing cell
+/// enumeration prefixes stay stable.
+pub const STRATEGIES: [&str; 8] = [
+    "pla",
+    "bo",
+    "ipla",
+    "ibo",
+    "bo180",
+    "random",
+    "tpe",
+    "hyperband",
+];
 
 /// Base seed of the grid (also seeds topology generation per cell).
 pub const GRID_SEED: u64 = 0x2015;
@@ -146,6 +158,9 @@ fn run_cell(
             "pla" => Strategy::pla(),
             "ipla" => Strategy::ipla(&topo_ref),
             "bo" | "bo180" => Strategy::bo(&topo_ref, ParamSet::Hints, seed),
+            "random" => Strategy::random(&topo_ref, ParamSet::Hints, seed),
+            "tpe" => Strategy::tpe(&topo_ref, ParamSet::Hints, seed),
+            "hyperband" => Strategy::hyperband(&topo_ref, ParamSet::Hints, seed),
             // `ibo` — and the unreachable fallback, kept total so the
             // engine never panics on a foreign label.
             _ => Strategy::ibo(&topo_ref, seed),
@@ -400,7 +415,7 @@ mod tests {
     #[test]
     fn cell_enumeration_is_stable_and_named() {
         let coords = cells();
-        assert_eq!(coords.len(), 60);
+        assert_eq!(coords.len(), 96);
         assert_eq!(
             cell_id(Scale::Smoke, &coords[0]),
             "grid-smoke/small/ti0_cont0/pla"

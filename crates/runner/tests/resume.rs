@@ -57,11 +57,19 @@ fn bo_factory() -> impl Fn(u64) -> Strategy + Sync {
 /// `frac` of its bytes — the moral equivalent of `kill -9` at that point
 /// in the run (possibly mid-line; the loader tolerates torn tails).
 fn run_then_truncate(segment: &Path, frac: f64) -> String {
+    run_then_truncate_with(segment, frac, &bo_factory())
+}
+
+/// [`run_then_truncate`] with a caller-chosen strategy factory.
+fn run_then_truncate_with(
+    segment: &Path,
+    frac: f64,
+    make: &(impl Fn(u64) -> Strategy + Sync),
+) -> String {
     let obj = objective();
-    let make = bo_factory();
     let full = run_experiment_journaled(
         "resume/kill",
-        &make,
+        make,
         &obj,
         &opts(),
         &RunnerOptions::serial(),
@@ -112,6 +120,77 @@ fn truncated_journal_resumes_to_bitwise_identical_result() {
         }
     }
     let _ = fs::remove_dir_all(&dir);
+}
+
+/// Kill→resume determinism for one zoo strategy: truncate at `fracs`
+/// (chosen per strategy to land in its interesting phases) and require
+/// bitwise-identical resumed results.
+fn zoo_strategy_resumes_bitwise(name: &str, make: impl Fn(u64) -> Strategy + Sync, fracs: &[f64]) {
+    let dir = scratch(name);
+    let obj = objective();
+    for (i, frac) in fracs.iter().enumerate() {
+        let segment = dir.join(format!("kill-{i}.jsonl"));
+        let reference = run_then_truncate_with(&segment, *frac, &make);
+        let resumed = run_experiment_journaled(
+            "resume/kill",
+            &make,
+            &obj,
+            &opts(),
+            &RunnerOptions::serial(),
+            Some(&segment),
+            true,
+        )
+        .unwrap();
+        assert_eq!(
+            reference,
+            canonical_result_json(&resumed.result),
+            "{name}: resume after truncation to {frac} must match"
+        );
+        if *frac > 0.1 {
+            assert!(
+                resumed.stats.replayed > 0,
+                "{name} cut at {frac}: expected replayed trials, stats: {:?}",
+                resumed.stats
+            );
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tpe_resumes_bitwise_identical_including_mid_startup() {
+    let topo = objective().topology().clone();
+    // With max_steps 8 and the default 6-trial startup phase, the 0.2 cut
+    // lands inside the random-startup trials and 0.75 inside the
+    // density-ratio phase.
+    zoo_strategy_resumes_bitwise(
+        "tpe",
+        move |seed| Strategy::tpe(&topo, ParamSet::Hints, seed),
+        &[0.2, 0.45, 0.75],
+    );
+}
+
+#[test]
+fn hyperband_resumes_bitwise_identical_including_mid_rung() {
+    let topo = objective().topology().clone();
+    // Max_steps 8 spans bracket s=1 (3-member rung 0, then the 3-rep
+    // promotion rung) and into bracket s=0, so the cuts land mid-rung
+    // and mid-promotion.
+    zoo_strategy_resumes_bitwise(
+        "hyperband",
+        move |seed| Strategy::hyperband(&topo, ParamSet::Hints, seed),
+        &[0.3, 0.6, 0.9],
+    );
+}
+
+#[test]
+fn random_resumes_bitwise_identical() {
+    let topo = objective().topology().clone();
+    zoo_strategy_resumes_bitwise(
+        "random",
+        move |seed| Strategy::random(&topo, ParamSet::Hints, seed),
+        &[0.5],
+    );
 }
 
 #[test]
@@ -219,9 +298,9 @@ fn interrupted_smoke_grid_resumes_bitwise_identical_to_serial() {
 
     let (resumed, report) =
         grid::run_journaled(Scale::Smoke, &ropts, &dir, true, &Progress::quiet()).unwrap();
-    assert_eq!(report.cells, 60);
+    assert_eq!(report.cells, 96);
     assert!(
-        report.cells_resumed >= 58,
+        report.cells_resumed >= 94,
         "complete + truncated cells resume, report: {report:?}"
     );
     assert!(report.stats.measured > 0, "deleted cell re-runs");

@@ -106,6 +106,9 @@ impl SessionSpec {
             "pla" => Strategy::pla(),
             "ipla" => Strategy::ipla(&topo),
             "bo" | "bo180" => Strategy::bo(&topo, ParamSet::Hints, seed),
+            "random" => Strategy::random(&topo, ParamSet::Hints, seed),
+            "tpe" => Strategy::tpe(&topo, ParamSet::Hints, seed),
+            "hyperband" => Strategy::hyperband(&topo, ParamSet::Hints, seed),
             // `ibo` — and the unreachable fallback, kept total so a
             // foreign label (already rejected at admission) cannot panic.
             _ => Strategy::ibo(&topo, seed),
@@ -134,6 +137,16 @@ mod tests {
         assert!(SessionSpec::smoke("ok", "warp", 1).validate().is_err());
         let long = "x".repeat(65);
         assert!(SessionSpec::smoke(&long, "bo", 1).validate().is_err());
+    }
+
+    #[test]
+    fn zoo_strategies_are_admitted_and_dispatched() {
+        for label in ["random", "tpe", "hyperband"] {
+            let spec = SessionSpec::smoke("acme", label, 7);
+            spec.validate().unwrap();
+            let make = spec.strategy_factory();
+            assert_eq!(make(1).name(), label);
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! are the one sanctioned nondeterminism in the workspace.
 
 use mtm_core::objective::synthetic_base;
-use mtm_core::{run_pass, Objective, ParamSet, RunOptions, Strategy};
+use mtm_core::{run_pass, step_run_id, Objective, ParamSet, RunOptions, Strategy};
 use mtm_obs::{JsonlRecorder, MemRecorder, NullRecorder};
 use mtm_runner::engine::{canonical_result_json, run_experiment_journaled, run_experiment_traced};
 use mtm_runner::RunnerOptions;
@@ -111,6 +111,11 @@ fn main() {
         float_bits(pass.best_throughput)
     );
 
+    // Strategy zoo: a short fixed-seed pass per non-paper strategy,
+    // printing every proposal's measurement-rep allocation and observed
+    // objective at full bit precision.
+    strategies_section(&objective);
+
     // Journal kill–resume replay: run a journaled experiment, truncate its
     // segment mid-run (the moral equivalent of `kill -9`), resume, and
     // print both canonical results. The two lines must match each other
@@ -122,6 +127,44 @@ fn main() {
     // recorder must reproduce the unrecorded result bit for bit, and two
     // recorded runs must write byte-identical trace files.
     recording_inert_section(&objective);
+}
+
+/// Drive each zoo strategy (tpe, hyperband, random) through a manual
+/// 12-step propose/measure/observe loop — the §V protocol with the
+/// strategy's own per-step rep allocation — and print each step's rep
+/// count plus the averaged objective's bit pattern. Hyperband's rung
+/// promotions (the 3-rep steps of brackets s=1 and s=0, plus the second
+/// iteration's fresh rung) and TPE's startup→density handoff both land
+/// inside the window, so any nondeterminism in split, promotion, or
+/// sampling diffs immediately.
+fn strategies_section(objective: &Objective) {
+    let topo = objective.topology().clone();
+    let makers: [(&str, fn(&mtm_stormsim::Topology, ParamSet, u64) -> Strategy); 3] = [
+        ("tpe", Strategy::tpe),
+        ("hyperband", Strategy::hyperband),
+        ("random", Strategy::random),
+    ];
+    let base = objective.base_config().clone();
+    let seed = 0x5_0_0;
+    for (label, make) in makers {
+        let mut strategy = make(&topo, ParamSet::Hints, seed);
+        let mut ys = Vec::new();
+        for step in 0..12 {
+            let Some(config) = strategy.propose(&topo, &base, step) else {
+                break;
+            };
+            let reps = strategy.measure_reps().unwrap_or(1);
+            ys.clear();
+            objective.measure_many(
+                &config,
+                (0..reps).map(|rep| step_run_id(seed, step, rep)),
+                &mut ys,
+            );
+            let y = ys.iter().sum::<f64>() / reps.max(1) as f64;
+            strategy.observe(y);
+            println!("zoo/{label} step={step} reps={reps} y={}", float_bits(y));
+        }
+    }
 }
 
 /// Re-run the probe's simulator workloads and a short experiment with

@@ -32,7 +32,8 @@ fn synthetic_grid_figures_flow_from_one_grid() {
     let g = grid::run(Scale::Smoke);
 
     let f4 = figures::fig4::run(&g);
-    assert_eq!(f4.rows.len(), 60);
+    // 4 conditions × 3 sizes × 8 strategies (incl. the zoo).
+    assert_eq!(f4.rows.len(), 96);
     assert!(f4.rows.iter().all(|r| r.values[0] >= 0.0));
 
     let f5 = figures::fig5::run(&g);
